@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 12: Trotter decomposition [36] vs Choco-Q's equivalent
+ * decomposition — (a) decomposition time and memory usage, (b) resulting
+ * circuit depth — as the qubit count grows.
+ *
+ * Expected shape (paper): Trotter time/memory explode exponentially and
+ * give up beyond ~10 qubits; Choco-Q stays sub-0.1 s / sub-10 MB with
+ * circuit depth linear in the qubit count.
+ */
+
+#include "solvers/trotter.hpp"
+
+#include "common.hpp"
+
+using namespace chocoq;
+using namespace chocoq::bench;
+
+namespace
+{
+
+/** Chain move basis of a single summation constraint over n qubits. */
+std::vector<core::CommuteTerm>
+chainTerms(int n)
+{
+    std::vector<std::vector<int>> moves;
+    for (int i = 0; i + 1 < n; ++i) {
+        std::vector<int> u(n, 0);
+        u[i] = 1;
+        u[i + 1] = -1;
+        moves.push_back(std::move(u));
+    }
+    return core::makeCommuteTerms(moves);
+}
+
+std::string
+fmtBytes(std::size_t bytes)
+{
+    if (bytes >= (std::size_t{1} << 30))
+        return fmtNum(static_cast<double>(bytes) / (1 << 30), 2) + " GB";
+    if (bytes >= (std::size_t{1} << 20))
+        return fmtNum(static_cast<double>(bytes) / (1 << 20), 2) + " MB";
+    return fmtNum(static_cast<double>(bytes) / (1 << 10), 2) + " KB";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig cfg =
+        parseArgs(argc, argv, "bench_fig12_decomposition",
+                  "Fig. 12: Trotter vs Choco-Q decomposition cost");
+    banner("Figure 12", cfg);
+
+    const int max_qubits = cfg.full ? 12 : 10;
+    const double beta = 0.8;
+
+    solvers::TrotterOptions trotter_opts;
+    trotter_opts.repetitions = 100; // the paper uses N > 100
+    trotter_opts.timeoutSeconds = cfg.full ? 120.0 : 20.0;
+    trotter_opts.maxQubits = max_qubits;
+
+    Table table({"#Qubits", "Trotter time (s)", "Trotter memory",
+                 "Trotter depth", "Choco time (s)", "Choco memory",
+                 "Choco depth"});
+    for (int n = 4; n <= max_qubits; ++n) {
+        const auto terms = chainTerms(n);
+        const auto trotter =
+            solvers::trotterDecompose(terms, n, beta, trotter_opts);
+        const auto choco = solvers::chocoDecompose(terms, n, beta);
+        table.addRow({std::to_string(n),
+                      trotter.timedOut ? "timeout"
+                                       : fmtNum(trotter.seconds, 3),
+                      trotter.timedOut && trotter.peakBytes == 0
+                          ? "-"
+                          : fmtBytes(trotter.peakBytes),
+                      trotter.timedOut ? "-"
+                                       : std::to_string(trotter.depth),
+                      fmtNum(choco.seconds, 4), fmtBytes(choco.peakBytes),
+                      std::to_string(choco.depth)});
+    }
+    table.print();
+    std::cout << "note: Trotter assembles the dense 2^n x 2^n driver and "
+                 "synthesizes each of the N=100 steps with two-level "
+                 "rotations; Choco-Q derives the circuit directly from "
+                 "the move vectors (Lemma 2).\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 7: average success rate vs number of repeated layers (1-7) for
+ * the four designs.
+ *
+ * Expected shape (paper): Choco-Q starts high (>25%) at one layer and
+ * gains a little from a second layer (serialization already covers all
+ * search directions); the baselines start near zero and improve only
+ * slowly with more layers.
+ */
+
+#include "common.hpp"
+
+using namespace chocoq;
+using namespace chocoq::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig cfg =
+        parseArgs(argc, argv, "bench_fig7_layers",
+                  "Fig. 7: success rate vs #layers");
+    banner("Figure 7", cfg);
+
+    const int max_layers = cfg.full ? 7 : 5;
+    const std::vector<problems::Scale> scales{
+        problems::Scale::F1, problems::Scale::G1, problems::Scale::K1};
+
+    Table table({"#Layers", "Penalty (%)", "Cyclic (%)", "HEA (%)",
+                 "Choco-Q (%)"});
+    for (int layers = 1; layers <= max_layers; ++layers) {
+        double sum[4] = {0, 0, 0, 0};
+        int count = 0;
+        for (auto scale : scales) {
+            for (unsigned idx = 0; idx < cfg.cases; ++idx) {
+                const auto p = problems::makeCase(scale, idx);
+                const auto exact = model::solveExact(p);
+                if (!exact.feasible)
+                    continue;
+                const solvers::PenaltyQaoaSolver penalty(
+                    penaltyOptions(cfg, layers));
+                const solvers::CyclicQaoaSolver cyclic(
+                    cyclicOptions(cfg, layers));
+                const solvers::HeaSolver hea(heaOptions(cfg, layers));
+                const core::ChocoQSolver choco(
+                    chocoOptions(cfg, layers));
+                const core::Solver *solver_list[4] = {&penalty, &cyclic,
+                                                      &hea, &choco};
+                for (int s = 0; s < 4; ++s)
+                    sum[s] +=
+                        runCase(*solver_list[s], p, exact).stats
+                            .successRate;
+                ++count;
+            }
+        }
+        table.addRow({std::to_string(layers),
+                      fmtPct(sum[0] / count, 2), fmtPct(sum[1] / count, 2),
+                      fmtPct(sum[2] / count, 2),
+                      fmtPct(sum[3] / count, 2)});
+    }
+    table.print();
+    return 0;
+}

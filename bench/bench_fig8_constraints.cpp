@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 8: success rate (all designs) and Choco-Q circuit depth as the
+ * number of constraints grows, on the graph-coloring family.
+ *
+ * Expected shape (paper): beyond ~12 constraints the baselines drop to
+ * (near) zero success while Choco-Q keeps >10%; Choco-Q's depth grows
+ * with the constraint count (the move basis has to express every row).
+ */
+
+#include "problems/gcp.hpp"
+
+#include "common.hpp"
+
+using namespace chocoq;
+using namespace chocoq::bench;
+
+int
+main(int argc, char **argv)
+{
+    const BenchConfig cfg =
+        parseArgs(argc, argv, "bench_fig8_constraints",
+                  "Fig. 8: success rate & depth vs #constraints");
+    banner("Figure 8 (GCP family)", cfg);
+
+    // GCP sweeps: (V, E, K) chosen so the constraint count V + E*K climbs
+    // from 3 to 16 while qubits stay simulable.
+    struct Config
+    {
+        int v, e, k;
+    };
+    std::vector<Config> sweep{{3, 0, 3}, {3, 1, 2}, {3, 1, 3},
+                              {3, 2, 3}, {4, 2, 3}, {4, 3, 3}};
+    if (cfg.full)
+        sweep.push_back({5, 4, 3}); // 27 qubits; full mode only
+
+    Table table({"#Constraints", "Qubits", "Penalty (%)", "Cyclic (%)",
+                 "HEA (%)", "Choco-Q (%)", "Choco-Q depth"});
+    for (const auto &c : sweep) {
+        problems::GcpConfig gcp;
+        gcp.vertices = c.v;
+        gcp.edgeCount = c.e;
+        gcp.colors = c.k;
+        double sum[4] = {0, 0, 0, 0};
+        int depth = 0;
+        int count = 0;
+        int cons = 0, qubits = 0;
+        for (unsigned idx = 0; idx < cfg.cases; ++idx) {
+            Rng rng(9000 + 31 * idx + c.v + 7 * c.e);
+            auto p = problems::makeGcp(gcp, rng);
+            cons = static_cast<int>(p.constraints().size());
+            qubits = p.numVars();
+            const auto exact = model::solveExact(p);
+            if (!exact.feasible)
+                continue;
+            const bool big = p.numVars() >= 15 && !cfg.full;
+            auto pen_opts = penaltyOptions(cfg);
+            auto cyc_opts = cyclicOptions(cfg);
+            auto hea_opts = heaOptions(cfg, big ? 1 : 2);
+            if (big) {
+                pen_opts.engine.opt.maxIterations = 10;
+                cyc_opts.engine.opt.maxIterations = 10;
+                hea_opts.engine.opt.maxIterations = 6;
+            }
+            const solvers::PenaltyQaoaSolver penalty(pen_opts);
+            const solvers::CyclicQaoaSolver cyclic(cyc_opts);
+            const solvers::HeaSolver hea(hea_opts);
+            const core::ChocoQSolver choco(chocoOptions(cfg));
+            const core::Solver *solver_list[4] = {&penalty, &cyclic, &hea,
+                                                  &choco};
+            for (int s = 0; s < 4; ++s) {
+                const auto r = runCase(*solver_list[s], p, exact);
+                sum[s] += r.stats.successRate;
+                if (s == 3)
+                    depth = std::max(depth, r.outcome.basisDepth);
+            }
+            ++count;
+        }
+        if (count == 0)
+            continue;
+        table.addRow({std::to_string(cons), std::to_string(qubits),
+                      fmtPct(sum[0] / count, 2), fmtPct(sum[1] / count, 2),
+                      fmtPct(sum[2] / count, 2), fmtPct(sum[3] / count, 2),
+                      std::to_string(depth)});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Google-benchmark micro-suite for the hot kernels: state-vector gate
+ * application, the commute pair-rotation fast path, diagonal phase
+ * tables, move-basis computation, transpilation, and the Lemma-2 circuit
+ * construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/transpile.hpp"
+#include "core/chocoq_solver.hpp"
+#include "core/circuits.hpp"
+#include "core/movebasis.hpp"
+#include "model/exact.hpp"
+#include "problems/suite.hpp"
+#include "sim/executor.hpp"
+
+using namespace chocoq;
+
+namespace
+{
+
+void
+BM_Apply1q(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    constexpr double kInvSqrt2 = 0.70710678118654752440;
+    for (auto _ : state) {
+        sv.apply1q(n / 2, kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * (std::int64_t{1} << n));
+}
+BENCHMARK(BM_Apply1q)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_PairRotation(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    std::vector<int> u(n, 0);
+    u[0] = 1;
+    u[1] = -1;
+    u[n - 1] = 1;
+    const auto term = core::makeCommuteTerm(u);
+    for (auto _ : state) {
+        core::applyCommuteExact(sv, term, 0.3);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * (std::int64_t{1} << n));
+}
+BENCHMARK(BM_PairRotation)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_PhaseTable(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    std::vector<double> table(std::size_t{1} << n, 0.5);
+    for (auto _ : state) {
+        sv.applyPhaseTable(table, 0.4);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations()
+                            * (std::int64_t{1} << n));
+}
+BENCHMARK(BM_PhaseTable)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_MoveBasis(benchmark::State &state)
+{
+    const auto scale =
+        problems::allScales()[static_cast<std::size_t>(state.range(0))];
+    const auto p = problems::makeCase(scale, 0);
+    for (auto _ : state) {
+        auto basis = core::computeMoveBasis(p);
+        benchmark::DoNotOptimize(basis.moves.data());
+    }
+    state.SetLabel(problems::scaleName(scale));
+}
+BENCHMARK(BM_MoveBasis)->Arg(0)->Arg(5)->Arg(11);
+
+void
+BM_Lemma2Circuit(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    std::vector<int> u(k, 1);
+    for (int i = 0; i < k; i += 2)
+        u[i] = -1;
+    const auto term = core::makeCommuteTerm(u);
+    for (auto _ : state) {
+        auto c = core::commuteTermCircuit(term, k, 0.7);
+        benchmark::DoNotOptimize(c.gates().data());
+    }
+}
+BENCHMARK(BM_Lemma2Circuit)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+void
+BM_Transpile(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    std::vector<int> u(k, 1);
+    for (int i = 0; i < k; i += 2)
+        u[i] = -1;
+    const auto term = core::makeCommuteTerm(u);
+    const auto c = core::commuteTermCircuit(term, k, 0.7);
+    for (auto _ : state) {
+        auto lowered = circuit::transpile(c);
+        benchmark::DoNotOptimize(lowered.gates().data());
+    }
+}
+BENCHMARK(BM_Transpile)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_ExactSolve(benchmark::State &state)
+{
+    const auto scale =
+        problems::allScales()[static_cast<std::size_t>(state.range(0))];
+    const auto p = problems::makeCase(scale, 0);
+    for (auto _ : state) {
+        auto exact = model::solveExact(p);
+        benchmark::DoNotOptimize(exact.optima.data());
+    }
+    state.SetLabel(problems::scaleName(scale));
+}
+BENCHMARK(BM_ExactSolve)->Arg(0)->Arg(4)->Arg(8);
+
+void
+BM_ChocoCompile(benchmark::State &state)
+{
+    const auto scale =
+        problems::allScales()[static_cast<std::size_t>(state.range(0))];
+    const auto p = problems::makeCase(scale, 0);
+    const core::ChocoQSolver solver;
+    for (auto _ : state) {
+        auto comp = solver.compileOnly(p);
+        benchmark::DoNotOptimize(comp.terms.data());
+    }
+    state.SetLabel(problems::scaleName(scale));
+}
+BENCHMARK(BM_ChocoCompile)->Arg(0)->Arg(5)->Arg(9);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Shared infrastructure for the per-table/per-figure benchmark binaries.
+ *
+ * Every binary reproduces one table or figure of the paper's evaluation
+ * section. Default invocation runs a reduced-but-faithful configuration
+ * (fewer cases, tighter iteration budgets, largest scales gated) so the
+ * whole suite completes in minutes on one core; pass --full or set
+ * CHOCOQ_BENCH_FULL=1 for the full sweep.
+ */
+
+#ifndef CHOCOQ_BENCH_COMMON_HPP
+#define CHOCOQ_BENCH_COMMON_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "core/chocoq_solver.hpp"
+#include "device/device.hpp"
+#include "metrics/stats.hpp"
+#include "model/exact.hpp"
+#include "problems/suite.hpp"
+#include "solvers/cyclic.hpp"
+#include "solvers/hea.hpp"
+#include "solvers/penalty.hpp"
+
+namespace chocoq::bench
+{
+
+/** Run mode parsed from argv / environment. */
+struct BenchConfig
+{
+    bool full = false;
+    /** Cases per scale. */
+    unsigned cases = 1;
+    /** Iteration budget for the baselines (paper: they need 148+). */
+    int baselineIters = 20;
+    /** Iteration budget for Choco-Q (paper: converges within ~30). */
+    int chocoIters = 30;
+    /** Noise trajectories per circuit when a device model is active. */
+    int trajectories = 32;
+    /** Shots per circuit execution. */
+    int shots = 1024;
+};
+
+inline BenchConfig
+parseArgs(int argc, char **argv, const std::string &name,
+          const std::string &what)
+{
+    BenchConfig cfg;
+    const char *env = std::getenv("CHOCOQ_BENCH_FULL");
+    if (env && std::string(env) != "0")
+        cfg.full = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--full") {
+            cfg.full = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << name << ": " << what << "\n"
+                      << "usage: " << argv[0] << " [--full]\n"
+                      << "  --full  run the paper-scale sweep (also via "
+                         "CHOCOQ_BENCH_FULL=1)\n";
+            std::exit(0);
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            std::exit(2);
+        }
+    }
+    if (cfg.full) {
+        cfg.cases = 5;
+        cfg.baselineIters = 100;
+        cfg.chocoIters = 60;
+        cfg.trajectories = 128;
+        cfg.shots = 4096;
+    }
+    return cfg;
+}
+
+inline void
+banner(const std::string &title, const BenchConfig &cfg)
+{
+    std::cout << "=== " << title << " ("
+              << (cfg.full ? "full" : "quick") << " mode) ===\n";
+}
+
+/** The four designs of Table II with bench-budget options. */
+inline core::ChocoQOptions
+chocoOptions(const BenchConfig &cfg, int layers = 1, int eliminate = 1)
+{
+    core::ChocoQOptions o;
+    o.layers = layers;
+    o.eliminate = eliminate;
+    o.engine.opt.maxIterations = cfg.chocoIters;
+    return o;
+}
+
+inline solvers::PenaltyOptions
+penaltyOptions(const BenchConfig &cfg, int layers = 7)
+{
+    solvers::PenaltyOptions o;
+    o.layers = layers;
+    o.engine.opt.maxIterations = cfg.baselineIters;
+    return o;
+}
+
+inline solvers::CyclicOptions
+cyclicOptions(const BenchConfig &cfg, int layers = 7)
+{
+    solvers::CyclicOptions o;
+    o.layers = layers;
+    o.engine.opt.maxIterations = cfg.baselineIters;
+    return o;
+}
+
+inline solvers::HeaOptions
+heaOptions(const BenchConfig &cfg, int layers = 2)
+{
+    solvers::HeaOptions o;
+    o.layers = layers;
+    o.engine.opt.maxIterations = cfg.baselineIters;
+    return o;
+}
+
+/**
+ * Deployment-style Choco-Q for the latency benches (Table I, Fig. 11):
+ * single start, converging in the paper's ~30 iterations. The quality
+ * benches use the multi-start configuration instead.
+ */
+inline core::ChocoQOptions
+chocoLatencyOptions(const BenchConfig &cfg)
+{
+    core::ChocoQOptions o = chocoOptions(cfg);
+    o.engine.theta0 = {0.8, 2.2};
+    o.engine.opt.maxIterations = cfg.chocoIters;
+    // Minimal Delta (n - rank moves, the paper's linear-depth circuit):
+    // the enriched move set trades depth for success and belongs to the
+    // quality benches.
+    o.moveSetFactor = 1;
+    return o;
+}
+
+/** Paper-like iteration budget for baselines in the latency benches
+ * (they need 148+ iterations and still do not converge). */
+inline int
+latencyBaselineIters(const BenchConfig &cfg)
+{
+    return cfg.full ? 148 : 100;
+}
+
+/** Metrics plus run artifacts for one (solver, case) pair. */
+struct CaseResult
+{
+    metrics::RunStats stats;
+    core::SolverOutcome outcome;
+    double wallSeconds = 0.0;
+};
+
+inline CaseResult
+runCase(const core::Solver &solver, const model::Problem &p,
+        const model::ExactResult &exact)
+{
+    Timer timer;
+    CaseResult out;
+    out.outcome = solver.solve(p);
+    out.wallSeconds = timer.seconds();
+    out.stats = metrics::computeStats(p, out.outcome.distribution, exact);
+    return out;
+}
+
+/** Scales included by default; F4 (28 qubits) only in full mode. */
+inline std::vector<problems::Scale>
+benchScales(const BenchConfig &cfg)
+{
+    std::vector<problems::Scale> scales;
+    for (auto s : problems::allScales()) {
+        if (!cfg.full && s == problems::Scale::F4)
+            continue; // 2^28 state vector: full mode only
+        scales.push_back(s);
+    }
+    return scales;
+}
+
+} // namespace chocoq::bench
+
+#endif // CHOCOQ_BENCH_COMMON_HPP

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Facility location with Choco-Q vs the penalty baseline.
+ *
+ * Builds a 3-facility / 2-demand instance (15 binary variables: open
+ * flags, assignment flags, and slack variables linearizing the
+ * "serve only from an open facility" inequalities), solves it with both
+ * designs, and compares the two key metrics of the paper.
+ */
+
+#include <iostream>
+
+#include "core/chocoq_solver.hpp"
+#include "metrics/stats.hpp"
+#include "model/exact.hpp"
+#include "problems/flp.hpp"
+#include "solvers/penalty.hpp"
+
+int
+main()
+{
+    using namespace chocoq;
+
+    // Seeded generator: facility opening costs and service costs.
+    Rng rng(2026);
+    problems::FlpConfig config;
+    config.facilities = 3;
+    config.demands = 2;
+    const model::Problem problem = problems::makeFlp(config, rng);
+    std::cout << problem.str() << "\n";
+
+    const auto exact = model::solveExact(problem);
+    const problems::FlpLayout layout{config.facilities, config.demands};
+    std::cout << "optimal cost " << exact.optimumRaw << "; open facilities:";
+    for (int i = 0; i < config.facilities; ++i)
+        if (getBit(exact.optima.front(), layout.y(i)))
+            std::cout << " F" << i;
+    std::cout << "\n\n";
+
+    // Choco-Q: hard constraints via the commute Hamiltonian.
+    core::ChocoQOptions choco_options;
+    choco_options.eliminate = 1;
+    const core::ChocoQSolver choco(choco_options);
+    const auto choco_run = choco.solve(problem);
+    const auto choco_stats =
+        metrics::computeStats(problem, choco_run.distribution, exact);
+
+    // Penalty QAOA: soft constraints, 7 layers (the paper's setting).
+    solvers::PenaltyOptions penalty_options;
+    penalty_options.engine.opt.maxIterations = 60;
+    const solvers::PenaltyQaoaSolver penalty(penalty_options);
+    const auto penalty_run = penalty.solve(problem);
+    const auto penalty_stats =
+        metrics::computeStats(problem, penalty_run.distribution, exact);
+
+    std::cout << "                      Choco-Q    Penalty QAOA\n";
+    std::cout << "success rate (%)      "
+              << choco_stats.successRate * 100 << "       "
+              << penalty_stats.successRate * 100 << "\n";
+    std::cout << "in-constraints (%)    "
+              << choco_stats.inConstraintsRate * 100 << "       "
+              << penalty_stats.inConstraintsRate * 100 << "\n";
+    std::cout << "circuit depth         " << choco_run.basisDepth
+              << "        " << penalty_run.basisDepth << "\n";
+    std::cout << "\nThe x_ij - y_i + s_ij = 0 rows mix +1 and -1 "
+                 "coefficients, which soft penalties only discourage and "
+                 "the cyclic Hamiltonian cannot encode at all — the "
+                 "commute Hamiltonian covers them exactly.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Graph coloring: inspect the Choco-Q compilation pipeline.
+ *
+ * Rather than just solving, this example walks the paper's Section IV
+ * flow on a triangle-free 3-vertex graph: move-basis computation,
+ * commute-term construction, the Lemma-2 circuit of a single term, the
+ * effect of variable elimination on depth, and finally a solve.
+ */
+
+#include <iostream>
+
+#include "circuit/transpile.hpp"
+#include "core/chocoq_solver.hpp"
+#include "core/circuits.hpp"
+#include "core/movebasis.hpp"
+#include "metrics/stats.hpp"
+#include "model/exact.hpp"
+#include "problems/gcp.hpp"
+
+int
+main()
+{
+    using namespace chocoq;
+
+    Rng rng(7);
+    problems::GcpConfig config;
+    config.vertices = 3;
+    config.colors = 3;
+    config.edges = {{0, 1}};
+    const model::Problem problem = problems::makeGcp(config, rng);
+    std::cout << problem.str() << "\n";
+
+    // Step 1: the move basis (nullspace of C over {-1,0,1}).
+    const auto basis = core::computeMoveBasis(problem);
+    std::cout << "constraint rank " << basis.rank << ", move basis size "
+              << basis.moves.size() << ":\n";
+    for (const auto &u : basis.moves) {
+        std::cout << "  u = [";
+        for (std::size_t i = 0; i < u.size(); ++i)
+            std::cout << (i ? "," : "") << u[i];
+        std::cout << "]\n";
+    }
+
+    // Step 2: one commute term and its Lemma-2 circuit.
+    const auto terms = core::makeCommuteTerms(basis.moves);
+    const auto &term = terms.front();
+    circuit::Circuit term_circuit =
+        core::commuteTermCircuit(term, problem.numVars(), 0.7);
+    const auto lowered = circuit::transpile(term_circuit);
+    std::cout << "\nfirst term acts on " << term.support.size()
+              << " qubits; exp(-i b Hc(u)) lowers to depth "
+              << lowered.depth() << " over " << lowered.numQubits()
+              << " qubits (incl. ancillas)\n";
+
+    // Step 3: variable elimination shrinks the whole ansatz.
+    for (int e = 0; e <= 2; ++e) {
+        core::ChocoQOptions options;
+        options.eliminate = e;
+        options.engine.opt.maxIterations = 2;
+        const auto run = core::ChocoQSolver(options).solve(problem);
+        std::cout << "eliminate " << e << ": depth " << run.basisDepth
+                  << ", " << run.circuitsPerIteration
+                  << " circuit(s) per iteration\n";
+    }
+
+    // Step 4: solve for real.
+    const auto exact = model::solveExact(problem);
+    core::ChocoQOptions options;
+    options.eliminate = 1;
+    const auto run = core::ChocoQSolver(options).solve(problem);
+    const auto stats =
+        metrics::computeStats(problem, run.distribution, exact);
+    std::cout << "\nsolved: success " << stats.successRate * 100
+              << " %, in-constraints " << stats.inConstraintsRate * 100
+              << " % (optimal coloring cost " << exact.optimumRaw
+              << ")\n";
+    return 0;
+}

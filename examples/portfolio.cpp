@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Extension example: a user-defined problem outside the benchmark suite.
+ *
+ * Cardinality-constrained portfolio selection [6]: pick exactly K of N
+ * assets maximizing expected return minus pairwise risk, with a sector
+ * parity constraint (equal picks from two sectors) — a mixed-sign row
+ * that only the commute-Hamiltonian encoding handles as a hard
+ * constraint. Demonstrates the public API end to end on a quadratic
+ * objective.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/chocoq_solver.hpp"
+#include "metrics/stats.hpp"
+#include "model/exact.hpp"
+
+int
+main()
+{
+    using namespace chocoq;
+
+    constexpr int kAssets = 8;
+    constexpr int kPick = 4;
+    Rng rng(4242);
+
+    model::Problem problem(kAssets, model::Sense::Maximize, "portfolio");
+    model::Polynomial objective;
+    for (int i = 0; i < kAssets; ++i)
+        objective.addTerm({i}, rng.intIn(4, 9)); // expected return
+    for (int i = 0; i < kAssets; ++i)
+        for (int j = i + 1; j < kAssets; ++j)
+            if (rng.chance(0.4))
+                objective.addTerm({i, j}, -rng.intIn(1, 3)); // covariance
+    problem.setObjective(std::move(objective));
+
+    // Cardinality: pick exactly kPick assets (summation format).
+    problem.addEquality(std::vector<int>(kAssets, 1), kPick);
+    // Sector parity: assets 0..3 vs 4..7 balanced (mixed signs!).
+    std::vector<int> parity(kAssets, 1);
+    for (int i = kAssets / 2; i < kAssets; ++i)
+        parity[i] = -1;
+    problem.addEquality(std::move(parity), 0);
+    std::cout << problem.str() << "\n";
+
+    const auto exact = model::solveExact(problem);
+    std::cout << "optimal portfolio value " << exact.optimumRaw << " at "
+              << bitString(exact.optima.front(), kAssets) << " ("
+              << exact.feasibleCount << " feasible portfolios)\n\n";
+
+    core::ChocoQOptions options;
+    options.layers = 2; // a second layer helps on quadratic objectives
+    options.eliminate = 1;
+    const core::ChocoQSolver solver(options);
+    const auto run = solver.solve(problem);
+    const auto stats =
+        metrics::computeStats(problem, run.distribution, exact);
+
+    std::cout << "Choco-Q: success " << stats.successRate * 100
+              << " %, in-constraints " << stats.inConstraintsRate * 100
+              << " %, ARG " << stats.arg << "\n";
+    std::cout << "circuit: " << run.qubitsUsed << " qubits, depth "
+              << run.basisDepth << "\n\ntop portfolios:\n";
+    std::vector<std::pair<double, Basis>> ranked;
+    for (const auto &[state, prob] : run.distribution)
+        ranked.emplace_back(prob, state);
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (std::size_t i = 0; i < ranked.size() && i < 3; ++i)
+        std::cout << "  " << bitString(ranked[i].second, kAssets)
+                  << "  p=" << ranked[i].first << "  value="
+                  << problem.objectiveOf(ranked[i].second) << "\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Lowering of composite gates into the basic-gate basis {H, X, RZ, CX}.
+ *
+ * The paper's deployability story (Section IV-B) hinges on the cost of this
+ * lowering: Choco-Q's G gates and multi-controlled phase gates transpile
+ * with linear gate count and depth, while generic unitary synthesis is
+ * exponential. Multi-controlled phases use a Toffoli V-chain with reusable
+ * ancilla qubits; all identities are exact up to a global phase (verified
+ * against dense matrices in the test suite).
+ */
+
+#ifndef CHOCOQ_CIRCUIT_TRANSPILE_HPP
+#define CHOCOQ_CIRCUIT_TRANSPILE_HPP
+
+#include "circuit/circuit.hpp"
+
+namespace chocoq::circuit
+{
+
+/** Options controlling the lowering pass. */
+struct TranspileOptions
+{
+    /**
+     * Keep CZ as a basis gate (Heron-class devices such as IBM Fez expose
+     * CZ natively). When false, CZ lowers to H-CX-H.
+     */
+    bool nativeCz = false;
+};
+
+/**
+ * Lower @p input to the basic basis. Ancilla qubits required by
+ * multi-controlled gates are appended to the register; they are returned
+ * to |0> after every use and are shared across all gates of the circuit.
+ */
+Circuit transpile(const Circuit &input, const TranspileOptions &opts = {});
+
+/** True when the circuit contains only basis gates (H, X, RZ, CX[, CZ]). */
+bool isLowered(const Circuit &c, const TranspileOptions &opts = {});
+
+} // namespace chocoq::circuit
+
+#endif // CHOCOQ_CIRCUIT_TRANSPILE_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bit-manipulation helpers for basis-state indices.
+ *
+ * Convention used everywhere in Choco-Q: binary variable x_i (0-based) maps
+ * to qubit i, which maps to bit i of a basis-state index. A bitstring
+ * {x_0 = 1, x_1 = 0, x_2 = 1} is therefore the index 0b101 = 5.
+ */
+
+#ifndef CHOCOQ_COMMON_BITOPS_HPP
+#define CHOCOQ_COMMON_BITOPS_HPP
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chocoq
+{
+
+/** Basis-state index type; supports up to 63 qubits. */
+using Basis = std::uint64_t;
+
+/** Return bit @p q of @p idx (the value of variable/qubit q). */
+inline int
+getBit(Basis idx, int q)
+{
+    return static_cast<int>((idx >> q) & 1u);
+}
+
+/** Return @p idx with bit @p q set to @p v (v must be 0 or 1). */
+inline Basis
+setBit(Basis idx, int q, int v)
+{
+    return (idx & ~(Basis{1} << q)) | (Basis{static_cast<unsigned>(v)} << q);
+}
+
+/** Return @p idx with bit @p q flipped. */
+inline Basis
+flipBit(Basis idx, int q)
+{
+    return idx ^ (Basis{1} << q);
+}
+
+/** Number of set bits. */
+inline int
+popcount(Basis idx)
+{
+    return std::popcount(idx);
+}
+
+/** Convert the low @p n bits of @p idx to a 0/1 vector (x_0 first). */
+inline std::vector<int>
+toBits(Basis idx, int n)
+{
+    std::vector<int> bits(n);
+    for (int i = 0; i < n; ++i)
+        bits[i] = getBit(idx, i);
+    return bits;
+}
+
+/** Convert a 0/1 vector (x_0 first) to a basis-state index. */
+inline Basis
+fromBits(const std::vector<int> &bits)
+{
+    Basis idx = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i)
+        if (bits[i])
+            idx |= Basis{1} << i;
+    return idx;
+}
+
+/**
+ * Render the low @p n bits as a string with x_0 leftmost, e.g. idx=5, n=4
+ * gives "1010". This matches the variable-order convention of the paper's
+ * examples (|1010> means x1=1, x2=0, x3=1, x4=0).
+ */
+inline std::string
+bitString(Basis idx, int n)
+{
+    std::string s(n, '0');
+    for (int i = 0; i < n; ++i)
+        if (getBit(idx, i))
+            s[i] = '1';
+    return s;
+}
+
+} // namespace chocoq
+
+#endif // CHOCOQ_COMMON_BITOPS_HPP

@@ -1,0 +1,49 @@
+#include "common/membytes.hpp"
+
+#include <atomic>
+
+namespace chocoq
+{
+
+namespace
+{
+
+std::atomic<std::size_t> current_bytes{0};
+std::atomic<std::size_t> peak_bytes{0};
+
+} // namespace
+
+void
+MemBytes::add(std::size_t bytes)
+{
+    std::size_t now = current_bytes.fetch_add(bytes) + bytes;
+    std::size_t prev = peak_bytes.load();
+    while (now > prev && !peak_bytes.compare_exchange_weak(prev, now)) {
+    }
+}
+
+void
+MemBytes::sub(std::size_t bytes)
+{
+    current_bytes.fetch_sub(bytes);
+}
+
+std::size_t
+MemBytes::current()
+{
+    return current_bytes.load();
+}
+
+std::size_t
+MemBytes::peak()
+{
+    return peak_bytes.load();
+}
+
+void
+MemBytes::resetPeak()
+{
+    peak_bytes.store(current_bytes.load());
+}
+
+} // namespace chocoq

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Lightweight allocation accounting.
+ *
+ * Figure 12 of the paper compares the memory usage of Trotter-based
+ * Hamiltonian decomposition against Choco-Q's equivalent decomposition.
+ * The heavy allocations on both paths (dense matrices, circuit buffers)
+ * register themselves here so the benchmark can report peak bytes without
+ * overriding the global allocator.
+ */
+
+#ifndef CHOCOQ_COMMON_MEMBYTES_HPP
+#define CHOCOQ_COMMON_MEMBYTES_HPP
+
+#include <cstddef>
+
+namespace chocoq
+{
+
+/** Tracks current and peak tracked-allocation footprint. */
+class MemBytes
+{
+  public:
+    /** Record an allocation of @p bytes. */
+    static void add(std::size_t bytes);
+
+    /** Record a deallocation of @p bytes. */
+    static void sub(std::size_t bytes);
+
+    /** Currently tracked live bytes. */
+    static std::size_t current();
+
+    /** Peak tracked bytes since the last resetPeak(). */
+    static std::size_t peak();
+
+    /** Reset the peak to the current value. */
+    static void resetPeak();
+};
+
+/** RAII registration of a fixed-size allocation. */
+class TrackedAlloc
+{
+  public:
+    explicit TrackedAlloc(std::size_t bytes) : bytes_(bytes)
+    {
+        MemBytes::add(bytes_);
+    }
+    ~TrackedAlloc() { MemBytes::sub(bytes_); }
+
+    TrackedAlloc(const TrackedAlloc &) = delete;
+    TrackedAlloc &operator=(const TrackedAlloc &) = delete;
+
+  private:
+    std::size_t bytes_;
+};
+
+} // namespace chocoq
+
+#endif // CHOCOQ_COMMON_MEMBYTES_HPP

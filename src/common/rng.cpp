@@ -1,0 +1,132 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace chocoq
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seed expansion. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+    // Avoid the all-zero state (splitmix64 of any seed cannot produce it
+    // four times in a row, but keep the guard for clarity).
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    CHOCOQ_ASSERT(n > 0, "Rng::below requires n > 0");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+int
+Rng::intIn(int lo, int hi)
+{
+    CHOCOQ_ASSERT(lo <= hi, "Rng::intIn requires lo <= hi");
+    return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo)
+                                       + 1));
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    spare_ = r * std::sin(theta);
+    haveSpare_ = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    CHOCOQ_ASSERT(total > 0.0, "Rng::discrete requires positive total weight");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace chocoq

@@ -1,0 +1,105 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace chocoq
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    CHOCOQ_ASSERT(row.size() == headers_.size(),
+                  "table row arity mismatches header");
+    rows_.push_back(std::move(row));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::ostringstream &os) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c]
+               << std::string(width[c] - row[c].size(), ' ') << " |";
+        }
+        os << "\n";
+    };
+    auto emit_rule = [&](std::ostringstream &os) {
+        os << "+";
+        for (std::size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emit_rule(os);
+    emit_row(headers_, os);
+    emit_rule(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_rule(os);
+        else
+            emit_row(row, os);
+    }
+    emit_rule(os);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << str() << std::flush;
+}
+
+std::string
+fmtNum(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    std::string s(buf);
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0')
+            s.pop_back();
+        if (!s.empty() && s.back() == '.')
+            s.pop_back();
+    }
+    return s.empty() ? "0" : s;
+}
+
+std::string
+fmtPct(double v, int digits)
+{
+    return fmtNum(v * 100.0, digits);
+}
+
+std::string
+fmtPctOrFail(double v, double fail_below, int digits)
+{
+    if (v < fail_below)
+        return "x";
+    return fmtPct(v, digits);
+}
+
+} // namespace chocoq

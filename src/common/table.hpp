@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Console table printer used by the benchmark harness to emit rows in the
+ * same layout as the paper's tables and figure series.
+ */
+
+#ifndef CHOCOQ_COMMON_TABLE_HPP
+#define CHOCOQ_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace chocoq
+{
+
+/** Accumulates rows of strings and prints an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addRule();
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    // Separator rows are encoded as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p digits significant decimals, trimming zeros. */
+std::string fmtNum(double v, int digits = 3);
+
+/** Format a rate in percent, e.g. 0.671 -> "67.1". */
+std::string fmtPct(double v, int digits = 2);
+
+/** Format either a percentage or the paper's failure marker (x). */
+std::string fmtPctOrFail(double v, double fail_below = 1e-6, int digits = 2);
+
+} // namespace chocoq
+
+#endif // CHOCOQ_COMMON_TABLE_HPP

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Wall-clock timer used by the benchmark harness and latency breakdowns.
+ */
+
+#ifndef CHOCOQ_COMMON_TIMER_HPP
+#define CHOCOQ_COMMON_TIMER_HPP
+
+#include <chrono>
+
+namespace chocoq
+{
+
+/** Simple steady-clock stopwatch. Starts on construction. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds. */
+    double ms() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace chocoq
+
+#endif // CHOCOQ_COMMON_TIMER_HPP

@@ -1,0 +1,179 @@
+#include "core/chocoq_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "circuit/transpile.hpp"
+#include "core/circuits.hpp"
+#include "model/exact.hpp"
+
+namespace chocoq::core
+{
+
+namespace
+{
+
+/** Precompute a polynomial's value on every basis state of k qubits. */
+std::shared_ptr<std::vector<double>>
+tabulate(const model::Polynomial &f, int k)
+{
+    auto table = std::make_shared<std::vector<double>>(std::size_t{1} << k);
+    for (std::size_t i = 0; i < table->size(); ++i)
+        (*table)[i] = f.evaluate(i);
+    return table;
+}
+
+} // namespace
+
+ChocoQSolver::ChocoQSolver(ChocoQOptions opts) : opts_(std::move(opts))
+{
+    CHOCOQ_ASSERT(opts_.layers >= 1, "Choco-Q needs at least one layer");
+    CHOCOQ_ASSERT(opts_.eliminate >= 0, "negative elimination count");
+}
+
+ChocoQCompilation
+ChocoQSolver::compileOnly(const model::Problem &p) const
+{
+    Timer timer;
+    ChocoQCompilation out;
+    out.basis = computeMoveBasis(p);
+    const int e = std::min(opts_.eliminate, p.numVars() - 1);
+    out.plan = chooseElimination(p, e);
+    const auto subs = buildSubInstances(p, out.plan);
+    for (const auto &sub : subs) {
+        if (!model::findFeasible(sub.reduced))
+            continue;
+        ++out.subInstances;
+        if (out.terms.empty()) {
+            const MoveBasis rb = computeMoveBasis(sub.reduced);
+            out.terms = makeCommuteTerms(expandMoveSet(
+                rb, sub.reduced.constraints(),
+                std::max<std::size_t>(opts_.moveSetFactor, 1)
+                    * std::max<std::size_t>(rb.moves.size(), 1)));
+        }
+    }
+    out.seconds = timer.seconds();
+    return out;
+}
+
+SolverOutcome
+ChocoQSolver::solve(const model::Problem &p) const
+{
+    Timer compile_timer;
+    const int e = std::min(opts_.eliminate, p.numVars() - 1);
+    const EliminationPlan plan = chooseElimination(p, e);
+    const auto subs = buildSubInstances(p, plan);
+    const int k = static_cast<int>(plan.kept.size());
+
+    std::vector<SubRun> runs;
+    for (const auto &sub : subs) {
+        const auto init = model::findFeasible(sub.reduced);
+        if (!init)
+            continue; // this assignment of eliminated vars is infeasible
+
+        const MoveBasis rb = computeMoveBasis(sub.reduced);
+        const auto moves = expandMoveSet(
+            rb, sub.reduced.constraints(),
+            std::max<std::size_t>(opts_.moveSetFactor, 1)
+                * std::max<std::size_t>(rb.moves.size(), 1));
+        auto terms = std::make_shared<std::vector<CommuteTerm>>(
+            makeCommuteTerms(moves));
+        auto f = std::make_shared<model::Polynomial>(
+            sub.reduced.minimizedObjective());
+        auto table = tabulate(*f, k);
+        const Basis assignment = sub.assignment;
+        const Basis x0 = *init;
+
+        // Fig. 14 ablation: extra basic gates a generic two-level
+        // synthesis of each local unitary would cost over Lemma 2.
+        std::size_t pad_pairs = 0;
+        if (opts_.genericSynthesisPadding) {
+            for (const auto &term : *terms) {
+                const std::size_t generic = genericTermSynthesisGates(term, 0.7);
+                circuit::Circuit one(k);
+                appendCommuteTermCircuit(one, term, 0.7);
+                const std::size_t lemma2 =
+                    circuit::transpile(one).gateCount();
+                if (generic > lemma2)
+                    pad_pairs += (generic - lemma2) / 2;
+            }
+        }
+
+        SubRun run;
+        run.numQubits = k;
+        run.init = x0;
+        run.costTable = table;
+        run.build = [k, x0, f, terms,
+                     pad_pairs](const std::vector<double> &theta) {
+            circuit::Circuit c = chocoAnsatz(k, x0, *f, *terms, theta);
+            if (pad_pairs > 0)
+                appendIdentityPadding(c, pad_pairs * (theta.size() / 2));
+            return c;
+        };
+        if (!opts_.gateLevelLoop) {
+            run.evolve = [x0, table,
+                          terms](sim::StateVector &state,
+                                 const std::vector<double> &theta) {
+                state.reset(x0);
+                const std::size_t layers = theta.size() / 2;
+                for (std::size_t l = 0; l < layers; ++l) {
+                    state.applyPhaseTable(*table, theta[2 * l]);
+                    for (const auto &term : *terms)
+                        applyCommuteExact(state, term, theta[2 * l + 1]);
+                }
+            };
+        }
+        run.lift = [plan, assignment](Basis x) {
+            return liftToFull(x, plan, assignment);
+        };
+        runs.push_back(std::move(run));
+    }
+    if (runs.empty())
+        CHOCOQ_FATAL("problem " << p.name()
+                     << " has no feasible assignment");
+    const double plan_seconds = compile_timer.seconds();
+
+    EngineOptions engine = opts_.engine;
+    if (engine.theta0.empty()) {
+        // Deterministic multi-start grid: QAOA angle landscapes are
+        // periodic and multi-modal, and wide beta values matter for the
+        // commute driver (a pair rotation only completes a transfer near
+        // beta = pi/2 per move).
+        auto tile = [&](double g, double b) {
+            std::vector<double> theta;
+            for (int l = 0; l < opts_.layers; ++l) {
+                theta.push_back(g);
+                theta.push_back(b);
+            }
+            return theta;
+        };
+        engine.theta0 = tile(0.4, 0.7);
+        engine.extraStarts = {tile(0.8, 2.2), tile(2.4, 1.2),
+                              tile(1.2, 3.0)};
+    }
+
+    const EngineResult res =
+        runQaoa(runs, [&](Basis x) { return p.minimizedObjectiveOf(x); },
+                engine);
+
+    SolverOutcome out;
+    out.distribution = res.distribution;
+    out.iterations = res.opt.iterations;
+    out.evaluations = res.opt.evaluations;
+    out.bestCost = res.opt.bestValue;
+    out.trace = res.opt.trace;
+    out.logicalDepth = res.logicalDepth;
+    out.basisDepth = res.basisDepth;
+    out.basisGateCount = res.basisGateCount;
+    out.basisTwoQubitCount = res.basisTwoQubitCount;
+    out.qubitsUsed = res.qubitsUsed;
+    out.circuitsPerIteration = static_cast<int>(runs.size());
+    out.compileSeconds = plan_seconds + res.compileSeconds;
+    out.simSeconds = res.simSeconds;
+    out.classicalSeconds = res.classicalSeconds;
+    return out;
+}
+
+} // namespace chocoq::core

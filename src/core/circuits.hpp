@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Circuit construction for Choco-Q (Sections III and IV).
+ *
+ * - commuteTermCircuit: the Lemma-2 equivalent decomposition
+ *   exp(-i beta Hc(u)) = G-dagger P(beta) X1 P(-beta) X1 G, with the
+ *   converting gates G built by Algorithm 1 (CX chain + conditional X +
+ *   H on the first support qubit) and P as a multi-controlled phase gate.
+ * - driverLayerCircuit: the Lemma-1 serialization — the ordered product of
+ *   term circuits over the whole move basis.
+ * - objectivePhaseCircuit: exp(-i gamma H_o) for a diagonal (multilinear
+ *   polynomial) objective Hamiltonian; degree-d monomials become
+ *   d-controlled phase gates.
+ * - chocoAnsatz: initial-state preparation plus L alternating layers
+ *   (Eq. 7).
+ */
+
+#ifndef CHOCOQ_CORE_CIRCUITS_HPP
+#define CHOCOQ_CORE_CIRCUITS_HPP
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/bitops.hpp"
+#include "core/commute.hpp"
+#include "model/polynomial.hpp"
+
+namespace chocoq::core
+{
+
+/** Append the Algorithm-1 converting gates G for @p term to @p c. */
+void appendConvertGates(circuit::Circuit &c, const CommuteTerm &term);
+
+/** Append the inverse converting gates G-dagger. */
+void appendConvertGatesInverse(circuit::Circuit &c, const CommuteTerm &term);
+
+/** Append the full Lemma-2 decomposition of exp(-i beta Hc(u)). */
+void appendCommuteTermCircuit(circuit::Circuit &c, const CommuteTerm &term,
+                              double beta);
+
+/** Standalone circuit for one term over @p n qubits (tests, Fig. 5). */
+circuit::Circuit commuteTermCircuit(const CommuteTerm &term, int n,
+                                    double beta);
+
+/** Serialized driver layer: product of all term circuits (Lemma 1). */
+void appendDriverLayer(circuit::Circuit &c,
+                       const std::vector<CommuteTerm> &terms, double beta);
+
+/** Append exp(-i gamma f) for a diagonal multilinear objective f. */
+void appendObjectivePhase(circuit::Circuit &c, const model::Polynomial &f,
+                          double gamma);
+
+/** Append X gates preparing basis state |init> from |0...0>. */
+void appendBasisPreparation(circuit::Circuit &c, Basis init);
+
+/**
+ * Append @p pairs self-cancelling CX pairs cycling over adjacent qubits.
+ * Unitary is unchanged; gate count and noise exposure grow. Used by the
+ * Fig. 14 ablation to model the cost of a generic (non-Lemma-2) term
+ * decomposition while keeping the circuit executable.
+ */
+void appendIdentityPadding(circuit::Circuit &c, std::size_t pairs);
+
+/**
+ * The full Choco-Q ansatz (Eq. 7): preparation of |x*>, then L layers of
+ * objective phase followed by the serialized commute driver.
+ *
+ * @param n Number of data qubits.
+ * @param init Feasible initial assignment |x*>.
+ * @param f Objective polynomial (minimization form).
+ * @param terms Commute terms of the move basis.
+ * @param thetas 2L parameters ordered gamma_1, beta_1, ..., gamma_L, beta_L.
+ */
+circuit::Circuit chocoAnsatz(int n, Basis init, const model::Polynomial &f,
+                             const std::vector<CommuteTerm> &terms,
+                             const std::vector<double> &thetas);
+
+} // namespace chocoq::core
+
+#endif // CHOCOQ_CORE_CIRCUITS_HPP

@@ -1,0 +1,167 @@
+#include "core/eliminate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "core/movebasis.hpp"
+
+namespace chocoq::core
+{
+
+namespace
+{
+
+/** Renumber polynomial variables through old-index -> new-index map. */
+model::Polynomial
+remapPolynomial(const model::Polynomial &f, const std::vector<int> &new_of)
+{
+    model::Polynomial out;
+    for (const auto &[vars, coeff] : f.terms()) {
+        std::vector<int> mapped;
+        mapped.reserve(vars.size());
+        for (int v : vars) {
+            CHOCOQ_ASSERT(v < static_cast<int>(new_of.size())
+                              && new_of[v] >= 0,
+                          "polynomial references an eliminated variable");
+            mapped.push_back(new_of[v]);
+        }
+        out.addTerm(std::move(mapped), coeff);
+    }
+    return out;
+}
+
+} // namespace
+
+EliminationPlan
+chooseElimination(const model::Problem &p, int count)
+{
+    CHOCOQ_ASSERT(count >= 0 && count < p.numVars(),
+                  "cannot eliminate that many variables");
+    EliminationPlan plan;
+
+    // Working copy of the constraint system with columns knocked out.
+    std::vector<model::LinearConstraint> cons = p.constraints();
+    std::vector<bool> gone(p.numVars(), false);
+
+    for (int pick = 0; pick < count; ++pick) {
+        const MoveBasis basis = computeMoveBasis(cons, p.numVars());
+        std::vector<int> nonzeros(p.numVars(), 0);
+        for (const auto &u : basis.moves)
+            for (int i = 0; i < p.numVars(); ++i)
+                if (u[i] != 0)
+                    ++nonzeros[i];
+
+        // Greedy lookahead on the depth proxy of Sec. IV-C: among the
+        // variables with the most non-zeros across the move set (the
+        // paper's identification rule), pick the one whose removal
+        // minimizes the total support of the re-derived move basis.
+        int top_count = 0;
+        for (int i = 0; i < p.numVars(); ++i)
+            if (!gone[i])
+                top_count = std::max(top_count, nonzeros[i]);
+        if (top_count == 0)
+            break; // no variable participates in any move
+        int best = -1;
+        std::size_t best_nz = 0;
+        for (int i = 0; i < p.numVars(); ++i) {
+            if (gone[i] || nonzeros[i] == 0)
+                continue;
+            auto trial = cons;
+            for (auto &con : trial)
+                con.coeffs[i] = 0;
+            const MoveBasis reduced =
+                computeMoveBasis(trial, p.numVars());
+            std::size_t nz = 0;
+            for (const auto &u : reduced.moves)
+                for (int x : u)
+                    nz += x != 0;
+            if (best < 0 || nz < best_nz
+                || (nz == best_nz && nonzeros[i] > nonzeros[best])) {
+                best = i;
+                best_nz = nz;
+            }
+        }
+        plan.eliminated.push_back(best);
+        gone[best] = true;
+        for (auto &con : cons)
+            con.coeffs[best] = 0; // knock the column out
+    }
+
+    for (int i = 0; i < p.numVars(); ++i)
+        if (!gone[i])
+            plan.kept.push_back(i);
+    return plan;
+}
+
+std::vector<SubInstance>
+buildSubInstances(const model::Problem &p, const EliminationPlan &plan)
+{
+    const int e = static_cast<int>(plan.eliminated.size());
+    const int k = static_cast<int>(plan.kept.size());
+    CHOCOQ_ASSERT(e + k == p.numVars(), "elimination plan is inconsistent");
+
+    // Old index -> new index for kept variables (-1 for eliminated).
+    std::vector<int> new_of(p.numVars(), -1);
+    for (int j = 0; j < k; ++j)
+        new_of[plan.kept[j]] = j;
+
+    std::vector<SubInstance> out;
+    for (Basis assign = 0; assign < (Basis{1} << e); ++assign) {
+        // Substitute the eliminated variables into the objective.
+        model::Polynomial f = p.minimizedObjective();
+        for (int j = 0; j < e; ++j)
+            f = f.substitute(plan.eliminated[j], getBit(assign, j));
+
+        model::Problem reduced(k, model::Sense::Minimize,
+                               p.name() + "/a" + std::to_string(assign));
+        reduced.setObjective(remapPolynomial(f, new_of));
+
+        bool inconsistent = false;
+        for (const auto &con : p.constraints()) {
+            std::vector<int> coeffs(k, 0);
+            int rhs = con.rhs;
+            bool nonzero = false;
+            for (int i = 0; i < p.numVars(); ++i) {
+                if (con.coeffs[i] == 0)
+                    continue;
+                if (new_of[i] >= 0) {
+                    coeffs[new_of[i]] = con.coeffs[i];
+                    nonzero = true;
+                } else {
+                    const int j = static_cast<int>(
+                        std::find(plan.eliminated.begin(),
+                                  plan.eliminated.end(), i)
+                        - plan.eliminated.begin());
+                    rhs -= con.coeffs[i] * getBit(assign, j);
+                }
+            }
+            if (!nonzero) {
+                if (rhs != 0) {
+                    inconsistent = true;
+                    break;
+                }
+                continue; // row fully satisfied by the assignment
+            }
+            reduced.addEquality(std::move(coeffs), rhs);
+        }
+        if (inconsistent)
+            continue;
+        out.push_back({std::move(reduced), assign});
+    }
+    return out;
+}
+
+Basis
+liftToFull(Basis reduced_bits, const EliminationPlan &plan, Basis assignment)
+{
+    Basis full = 0;
+    for (std::size_t j = 0; j < plan.kept.size(); ++j)
+        if (getBit(reduced_bits, static_cast<int>(j)))
+            full |= Basis{1} << plan.kept[j];
+    for (std::size_t j = 0; j < plan.eliminated.size(); ++j)
+        if (getBit(assignment, static_cast<int>(j)))
+            full |= Basis{1} << plan.eliminated[j];
+    return full;
+}
+
+} // namespace chocoq::core

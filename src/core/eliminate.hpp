@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Variable elimination (Section IV-C).
+ *
+ * The depth of the serialized driver is proportional to the total number
+ * of non-zeros across the move basis, so Choco-Q eliminates the variable
+ * with the most non-zero entries across all solutions of C u = 0, rebuilds
+ * the constraint system over the remaining variables, and runs one
+ * (smaller) circuit per assignment of the eliminated variables. Outputs
+ * lifted back to the full variable space still satisfy the original
+ * constraints (tested property).
+ */
+
+#ifndef CHOCOQ_CORE_ELIMINATE_HPP
+#define CHOCOQ_CORE_ELIMINATE_HPP
+
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "model/problem.hpp"
+
+namespace chocoq::core
+{
+
+/** Variable-elimination plan. */
+struct EliminationPlan
+{
+    /** Eliminated variable indices (original numbering, pick order). */
+    std::vector<int> eliminated;
+    /** Kept variable indices in ascending original order. */
+    std::vector<int> kept;
+};
+
+/** One reduced instance per assignment of the eliminated variables. */
+struct SubInstance
+{
+    /** Reduced problem over the kept variables (renumbered 0..k-1). */
+    model::Problem reduced;
+    /** Assignment bits: bit j = value of plan.eliminated[j]. */
+    Basis assignment = 0;
+};
+
+/**
+ * Select @p count variables to eliminate using the most-non-zeros rule.
+ * Selection recomputes the move basis after each pick; stops early when
+ * no variable appears in any move.
+ */
+EliminationPlan chooseElimination(const model::Problem &p, int count);
+
+/**
+ * Build the reduced instances for every assignment of the eliminated
+ * variables. Assignments whose substituted constraint system is trivially
+ * inconsistent (a zero row with non-zero rhs) are dropped here; deeper
+ * infeasibility is detected by the per-instance feasible-state search.
+ */
+std::vector<SubInstance> buildSubInstances(const model::Problem &p,
+                                           const EliminationPlan &plan);
+
+/** Map a reduced-space basis state back to the full variable space. */
+Basis liftToFull(Basis reduced_bits, const EliminationPlan &plan,
+                 Basis assignment);
+
+} // namespace chocoq::core
+
+#endif // CHOCOQ_CORE_ELIMINATE_HPP

@@ -1,0 +1,381 @@
+#include "core/movebasis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <cstdlib>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "linalg/fraction.hpp"
+
+namespace chocoq::core
+{
+
+namespace
+{
+
+using linalg::Fraction;
+
+/** Reduced row echelon form in place; returns pivot column per row. */
+std::vector<int>
+rref(std::vector<std::vector<Fraction>> &mat)
+{
+    std::vector<int> pivot_cols;
+    if (mat.empty())
+        return pivot_cols;
+    const std::size_t rows = mat.size();
+    const std::size_t cols = mat[0].size();
+    std::size_t row = 0;
+    for (std::size_t col = 0; col < cols && row < rows; ++col) {
+        std::size_t piv = row;
+        while (piv < rows && mat[piv][col].isZero())
+            ++piv;
+        if (piv == rows)
+            continue;
+        std::swap(mat[piv], mat[row]);
+        const Fraction inv = Fraction(1) / mat[row][col];
+        for (std::size_t c = col; c < cols; ++c)
+            mat[row][c] = mat[row][c] * inv;
+        for (std::size_t r = 0; r < rows; ++r) {
+            if (r == row || mat[r][col].isZero())
+                continue;
+            const Fraction factor = mat[r][col];
+            for (std::size_t c = col; c < cols; ++c)
+                mat[r][c] = mat[r][c] - factor * mat[row][c];
+        }
+        pivot_cols.push_back(static_cast<int>(col));
+        ++row;
+    }
+    return pivot_cols;
+}
+
+/** Scale a rational vector to a primitive integer vector. */
+std::vector<std::int64_t>
+toPrimitiveInteger(const std::vector<Fraction> &v)
+{
+    std::int64_t lcm = 1;
+    for (const auto &f : v)
+        lcm = std::lcm(lcm, f.den());
+    std::vector<std::int64_t> out(v.size());
+    std::int64_t gcd = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        out[i] = v[i].num() * (lcm / v[i].den());
+        gcd = std::gcd(gcd, std::llabs(out[i]));
+    }
+    if (gcd > 1)
+        for (auto &x : out)
+            x /= gcd;
+    return out;
+}
+
+} // namespace
+
+bool
+inAlphabet(const std::vector<int> &u)
+{
+    for (int x : u)
+        if (x < -1 || x > 1)
+            return false;
+    return true;
+}
+
+bool
+isNullVector(const std::vector<model::LinearConstraint> &constraints,
+             const std::vector<int> &u)
+{
+    for (const auto &con : constraints) {
+        long acc = 0;
+        for (std::size_t i = 0; i < u.size(); ++i)
+            acc += static_cast<long>(con.coeffs[i]) * u[i];
+        if (acc != 0)
+            return false;
+    }
+    return true;
+}
+
+MoveBasis
+computeMoveBasis(const std::vector<model::LinearConstraint> &constraints,
+                 int num_vars)
+{
+    MoveBasis out;
+    CHOCOQ_ASSERT(num_vars >= 1, "move basis needs variables");
+    if (constraints.empty()) {
+        out.rank = 0;
+        out.complete = true;
+        // Without constraints every single-variable flip is a valid move.
+        for (int i = 0; i < num_vars; ++i) {
+            std::vector<int> u(num_vars, 0);
+            u[i] = 1;
+            out.moves.push_back(std::move(u));
+        }
+        return out;
+    }
+
+    std::vector<std::vector<Fraction>> mat;
+    mat.reserve(constraints.size());
+    for (const auto &con : constraints) {
+        std::vector<Fraction> row(num_vars);
+        for (int i = 0; i < num_vars; ++i)
+            row[i] = Fraction(con.coeffs[i]);
+        mat.push_back(std::move(row));
+    }
+    const std::vector<int> pivot_cols = rref(mat);
+    out.rank = static_cast<int>(pivot_cols.size());
+
+    std::vector<bool> is_pivot(num_vars, false);
+    for (int c : pivot_cols)
+        is_pivot[c] = true;
+
+    // Raw integer nullspace basis (one vector per free column).
+    std::vector<std::vector<std::int64_t>> raw;
+    for (int j = 0; j < num_vars; ++j) {
+        if (is_pivot[j])
+            continue;
+        std::vector<Fraction> v(num_vars, Fraction(0));
+        v[j] = Fraction(1);
+        for (std::size_t r = 0; r < pivot_cols.size(); ++r)
+            v[pivot_cols[r]] = -mat[r][j];
+        raw.push_back(toPrimitiveInteger(v));
+    }
+
+    // Accept alphabet-compliant vectors directly; collect misfits.
+    std::vector<std::vector<std::int64_t>> misfits;
+    for (auto &v : raw) {
+        bool ok = true;
+        for (auto x : v)
+            ok = ok && x >= -1 && x <= 1;
+        if (ok) {
+            std::vector<int> u(v.begin(), v.end());
+            CHOCOQ_ASSERT(isNullVector(constraints, u),
+                          "nullspace vector fails C u = 0");
+            out.moves.push_back(std::move(u));
+        } else {
+            misfits.push_back(std::move(v));
+        }
+    }
+
+    // Fallback: try +-1 combinations of a misfit with accepted vectors or
+    // other misfits to pull entries back into the alphabet. Each repaired
+    // vector still contains the misfit's free-column 1 entry, so linear
+    // independence of the assembled set is preserved.
+    for (const auto &bad : misfits) {
+        bool repaired = false;
+        auto try_fix = [&](const std::vector<std::int64_t> &other) {
+            if (repaired)
+                return;
+            for (int sign : {1, -1}) {
+                std::vector<int> cand(bad.size());
+                bool ok = true;
+                for (std::size_t i = 0; i < bad.size(); ++i) {
+                    const std::int64_t x = bad[i] + sign * other[i];
+                    if (x < -1 || x > 1) {
+                        ok = false;
+                        break;
+                    }
+                    cand[i] = static_cast<int>(x);
+                }
+                bool nonzero = false;
+                for (int x : cand)
+                    nonzero = nonzero || x != 0;
+                if (ok && nonzero && isNullVector(constraints, cand)) {
+                    out.moves.push_back(cand);
+                    repaired = true;
+                    return;
+                }
+            }
+        };
+        for (const auto &m : out.moves) {
+            std::vector<std::int64_t> other(m.begin(), m.end());
+            try_fix(other);
+            if (repaired)
+                break;
+        }
+        if (!repaired)
+            for (const auto &m : misfits) {
+                if (&m == &bad)
+                    continue;
+                try_fix(m);
+                if (repaired)
+                    break;
+            }
+        if (!repaired)
+            out.complete = false;
+    }
+    sparsifyMoveBasis(out, constraints);
+    return out;
+}
+
+void
+sparsifyMoveBasis(MoveBasis &basis,
+                  const std::vector<model::LinearConstraint> &constraints)
+{
+    auto nnz = [](const std::vector<int> &u) {
+        int count = 0;
+        for (int x : u)
+            count += x != 0;
+        return count;
+    };
+    // Pairwise reduction passes: replacing u_i by u_i +- u_j preserves both
+    // linear independence and C u = 0, so the set stays a valid basis; we
+    // accept a replacement only when it shrinks the support and stays in
+    // the {-1,0,1} alphabet. Total support drives circuit depth (IV-C).
+    bool changed = true;
+    int guard = 0;
+    while (changed && ++guard < 32) {
+        changed = false;
+        for (std::size_t i = 0; i < basis.moves.size(); ++i) {
+            for (std::size_t j = 0; j < basis.moves.size(); ++j) {
+                if (i == j)
+                    continue;
+                for (int sign : {1, -1}) {
+                    std::vector<int> cand = basis.moves[i];
+                    bool ok = true;
+                    for (std::size_t k = 0; k < cand.size(); ++k) {
+                        cand[k] += sign * basis.moves[j][k];
+                        if (cand[k] < -1 || cand[k] > 1) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if (!ok || nnz(cand) == 0
+                        || nnz(cand) >= nnz(basis.moves[i]))
+                        continue;
+                    CHOCOQ_ASSERT(isNullVector(constraints, cand),
+                                  "sparsified move fails C u = 0");
+                    basis.moves[i] = std::move(cand);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+MoveBasis
+computeMoveBasis(const model::Problem &p)
+{
+    return computeMoveBasis(p.constraints(), p.numVars());
+}
+
+std::vector<std::vector<int>>
+expandMoveSet(const MoveBasis &basis,
+              const std::vector<model::LinearConstraint> &constraints,
+              std::size_t max_moves)
+{
+    // Canonical form: flip sign so the first non-zero entry is +1 (u and
+    // -u generate the same Hc term, Eq. 5 adds the h.c. anyway).
+    auto canonical = [](std::vector<int> u) {
+        for (int x : u) {
+            if (x == 0)
+                continue;
+            if (x < 0)
+                for (auto &y : u)
+                    y = -y;
+            break;
+        }
+        return u;
+    };
+
+    std::set<std::vector<int>> seen;
+    std::vector<std::vector<int>> out;
+    for (const auto &u : basis.moves) {
+        auto c = canonical(u);
+        if (seen.insert(c).second)
+            out.push_back(std::move(c));
+    }
+
+    std::vector<std::vector<int>> extra;
+    const std::size_t d = basis.moves.size();
+    if (d >= 2 && d <= 12) {
+        // Full enumeration: every alphabet-valid combination
+        // sum_i c_i u_i with c in {-1,0,1}^d (3^d candidates). Every
+        // solution of C u = 0 over small integers arises this way, so
+        // this is the paper's Delta restricted to the gate alphabet.
+        const std::size_t total = [&] {
+            std::size_t t = 1;
+            for (std::size_t i = 0; i < d; ++i)
+                t *= 3;
+            return t;
+        }();
+        const std::size_t n = basis.moves[0].size();
+        for (std::size_t code = 1; code < total; ++code) {
+            std::size_t rest = code;
+            std::vector<int> cand(n, 0);
+            bool ok = true;
+            int used = 0;
+            for (std::size_t i = 0; i < d && ok; ++i) {
+                const int ci = static_cast<int>(rest % 3) - 1;
+                rest /= 3;
+                if (ci == 0)
+                    continue;
+                ++used;
+                for (std::size_t k = 0; k < n; ++k) {
+                    cand[k] += ci * basis.moves[i][k];
+                    if (cand[k] < -2 || cand[k] > 2) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (!ok || used < 2)
+                continue; // singles are already in `out`
+            bool alphabet = true;
+            bool nonzero = false;
+            for (int x : cand) {
+                alphabet = alphabet && x >= -1 && x <= 1;
+                nonzero = nonzero || x != 0;
+            }
+            if (!alphabet || !nonzero)
+                continue;
+            CHOCOQ_ASSERT(isNullVector(constraints, cand),
+                          "expanded move fails C u = 0");
+            auto c = canonical(std::move(cand));
+            if (seen.insert(c).second)
+                extra.push_back(std::move(c));
+        }
+    } else {
+        // Large nullspace: pairwise combinations only.
+        for (std::size_t i = 0; i < d; ++i) {
+            for (std::size_t j = i + 1; j < d; ++j) {
+                for (int sign : {1, -1}) {
+                    std::vector<int> cand = basis.moves[i];
+                    bool ok = true;
+                    bool nonzero = false;
+                    for (std::size_t k = 0; k < cand.size(); ++k) {
+                        cand[k] += sign * basis.moves[j][k];
+                        if (cand[k] < -1 || cand[k] > 1) {
+                            ok = false;
+                            break;
+                        }
+                        nonzero = nonzero || cand[k] != 0;
+                    }
+                    if (!ok || !nonzero)
+                        continue;
+                    CHOCOQ_ASSERT(isNullVector(constraints, cand),
+                                  "expanded move fails C u = 0");
+                    auto c = canonical(std::move(cand));
+                    if (seen.insert(c).second)
+                        extra.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    // Prefer small supports: they cost the least depth (Sec. IV-C).
+    auto nnz = [](const std::vector<int> &u) {
+        int count = 0;
+        for (int x : u)
+            count += x != 0;
+        return count;
+    };
+    std::stable_sort(extra.begin(), extra.end(),
+                     [&](const auto &a, const auto &b) {
+                         return nnz(a) < nnz(b);
+                     });
+    for (auto &u : extra) {
+        if (out.size() >= max_moves)
+            break;
+        out.push_back(std::move(u));
+    }
+    return out;
+}
+
+} // namespace chocoq::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Move-set computation for the commute Hamiltonian (Section III, Eq. 5).
+ *
+ * The driver Hamiltonian is built from vectors u in {-1,0,1}^n with
+ * C u = 0. The set Delta used by Choco-Q is a *basis* of the rational
+ * nullspace of C whose vectors stay inside the {-1,0,1} alphabet; it has
+ * n - rank(C) elements (the paper's G3 example: "12 u to precisely express
+ * the 12 constraint equations").
+ *
+ * The computation is exact: fraction-free Gauss-Jordan elimination over
+ * rationals gives the reduced row echelon form, and each free column
+ * yields one basis vector. For constraint systems whose RREF leaves the
+ * {-1,0,1} alphabet, a bounded fallback search combines basis vectors and
+ * enumerates small supports to find compliant replacements.
+ */
+
+#ifndef CHOCOQ_CORE_MOVEBASIS_HPP
+#define CHOCOQ_CORE_MOVEBASIS_HPP
+
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace chocoq::core
+{
+
+/** Result of the move-basis computation. */
+struct MoveBasis
+{
+    /** Basis vectors u (each of length n, entries in {-1,0,1}, C u = 0). */
+    std::vector<std::vector<int>> moves;
+    /** Rank of the constraint matrix. */
+    int rank = 0;
+    /** True when every nullspace direction fit the {-1,0,1} alphabet. */
+    bool complete = true;
+};
+
+/**
+ * Compute the move basis of a constraint matrix.
+ * @param constraints Constraint rows (only coefficients are used).
+ * @param num_vars Number of variables n.
+ */
+MoveBasis computeMoveBasis(
+    const std::vector<model::LinearConstraint> &constraints, int num_vars);
+
+/** Convenience overload on a problem. */
+MoveBasis computeMoveBasis(const model::Problem &p);
+
+/**
+ * Support-minimization pass (applied by computeMoveBasis): pairwise
+ * +-combinations that shrink supports while staying inside the alphabet.
+ * Total support size is the circuit-depth driver of Section IV-C.
+ */
+void sparsifyMoveBasis(
+    MoveBasis &basis,
+    const std::vector<model::LinearConstraint> &constraints);
+
+/**
+ * Enrich a move basis towards the paper's Delta = "all valid solutions
+ * of C u = 0": add every alphabet-valid pairwise +-combination of the
+ * basis vectors (each still satisfies C u = 0), deduplicated up to sign
+ * and ordered by support size. A richer Delta makes one serialized
+ * driver pass reach much more of the feasible subspace (Fig. 9b's
+ * exponential parallelism), at linear depth cost per extra move.
+ *
+ * @param basis Basis from computeMoveBasis.
+ * @param constraints Constraint rows (for the C u = 0 check).
+ * @param max_moves Cap on the returned move count.
+ */
+std::vector<std::vector<int>> expandMoveSet(
+    const MoveBasis &basis,
+    const std::vector<model::LinearConstraint> &constraints,
+    std::size_t max_moves);
+
+/** True when every entry of @p u lies in {-1,0,1}. */
+bool inAlphabet(const std::vector<int> &u);
+
+/** C u == 0 check. */
+bool isNullVector(const std::vector<model::LinearConstraint> &constraints,
+                  const std::vector<int> &u);
+
+} // namespace chocoq::core
+
+#endif // CHOCOQ_CORE_MOVEBASIS_HPP

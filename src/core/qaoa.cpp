@@ -1,0 +1,234 @@
+#include "core/qaoa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "sim/statevector.hpp"
+
+namespace chocoq::core
+{
+
+namespace
+{
+
+using sim::StateVector;
+
+void
+evolveInto(StateVector &state, const SubRun &run,
+           const std::vector<double> &theta)
+{
+    if (run.evolve) {
+        run.evolve(state, theta);
+    } else {
+        circuit::Circuit c = run.build(theta);
+        sim::execute(state, c);
+    }
+}
+
+/** Expectation of the configured cost for one subrun at theta. */
+double
+subrunCost(const SubRun &run, const std::function<double(Basis)> &cost,
+           const std::vector<double> &theta)
+{
+    StateVector state(run.numQubits);
+    evolveInto(state, run, theta);
+    if (run.costTable)
+        return state.expectationTable(*run.costTable);
+    return state.expectationDiagonal(
+        [&](Basis x) { return cost(run.lift(x)); });
+}
+
+/** Multi-start minimization; totals evaluations/iterations, keeps the
+ * trace of the winning start. */
+optimize::OptResult
+optimizeMultiStart(const optimize::Optimizer &optimizer,
+                   const optimize::ObjectiveFn &objective,
+                   const EngineOptions &opts)
+{
+    std::vector<std::vector<double>> starts{opts.theta0};
+    for (const auto &s : opts.extraStarts)
+        if (s.size() == opts.theta0.size())
+            starts.push_back(s);
+
+    optimize::OptResult best;
+    int total_evals = 0;
+    int total_iters = 0;
+    bool first = true;
+    for (const auto &start : starts) {
+        optimize::OptResult res =
+            optimizer.minimize(objective, start, opts.opt);
+        total_evals += res.evaluations;
+        total_iters += res.iterations;
+        if (first || res.bestValue < best.bestValue) {
+            best = std::move(res);
+            first = false;
+        }
+    }
+    best.evaluations = total_evals;
+    best.iterations = total_iters;
+    return best;
+}
+
+/** Noisy-sampled distribution of one subrun lifted to the full space. */
+void
+accumulateNoisy(std::map<Basis, double> &into, const SubRun &run,
+                const circuit::Circuit &lowered, const EngineOptions &opts,
+                double weight, Rng &rng)
+{
+    const int shots = std::max(opts.shots, 1);
+    const int trajectories = std::max(1, std::min(opts.trajectories, shots));
+    const int shots_per_traj = (shots + trajectories - 1) / trajectories;
+    const Basis data_mask = (Basis{1} << run.numQubits) - 1;
+
+    std::map<Basis, int> counts;
+    long total = 0;
+    for (int t = 0; t < trajectories; ++t) {
+        StateVector state(lowered.numQubits());
+        sim::executeNoisy(state, lowered, opts.noise, rng);
+        const auto hist =
+            state.sample(rng, shots_per_traj, opts.noise.readout);
+        for (const auto &[x, cnt] : hist) {
+            counts[x & data_mask] += cnt;
+            total += cnt;
+        }
+    }
+    for (const auto &[x, cnt] : counts)
+        into[run.lift(x)] +=
+            weight * static_cast<double>(cnt) / static_cast<double>(total);
+}
+
+} // namespace
+
+EngineResult
+runQaoa(const std::vector<SubRun> &subruns,
+        const std::function<double(Basis)> &cost, const EngineOptions &opts)
+{
+    CHOCOQ_ASSERT(!subruns.empty(), "engine needs at least one subrun");
+    CHOCOQ_ASSERT(!opts.theta0.empty(), "engine needs initial parameters");
+
+    EngineResult out;
+    double weight_total = 0.0;
+    for (const auto &r : subruns)
+        weight_total += r.weight;
+    CHOCOQ_ASSERT(weight_total > 0.0, "subrun weights must be positive");
+
+    const auto optimizer = optimize::makeOptimizer(opts.optimizer);
+    double sim_seconds = 0.0;
+    Timer total_timer;
+
+    // One parameter vector per subrun (identical when shared).
+    std::vector<std::vector<double>> theta_star(subruns.size());
+
+    if (opts.independentSubruns && subruns.size() > 1) {
+        // Each eliminated/frozen-assignment circuit is optimized on its
+        // own (Sec. IV-C: circuits are executed individually).
+        double best_acc = 0.0;
+        int iters = 0, evals = 0;
+        std::vector<optimize::TracePoint> merged_trace;
+        for (std::size_t i = 0; i < subruns.size(); ++i) {
+            auto objective = [&](const std::vector<double> &theta) {
+                Timer t;
+                const double v = subrunCost(subruns[i], cost, theta);
+                sim_seconds += t.seconds();
+                return v;
+            };
+            const auto res =
+                optimizeMultiStart(*optimizer, objective, opts);
+            theta_star[i] = res.best;
+            best_acc += subruns[i].weight / weight_total * res.bestValue;
+            iters = std::max(iters, res.iterations);
+            evals += res.evaluations;
+            // Merge traces as the weighted best-so-far (padded).
+            if (merged_trace.size() < res.trace.size())
+                merged_trace.resize(res.trace.size(),
+                                    {0, 0.0});
+            for (std::size_t k = 0; k < merged_trace.size(); ++k) {
+                const double v =
+                    res.trace.empty()
+                        ? res.bestValue
+                        : res.trace[std::min(k, res.trace.size() - 1)]
+                              .best;
+                merged_trace[k].iteration = static_cast<int>(k) + 1;
+                merged_trace[k].best +=
+                    subruns[i].weight / weight_total * v;
+            }
+        }
+        out.opt.best = theta_star.front();
+        out.opt.bestValue = best_acc;
+        out.opt.iterations = iters;
+        out.opt.evaluations = evals;
+        out.opt.trace = std::move(merged_trace);
+    } else {
+        auto objective = [&](const std::vector<double> &theta) {
+            Timer t;
+            double acc = 0.0;
+            for (const auto &run : subruns)
+                acc += run.weight / weight_total
+                       * subrunCost(run, cost, theta);
+            sim_seconds += t.seconds();
+            return acc;
+        };
+        out.opt = optimizeMultiStart(*optimizer, objective, opts);
+        for (auto &theta : theta_star)
+            theta = out.opt.best;
+    }
+
+    const double loop_seconds = total_timer.seconds();
+    out.simSeconds = sim_seconds;
+    out.classicalSeconds = std::max(0.0, loop_seconds - sim_seconds);
+
+    // Deployment artifacts at the optimum: transpiled depth and counts.
+    Timer compile_timer;
+    std::vector<circuit::Circuit> finals;
+    finals.reserve(subruns.size());
+    for (std::size_t i = 0; i < subruns.size(); ++i) {
+        circuit::Circuit c = subruns[i].build(theta_star[i]);
+        out.logicalDepth = std::max(out.logicalDepth, c.depth());
+        circuit::Circuit lowered = circuit::transpile(c, opts.transpile);
+        out.basisDepth = std::max(out.basisDepth, lowered.depth());
+        out.basisGateCount =
+            std::max(out.basisGateCount, lowered.gateCount());
+        out.basisTwoQubitCount =
+            std::max(out.basisTwoQubitCount, lowered.multiQubitGateCount());
+        out.qubitsUsed = std::max(out.qubitsUsed, lowered.numQubits());
+        finals.push_back(std::move(lowered));
+    }
+    out.compileSeconds = compile_timer.seconds();
+
+    // Final distribution.
+    Rng rng(opts.seed);
+    const bool noisy = !opts.noise.isNoiseless();
+    for (std::size_t i = 0; i < subruns.size(); ++i) {
+        const double w = subruns[i].weight / weight_total;
+        if (noisy) {
+            accumulateNoisy(out.distribution, subruns[i], finals[i], opts,
+                            w, rng);
+        } else if (opts.shots > 0) {
+            StateVector state(subruns[i].numQubits);
+            evolveInto(state, subruns[i], theta_star[i]);
+            const auto hist = state.sample(rng, opts.shots);
+            for (const auto &[x, cnt] : hist)
+                out.distribution[subruns[i].lift(x)] +=
+                    w * static_cast<double>(cnt)
+                    / static_cast<double>(opts.shots);
+        } else {
+            StateVector state(subruns[i].numQubits);
+            evolveInto(state, subruns[i], theta_star[i]);
+            for (const auto &[x, p] : state.distribution())
+                out.distribution[subruns[i].lift(x)] += w * p;
+        }
+    }
+
+    // Normalize (guards tiny round-off drift).
+    double total = 0.0;
+    for (const auto &[x, p] : out.distribution)
+        total += p;
+    if (total > 0.0)
+        for (auto &[x, p] : out.distribution)
+            p /= total;
+    return out;
+}
+
+} // namespace chocoq::core

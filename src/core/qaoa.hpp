@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared variational execution engine for all QAOA-family solvers.
+ *
+ * Every solver in this repository (Choco-Q and the three baselines)
+ * reduces to the same loop: build a parameterized circuit (possibly one
+ * per sub-instance when variables were eliminated or frozen), simulate,
+ * compute a cost expectation, and hand the parameters to a derivative-free
+ * optimizer. The engine also produces the deployment-side artifacts the
+ * benchmarks need: transpiled depth, gate counts, compile time, and a
+ * final output distribution with optional shot sampling and device-noise
+ * trajectories.
+ */
+
+#ifndef CHOCOQ_CORE_QAOA_HPP
+#define CHOCOQ_CORE_QAOA_HPP
+
+#include <functional>
+#include <memory>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/transpile.hpp"
+#include "common/bitops.hpp"
+#include "optimize/optimizer.hpp"
+#include "sim/executor.hpp"
+
+namespace chocoq::core
+{
+
+/** One parameterized circuit instance contributing to the result. */
+struct SubRun
+{
+    /** Data-qubit count of this instance. */
+    int numQubits = 0;
+    /** Initial basis state (prepared inside the built circuit). */
+    Basis init = 0;
+    /** theta -> circuit builder (circuit includes state preparation). */
+    std::function<circuit::Circuit(const std::vector<double> &)> build;
+    /**
+     * Optional functional fast path: evolve the state directly for a given
+     * theta (must be unitarily equivalent to build(); the equivalence is a
+     * tested property). Used by the variational loop and the exact final
+     * distribution; gate-noise sampling always goes through build().
+     */
+    std::function<void(sim::StateVector &, const std::vector<double> &)>
+        evolve;
+    /** Map a measured instance-space state to the full variable space. */
+    std::function<Basis(Basis)> lift;
+    /**
+     * Optional precomputed cost table over this instance's basis states
+     * (must equal cost(lift(x)) pointwise); avoids per-state callbacks.
+     */
+    std::shared_ptr<const std::vector<double>> costTable;
+    /** Relative weight in the merged distribution. */
+    double weight = 1.0;
+};
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Optimizer name: cobyla (default), nelder-mead, or spsa. */
+    std::string optimizer = "cobyla";
+    optimize::OptOptions opt;
+    /** Initial parameters. */
+    std::vector<double> theta0;
+    /**
+     * Additional starting points (multi-start): the optimizer runs once
+     * per start and the best final cost wins. QAOA landscapes are
+     * periodic and multi-modal; wide-angle restarts are cheap insurance.
+     */
+    std::vector<std::vector<double>> extraStarts;
+    /**
+     * Optimize each subrun independently (its own parameters) instead of
+     * sharing one parameter vector. This is how variable-eliminated
+     * circuits are handled: "execute the circuit individually" (IV-C).
+     */
+    bool independentSubruns = true;
+    /** Shots for the final sampling; 0 keeps the exact distribution. */
+    int shots = 0;
+    /** Gate noise for the final sampling (optimization is noiseless). */
+    sim::NoiseModel noise;
+    /** Number of noisy trajectories used when noise is enabled. */
+    int trajectories = 128;
+    circuit::TranspileOptions transpile;
+    std::uint64_t seed = 7;
+};
+
+/** Engine output. */
+struct EngineResult
+{
+    /** Merged normalized distribution over the full variable space. */
+    std::map<Basis, double> distribution;
+    optimize::OptResult opt;
+    /** Wall time spent building + transpiling circuits. */
+    double compileSeconds = 0.0;
+    /** Wall time in simulator cost evaluations (quantum stand-in). */
+    double simSeconds = 0.0;
+    /** Wall time in the optimizer outside simulation (classical part). */
+    double classicalSeconds = 0.0;
+    /** Depth of the representative (deepest) circuit before lowering. */
+    int logicalDepth = 0;
+    /** Depth after transpilation to the basic basis. */
+    int basisDepth = 0;
+    /** Basic-gate count after transpilation. */
+    std::size_t basisGateCount = 0;
+    /** Two-qubit basic-gate count after transpilation. */
+    std::size_t basisTwoQubitCount = 0;
+    /** Register width including transpiler ancillas. */
+    int qubitsUsed = 0;
+};
+
+/**
+ * Run the variational loop.
+ *
+ * @param subruns Circuit instances (at least one).
+ * @param cost Diagonal cost on the full variable space (minimized).
+ * @param opts Engine configuration.
+ */
+EngineResult runQaoa(const std::vector<SubRun> &subruns,
+                     const std::function<double(Basis)> &cost,
+                     const EngineOptions &opts);
+
+} // namespace chocoq::core
+
+#endif // CHOCOQ_CORE_QAOA_HPP

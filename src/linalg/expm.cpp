@@ -1,0 +1,67 @@
+#include "linalg/expm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace chocoq::linalg
+{
+
+namespace
+{
+
+/** Infinity norm (max absolute row sum). */
+double
+infNorm(const Matrix &a)
+{
+    double m = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        double row = 0.0;
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            row += std::abs(a.at(r, c));
+        m = std::max(m, row);
+    }
+    return m;
+}
+
+} // namespace
+
+Matrix
+expm(const Matrix &a)
+{
+    CHOCOQ_ASSERT(a.rows() == a.cols(), "expm requires a square matrix");
+    const std::size_t n = a.rows();
+
+    // Scale so the norm is below 0.5, then square back.
+    int squarings = 0;
+    double nrm = infNorm(a);
+    while (nrm > 0.5) {
+        nrm *= 0.5;
+        ++squarings;
+    }
+    const double scale = std::ldexp(1.0, -squarings);
+    Matrix x = a * Cplx{scale, 0.0};
+
+    // Taylor series; with norm <= 0.5 roughly 20 terms give ~1e-18 tails.
+    Matrix result = Matrix::identity(n);
+    Matrix term = Matrix::identity(n);
+    for (int k = 1; k <= 24; ++k) {
+        term = term * x;
+        term = term * Cplx{1.0 / static_cast<double>(k), 0.0};
+        result = result + term;
+        if (term.maxAbs() < 1e-18)
+            break;
+    }
+
+    for (int s = 0; s < squarings; ++s)
+        result = result * result;
+    return result;
+}
+
+Matrix
+expUnitary(const Matrix &h, double t)
+{
+    return expm(h * Cplx{0.0, -t});
+}
+
+} // namespace chocoq::linalg

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Matrix exponentials.
+ *
+ * expm() computes exp(A) for an arbitrary square complex matrix with
+ * scaling-and-squaring plus a Taylor series evaluated to machine precision.
+ * expUnitary() is the convenience wrapper exp(-i t H) used to build exact
+ * Hamiltonian-evolution references in tests and in the Trotter baseline.
+ */
+
+#ifndef CHOCOQ_LINALG_EXPM_HPP
+#define CHOCOQ_LINALG_EXPM_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace chocoq::linalg
+{
+
+/** exp(A) by scaling-and-squaring with a truncated Taylor series. */
+Matrix expm(const Matrix &a);
+
+/** exp(-i t H) for a (Hermitian) generator H. */
+Matrix expUnitary(const Matrix &h, double t);
+
+} // namespace chocoq::linalg
+
+#endif // CHOCOQ_LINALG_EXPM_HPP

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Exact rational arithmetic.
+ *
+ * The move-basis computation (nullspace of the constraint matrix C over the
+ * rationals, Section III of the paper) must be exact: floating-point
+ * elimination can turn a {-1,0,1} basis vector into near-integers and break
+ * the commute-Hamiltonian construction. Fraction is a minimal exact
+ * rational with __int128 intermediates to avoid overflow on the problem
+ * sizes in this repository.
+ */
+
+#ifndef CHOCOQ_LINALG_FRACTION_HPP
+#define CHOCOQ_LINALG_FRACTION_HPP
+
+#include <cstdint>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace chocoq::linalg
+{
+
+/** Exact rational number num/den with den > 0 and gcd(num,den) == 1. */
+class Fraction
+{
+  public:
+    /** Zero. */
+    constexpr Fraction() : num_(0), den_(1) {}
+
+    /** Integer value. */
+    constexpr Fraction(std::int64_t v) : num_(v), den_(1) {} // NOLINT
+
+    /** num/den; normalizes sign and gcd. */
+    Fraction(std::int64_t num, std::int64_t den) : num_(num), den_(den)
+    {
+        normalize();
+    }
+
+    std::int64_t num() const { return num_; }
+    std::int64_t den() const { return den_; }
+
+    bool isZero() const { return num_ == 0; }
+    bool isInteger() const { return den_ == 1; }
+
+    double toDouble() const
+    {
+        return static_cast<double>(num_) / static_cast<double>(den_);
+    }
+
+    Fraction
+    operator+(const Fraction &rhs) const
+    {
+        return fromWide(static_cast<__int128>(num_) * rhs.den_
+                            + static_cast<__int128>(rhs.num_) * den_,
+                        static_cast<__int128>(den_) * rhs.den_);
+    }
+
+    Fraction
+    operator-(const Fraction &rhs) const
+    {
+        return fromWide(static_cast<__int128>(num_) * rhs.den_
+                            - static_cast<__int128>(rhs.num_) * den_,
+                        static_cast<__int128>(den_) * rhs.den_);
+    }
+
+    Fraction
+    operator*(const Fraction &rhs) const
+    {
+        return fromWide(static_cast<__int128>(num_) * rhs.num_,
+                        static_cast<__int128>(den_) * rhs.den_);
+    }
+
+    Fraction
+    operator/(const Fraction &rhs) const
+    {
+        CHOCOQ_ASSERT(!rhs.isZero(), "fraction division by zero");
+        return fromWide(static_cast<__int128>(num_) * rhs.den_,
+                        static_cast<__int128>(den_) * rhs.num_);
+    }
+
+    Fraction operator-() const { return Fraction(-num_, den_); }
+
+    bool
+    operator==(const Fraction &rhs) const
+    {
+        return num_ == rhs.num_ && den_ == rhs.den_;
+    }
+    bool operator!=(const Fraction &rhs) const { return !(*this == rhs); }
+
+    bool
+    operator<(const Fraction &rhs) const
+    {
+        return static_cast<__int128>(num_) * rhs.den_
+               < static_cast<__int128>(rhs.num_) * den_;
+    }
+
+  private:
+    static Fraction
+    fromWide(__int128 num, __int128 den)
+    {
+        CHOCOQ_ASSERT(den != 0, "fraction with zero denominator");
+        if (den < 0) {
+            num = -num;
+            den = -den;
+        }
+        __int128 g = gcdWide(num < 0 ? -num : num, den);
+        if (g > 1) {
+            num /= g;
+            den /= g;
+        }
+        CHOCOQ_ASSERT(num <= INT64_MAX && num >= INT64_MIN
+                          && den <= INT64_MAX,
+                      "fraction overflow");
+        Fraction f;
+        f.num_ = static_cast<std::int64_t>(num);
+        f.den_ = static_cast<std::int64_t>(den);
+        return f;
+    }
+
+    static __int128
+    gcdWide(__int128 a, __int128 b)
+    {
+        while (b != 0) {
+            __int128 t = a % b;
+            a = b;
+            b = t;
+        }
+        return a == 0 ? 1 : a;
+    }
+
+    void
+    normalize()
+    {
+        CHOCOQ_ASSERT(den_ != 0, "fraction with zero denominator");
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        std::int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+    }
+
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+} // namespace chocoq::linalg
+
+#endif // CHOCOQ_LINALG_FRACTION_HPP

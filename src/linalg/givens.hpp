@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Two-level (Givens) unitary synthesis.
+ *
+ * The Trotter baseline of Figure 12 must decompose each small-step unitary
+ * into basic gates. The textbook route is two-level decomposition: QR-style
+ * elimination with complex Givens rotations, where each surviving rotation
+ * is a two-level unitary that costs a Gray-code chain of CX gates plus a
+ * controlled single-qubit rotation. This module performs the elimination on
+ * the dense matrix (intentionally exponential in qubit count — that is the
+ * comparison the paper makes) and reports gate/depth estimates.
+ */
+
+#ifndef CHOCOQ_LINALG_GIVENS_HPP
+#define CHOCOQ_LINALG_GIVENS_HPP
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace chocoq::linalg
+{
+
+/** Result of a two-level synthesis pass. */
+struct GivensSynthesis
+{
+    /** Number of non-trivial two-level rotations. */
+    std::size_t rotations = 0;
+    /** Estimated basic-gate count (Gray-code CX chains + 1q rotations). */
+    std::size_t basicGates = 0;
+    /** Estimated circuit depth in basic gates. */
+    std::size_t depth = 0;
+};
+
+/**
+ * Decompose @p u into two-level rotations and report the synthesis cost.
+ *
+ * @param u Unitary of dimension 2^n.
+ * @param num_qubits n; used to cost each two-level rotation.
+ * @param tol Entries below this magnitude count as already eliminated.
+ */
+GivensSynthesis synthesizeTwoLevel(const Matrix &u, int num_qubits,
+                                   double tol = 1e-12);
+
+} // namespace chocoq::linalg
+
+#endif // CHOCOQ_LINALG_GIVENS_HPP

@@ -1,0 +1,278 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/membytes.hpp"
+
+namespace chocoq::linalg
+{
+
+Matrix::Matrix() = default;
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Cplx{0.0, 0.0})
+{
+    track();
+}
+
+Matrix::Matrix(const Matrix &other)
+    : rows_(other.rows_), cols_(other.cols_), data_(other.data_)
+{
+    track();
+}
+
+Matrix::Matrix(Matrix &&other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)),
+      trackedBytes_(other.trackedBytes_)
+{
+    other.trackedBytes_ = 0;
+    other.rows_ = other.cols_ = 0;
+}
+
+Matrix &
+Matrix::operator=(const Matrix &other)
+{
+    if (this != &other) {
+        untrack();
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        data_ = other.data_;
+        track();
+    }
+    return *this;
+}
+
+Matrix &
+Matrix::operator=(Matrix &&other) noexcept
+{
+    if (this != &other) {
+        untrack();
+        rows_ = other.rows_;
+        cols_ = other.cols_;
+        data_ = std::move(other.data_);
+        trackedBytes_ = other.trackedBytes_;
+        other.trackedBytes_ = 0;
+        other.rows_ = other.cols_ = 0;
+    }
+    return *this;
+}
+
+Matrix::~Matrix()
+{
+    untrack();
+}
+
+void
+Matrix::track()
+{
+    trackedBytes_ = data_.size() * sizeof(Cplx);
+    MemBytes::add(trackedBytes_);
+}
+
+void
+Matrix::untrack()
+{
+    if (trackedBytes_ > 0) {
+        MemBytes::sub(trackedBytes_);
+        trackedBytes_ = 0;
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::make2(Cplx a, Cplx b, Cplx c, Cplx d)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = a;
+    m.at(0, 1) = b;
+    m.at(1, 0) = c;
+    m.at(1, 1) = d;
+    return m;
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    CHOCOQ_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "matrix add shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] + rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix &rhs) const
+{
+    CHOCOQ_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "matrix sub shape mismatch");
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] - rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    CHOCOQ_ASSERT(cols_ == rhs.rows_, "matrix mul shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    // Cache-friendly ikj order.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const Cplx a = at(i, k);
+            if (a == Cplx{0.0, 0.0})
+                continue;
+            const Cplx *rhs_row = &rhs.data_[k * rhs.cols_];
+            Cplx *out_row = &out.data_[i * rhs.cols_];
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out_row[j] += a * rhs_row[j];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(Cplx scalar) const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = data_[i] * scalar;
+    return out;
+}
+
+Matrix
+Matrix::dagger() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = std::conj(at(r, c));
+    return out;
+}
+
+Matrix
+Matrix::kron(const Matrix &rhs) const
+{
+    Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (std::size_t r1 = 0; r1 < rows_; ++r1)
+        for (std::size_t c1 = 0; c1 < cols_; ++c1) {
+            const Cplx a = at(r1, c1);
+            if (a == Cplx{0.0, 0.0})
+                continue;
+            for (std::size_t r2 = 0; r2 < rhs.rows_; ++r2)
+                for (std::size_t c2 = 0; c2 < rhs.cols_; ++c2)
+                    out.at(r1 * rhs.rows_ + r2, c1 * rhs.cols_ + c2) =
+                        a * rhs.at(r2, c2);
+        }
+    return out;
+}
+
+CVec
+Matrix::apply(const CVec &v) const
+{
+    CHOCOQ_ASSERT(v.size() == cols_, "matvec shape mismatch");
+    CVec out(rows_, Cplx{0.0, 0.0});
+    for (std::size_t r = 0; r < rows_; ++r) {
+        Cplx acc{0.0, 0.0};
+        const Cplx *row = &data_[r * cols_];
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &rhs) const
+{
+    CHOCOQ_ASSERT(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "maxAbsDiff shape mismatch");
+    double m = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        m = std::max(m, std::abs(data_[i] - rhs.data_[i]));
+    return m;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double m = 0.0;
+    for (const auto &x : data_)
+        m = std::max(m, std::abs(x));
+    return m;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    Matrix prod = (*this) * dagger();
+    return prod.maxAbsDiff(identity(rows_)) < tol;
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    return maxAbsDiff(dagger()) < tol;
+}
+
+double
+phaseDistance(const Matrix &a, const Matrix &b)
+{
+    CHOCOQ_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "phaseDistance shape mismatch");
+    // Find the entry of largest magnitude in a to anchor the phase.
+    std::size_t best = 0;
+    double best_abs = -1.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+        if (std::abs(a.data()[i]) > best_abs) {
+            best_abs = std::abs(a.data()[i]);
+            best = i;
+        }
+    }
+    if (best_abs < 1e-14)
+        return b.maxAbs();
+    Cplx phase = b.data()[best] / a.data()[best];
+    const double mag = std::abs(phase);
+    if (mag < 1e-14)
+        return a.maxAbsDiff(b);
+    phase /= mag;
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.data().size(); ++i)
+        m = std::max(m, std::abs(a.data()[i] * phase - b.data()[i]));
+    return m;
+}
+
+Cplx
+dot(const CVec &a, const CVec &b)
+{
+    CHOCOQ_ASSERT(a.size() == b.size(), "dot shape mismatch");
+    Cplx acc{0.0, 0.0};
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += std::conj(a[i]) * b[i];
+    return acc;
+}
+
+double
+norm(const CVec &v)
+{
+    double acc = 0.0;
+    for (const auto &x : v)
+        acc += std::norm(x);
+    return std::sqrt(acc);
+}
+
+} // namespace chocoq::linalg

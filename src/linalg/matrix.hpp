@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dense complex matrices and vectors.
+ *
+ * This is the reference-math substrate: unit tests compare the fast
+ * state-vector kernels and the Lemma-2 circuit decomposition against dense
+ * operators built here, and the Trotter baseline of Figure 12 uses these
+ * matrices for its (intentionally exponential) tensor computations.
+ */
+
+#ifndef CHOCOQ_LINALG_MATRIX_HPP
+#define CHOCOQ_LINALG_MATRIX_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace chocoq::linalg
+{
+
+using Cplx = std::complex<double>;
+using CVec = std::vector<Cplx>;
+
+/** Dense row-major complex matrix. Allocations are MemBytes-tracked. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix();
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    Matrix(const Matrix &other);
+    Matrix(Matrix &&other) noexcept;
+    Matrix &operator=(const Matrix &other);
+    Matrix &operator=(Matrix &&other) noexcept;
+    ~Matrix();
+
+    /** Identity matrix of dimension n. */
+    static Matrix identity(std::size_t n);
+
+    /**
+     * Build a 2x2 matrix from row-major entries.
+     */
+    static Matrix make2(Cplx a, Cplx b, Cplx c, Cplx d);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    Cplx &at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    const Cplx &
+    at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw storage access (row-major). */
+    CVec &data() { return data_; }
+    const CVec &data() const { return data_; }
+
+    Matrix operator+(const Matrix &rhs) const;
+    Matrix operator-(const Matrix &rhs) const;
+    Matrix operator*(const Matrix &rhs) const;
+    Matrix operator*(Cplx scalar) const;
+
+    /** Conjugate transpose. */
+    Matrix dagger() const;
+
+    /** Kronecker product: this (x) rhs. */
+    Matrix kron(const Matrix &rhs) const;
+
+    /** Matrix-vector product. */
+    CVec apply(const CVec &v) const;
+
+    /** Largest |entry| difference against @p rhs. */
+    double maxAbsDiff(const Matrix &rhs) const;
+
+    /** Largest |entry|. */
+    double maxAbs() const;
+
+    /** True when U U^dagger == I within @p tol. */
+    bool isUnitary(double tol = 1e-9) const;
+
+    /** True when H == H^dagger within @p tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+  private:
+    void track();
+    void untrack();
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    CVec data_;
+    std::size_t trackedBytes_ = 0;
+};
+
+/**
+ * Compare two matrices up to a global phase.
+ * @return The max entry difference after the optimal phase alignment.
+ */
+double phaseDistance(const Matrix &a, const Matrix &b);
+
+/** Inner product <a|b> with the physics convention (conjugate a). */
+Cplx dot(const CVec &a, const CVec &b);
+
+/** Euclidean norm of a complex vector. */
+double norm(const CVec &v);
+
+} // namespace chocoq::linalg
+
+#endif // CHOCOQ_LINALG_MATRIX_HPP

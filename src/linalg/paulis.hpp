@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Standard single-qubit operators and tensor-product builders.
+ *
+ * These are the sigma matrices of Equation (5) in the paper, plus the usual
+ * Pauli set. Used to build dense reference Hamiltonians in tests and in the
+ * Trotter baseline of Figure 12.
+ */
+
+#ifndef CHOCOQ_LINALG_PAULIS_HPP
+#define CHOCOQ_LINALG_PAULIS_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace chocoq::linalg
+{
+
+/** Identity. */
+inline Matrix
+pauliI()
+{
+    return Matrix::identity(2);
+}
+
+/** Pauli X. */
+inline Matrix
+pauliX()
+{
+    return Matrix::make2(0, 1, 1, 0);
+}
+
+/** Pauli Y. */
+inline Matrix
+pauliY()
+{
+    return Matrix::make2(0, Cplx{0, -1}, Cplx{0, 1}, 0);
+}
+
+/** Pauli Z. */
+inline Matrix
+pauliZ()
+{
+    return Matrix::make2(1, 0, 0, -1);
+}
+
+/**
+ * sigma^{+1} of Eq. (5): maps |0> to |1> ([[0,0],[1,0]]).
+ */
+inline Matrix
+sigmaRaise()
+{
+    return Matrix::make2(0, 0, 1, 0);
+}
+
+/**
+ * sigma^{-1} of Eq. (5): maps |1> to |0> ([[0,1],[0,0]]).
+ */
+inline Matrix
+sigmaLower()
+{
+    return Matrix::make2(0, 1, 0, 0);
+}
+
+/** sigma^{u} for u in {-1, 0, +1} per Eq. (5). */
+inline Matrix
+sigmaOf(int u)
+{
+    if (u > 0)
+        return sigmaRaise();
+    if (u < 0)
+        return sigmaLower();
+    return pauliI();
+}
+
+/**
+ * Tensor product over qubits of per-qubit 2x2 operators.
+ *
+ * ops[0] acts on qubit 0, which by the Choco-Q index convention is the
+ * LOW bit of the basis index. The returned matrix therefore equals
+ * ops[n-1] (x) ... (x) ops[0] in the usual big-endian kron order.
+ */
+inline Matrix
+kronAll(const std::vector<Matrix> &ops)
+{
+    Matrix out = Matrix::identity(1);
+    for (const auto &op : ops)
+        out = op.kron(out);
+    return out;
+}
+
+/** Single-qubit operator embedded on qubit @p q of an @p n qubit register. */
+inline Matrix
+embed1q(const Matrix &op, int q, int n)
+{
+    std::vector<Matrix> ops;
+    ops.reserve(n);
+    for (int i = 0; i < n; ++i)
+        ops.push_back(i == q ? op : pauliI());
+    return kronAll(ops);
+}
+
+} // namespace chocoq::linalg
+
+#endif // CHOCOQ_LINALG_PAULIS_HPP

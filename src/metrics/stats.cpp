@@ -1,0 +1,60 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace chocoq::metrics
+{
+
+RunStats
+computeStats(const model::Problem &p, const std::map<Basis, double> &dist,
+             const model::ExactResult &exact, double lambda)
+{
+    CHOCOQ_ASSERT(exact.feasible, "stats need a feasible ground truth");
+    RunStats out;
+    double total = 0.0;
+    double expect_cost = 0.0;
+    for (const auto &[x, prob] : dist) {
+        total += prob;
+        const double obj = p.minimizedObjectiveOf(x);
+        const int viol = p.violation(x);
+        expect_cost += prob * (obj + lambda * viol);
+        if (viol == 0) {
+            out.inConstraintsRate += prob;
+            if (obj <= exact.optimum + 1e-9)
+                out.successRate += prob;
+        }
+    }
+    if (total <= 0.0)
+        return out;
+    out.successRate /= total;
+    out.inConstraintsRate /= total;
+    expect_cost /= total;
+
+    // Eq. 17 with a guard for near-zero optimal values.
+    const double denom = std::max(std::abs(exact.optimum), 1.0);
+    out.arg = std::abs(expect_cost - exact.optimum) / denom;
+    return out;
+}
+
+RunStats
+averageStats(const std::vector<RunStats> &all)
+{
+    RunStats acc;
+    if (all.empty())
+        return acc;
+    for (const auto &s : all) {
+        acc.successRate += s.successRate;
+        acc.inConstraintsRate += s.inConstraintsRate;
+        acc.arg += s.arg;
+    }
+    const double inv = 1.0 / static_cast<double>(all.size());
+    acc.successRate *= inv;
+    acc.inConstraintsRate *= inv;
+    acc.arg *= inv;
+    return acc;
+}
+
+} // namespace chocoq::metrics

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Evaluation metrics of Section V-A: success rate, in-constraints rate,
+ * and approximation ratio gap (Eq. 17).
+ */
+
+#ifndef CHOCOQ_METRICS_STATS_HPP
+#define CHOCOQ_METRICS_STATS_HPP
+
+#include <map>
+
+#include "common/bitops.hpp"
+#include "model/exact.hpp"
+#include "model/problem.hpp"
+
+namespace chocoq::metrics
+{
+
+/** Algorithmic quality metrics for one solver run on one case. */
+struct RunStats
+{
+    /** Probability mass on optimal solutions. */
+    double successRate = 0.0;
+    /** Probability mass on feasible solutions. */
+    double inConstraintsRate = 0.0;
+    /** Approximation ratio gap (Eq. 17), lambda-penalized. */
+    double arg = 0.0;
+};
+
+/**
+ * Compute the three metrics from an output distribution.
+ *
+ * @param p The problem instance.
+ * @param dist Normalized outcome distribution over the full variable space.
+ * @param exact Ground truth from the classical reference solver.
+ * @param lambda Penalty weight in the ARG expectation (paper uses 10).
+ */
+RunStats computeStats(const model::Problem &p,
+                      const std::map<Basis, double> &dist,
+                      const model::ExactResult &exact, double lambda = 10.0);
+
+/** Average a set of RunStats element-wise. */
+RunStats averageStats(const std::vector<RunStats> &all);
+
+} // namespace chocoq::metrics
+
+#endif // CHOCOQ_METRICS_STATS_HPP

@@ -1,0 +1,148 @@
+#include "model/exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace chocoq::model
+{
+
+namespace
+{
+
+/**
+ * DFS over variables in index order with per-constraint reachability
+ * pruning. Calls @p on_feasible for every feasible leaf; the callback
+ * returns false to stop the search early.
+ */
+class FeasibleSearch
+{
+  public:
+    FeasibleSearch(const Problem &p, std::uint64_t max_nodes)
+        : p_(p), maxNodes_(max_nodes)
+    {
+        const int n = p.numVars();
+        const auto &cons = p.constraints();
+        // suffixNeg/suffixPos[k][i]: bounds on what variables >= i can
+        // still add to constraint k.
+        suffixNeg_.resize(cons.size());
+        suffixPos_.resize(cons.size());
+        for (std::size_t k = 0; k < cons.size(); ++k) {
+            suffixNeg_[k].assign(n + 1, 0);
+            suffixPos_[k].assign(n + 1, 0);
+            for (int i = n - 1; i >= 0; --i) {
+                const int c = cons[k].coeffs[i];
+                suffixNeg_[k][i] = suffixNeg_[k][i + 1] + std::min(c, 0);
+                suffixPos_[k][i] = suffixPos_[k][i + 1] + std::max(c, 0);
+            }
+        }
+        partial_.assign(cons.size(), 0);
+    }
+
+    template <typename Fn>
+    void
+    run(Fn &&on_feasible)
+    {
+        stop_ = false;
+        nodes_ = 0;
+        descend(0, 0, std::forward<Fn>(on_feasible));
+    }
+
+  private:
+    template <typename Fn>
+    void
+    descend(int var, Basis acc, Fn &&on_feasible)
+    {
+        if (stop_)
+            return;
+        if (++nodes_ > maxNodes_)
+            CHOCOQ_FATAL("exact solver exceeded the node budget on "
+                         << p_.name());
+        const auto &cons = p_.constraints();
+        for (std::size_t k = 0; k < cons.size(); ++k) {
+            const int need = cons[k].rhs - partial_[k];
+            if (need < suffixNeg_[k][var] || need > suffixPos_[k][var])
+                return; // unreachable
+        }
+        if (var == p_.numVars()) {
+            if (!on_feasible(acc))
+                stop_ = true;
+            return;
+        }
+        for (int v = 0; v <= 1; ++v) {
+            if (v == 1)
+                for (std::size_t k = 0; k < cons.size(); ++k)
+                    partial_[k] += cons[k].coeffs[var];
+            descend(var + 1, v ? (acc | (Basis{1} << var)) : acc,
+                    on_feasible);
+            if (v == 1)
+                for (std::size_t k = 0; k < cons.size(); ++k)
+                    partial_[k] -= cons[k].coeffs[var];
+            if (stop_)
+                return;
+        }
+    }
+
+    const Problem &p_;
+    std::uint64_t maxNodes_;
+    std::uint64_t nodes_ = 0;
+    bool stop_ = false;
+    std::vector<std::vector<int>> suffixNeg_;
+    std::vector<std::vector<int>> suffixPos_;
+    std::vector<int> partial_;
+};
+
+} // namespace
+
+ExactResult
+solveExact(const Problem &p, std::uint64_t max_nodes)
+{
+    ExactResult out;
+    FeasibleSearch search(p, max_nodes);
+    double best = 0.0;
+    search.run([&](Basis x) {
+        const double v = p.minimizedObjectiveOf(x);
+        ++out.feasibleCount;
+        if (!out.feasible || v < best - 1e-12) {
+            out.feasible = true;
+            best = v;
+            out.optima.clear();
+            out.optima.push_back(x);
+        } else if (std::abs(v - best) <= 1e-12) {
+            out.optima.push_back(x);
+        }
+        return true;
+    });
+    if (out.feasible) {
+        out.optimum = best;
+        out.optimumRaw = p.objectiveOf(out.optima.front());
+    }
+    return out;
+}
+
+std::optional<Basis>
+findFeasible(const Problem &p)
+{
+    std::optional<Basis> found;
+    FeasibleSearch search(p, 200'000'000ull);
+    search.run([&](Basis x) {
+        found = x;
+        return false;
+    });
+    return found;
+}
+
+std::vector<Basis>
+enumerateFeasible(const Problem &p, std::size_t limit)
+{
+    std::vector<Basis> out;
+    FeasibleSearch search(p, 200'000'000ull);
+    search.run([&](Basis x) {
+        out.push_back(x);
+        return out.size() < limit;
+    });
+    return out;
+}
+
+} // namespace chocoq::model

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Exact classical reference solver.
+ *
+ * Success rate and ARG (Section V-A) are defined against the true optimum,
+ * so the benchmark harness needs exact ground truth. The solver is a
+ * depth-first enumeration of the feasible set with per-constraint
+ * reachability pruning (classic bound propagation): at every node each
+ * constraint checks whether its remaining free variables can still reach
+ * the right-hand side. For the structured benchmark families (one-hot
+ * rows plus slack links) this visits a tiny fraction of the 2^n cube.
+ */
+
+#ifndef CHOCOQ_MODEL_EXACT_HPP
+#define CHOCOQ_MODEL_EXACT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/problem.hpp"
+
+namespace chocoq::model
+{
+
+/** Outcome of exact enumeration. */
+struct ExactResult
+{
+    /** True when at least one assignment satisfies all constraints. */
+    bool feasible = false;
+    /** Optimal value in minimization form. */
+    double optimum = 0.0;
+    /** Optimal value in the problem's own sense. */
+    double optimumRaw = 0.0;
+    /** All optimal assignments (may be several). */
+    std::vector<Basis> optima;
+    /** Number of feasible assignments enumerated. */
+    std::uint64_t feasibleCount = 0;
+};
+
+/**
+ * Enumerate the feasible set and return the optimum.
+ * @param p Problem to solve (n <= 63).
+ * @param max_nodes Safety cap on search nodes; exceeded -> FatalError.
+ */
+ExactResult solveExact(const Problem &p,
+                       std::uint64_t max_nodes = 200'000'000ull);
+
+/**
+ * Find one feasible assignment (the paper's Step 1 initial state |x*>),
+ * or nullopt when the constraint system is infeasible.
+ */
+std::optional<Basis> findFeasible(const Problem &p);
+
+/**
+ * Enumerate up to @p limit feasible assignments (used by tests and by the
+ * feasible-subspace analyses).
+ */
+std::vector<Basis> enumerateFeasible(const Problem &p, std::size_t limit);
+
+} // namespace chocoq::model
+
+#endif // CHOCOQ_MODEL_EXACT_HPP

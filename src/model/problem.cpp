@@ -1,0 +1,147 @@
+#include "model/problem.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace chocoq::model
+{
+
+bool
+LinearConstraint::isSummationFormat() const
+{
+    int sign = 0;
+    for (int c : coeffs) {
+        if (c == 0)
+            continue;
+        if (c != 1 && c != -1)
+            return false;
+        if (sign == 0)
+            sign = c;
+        else if (c != sign)
+            return false;
+    }
+    return sign != 0;
+}
+
+Problem::Problem(int num_vars, Sense sense, std::string name)
+    : n_(num_vars), sense_(sense), name_(std::move(name))
+{
+    CHOCOQ_ASSERT(num_vars >= 1, "problem needs at least one variable");
+}
+
+void
+Problem::setObjective(Polynomial f)
+{
+    if (f.maxVar() >= n_)
+        CHOCOQ_FATAL("objective uses variable x" << f.maxVar()
+                     << " beyond the declared " << n_ << " variables");
+    objective_ = std::move(f);
+}
+
+void
+Problem::addEquality(std::vector<int> coeffs, int rhs)
+{
+    if (static_cast<int>(coeffs.size()) > n_)
+        CHOCOQ_FATAL("constraint has more coefficients than variables");
+    coeffs.resize(n_, 0);
+    bool nonzero = false;
+    for (int c : coeffs)
+        nonzero = nonzero || c != 0;
+    if (!nonzero)
+        CHOCOQ_FATAL("constraint with all-zero coefficients");
+    constraints_.push_back({std::move(coeffs), rhs});
+}
+
+int
+Problem::addInequalityWithSlack(std::vector<int> coeffs, int rhs)
+{
+    if (static_cast<int>(coeffs.size()) > n_)
+        CHOCOQ_FATAL("constraint has more coefficients than variables");
+    coeffs.resize(n_, 0);
+    const int slack = n_;
+    ++n_;
+    coeffs.push_back(1);
+    constraints_.push_back({std::move(coeffs), rhs});
+    return slack;
+}
+
+double
+Problem::minimizedObjectiveOf(Basis idx) const
+{
+    const double v = objective_.evaluate(idx);
+    return sense_ == Sense::Minimize ? v : -v;
+}
+
+Polynomial
+Problem::minimizedObjective() const
+{
+    return sense_ == Sense::Minimize ? objective_ : objective_ * -1.0;
+}
+
+int
+Problem::violation(Basis idx) const
+{
+    int acc = 0;
+    for (const auto &con : constraints_)
+        acc += std::abs(con.lhs(idx) - con.rhs);
+    return acc;
+}
+
+Polynomial
+Problem::penaltyPolynomial(double lambda) const
+{
+    Polynomial out = minimizedObjective();
+    for (const auto &con : constraints_) {
+        std::vector<double> coeffs(con.coeffs.begin(), con.coeffs.end());
+        Polynomial gap = Polynomial::affine(
+            coeffs, -static_cast<double>(con.rhs));
+        out += (gap * gap) * lambda;
+    }
+    out.prune();
+    return out;
+}
+
+bool
+Problem::allSummationFormat() const
+{
+    for (const auto &con : constraints_)
+        if (!con.isSummationFormat())
+            return false;
+    return !constraints_.empty();
+}
+
+std::string
+Problem::str() const
+{
+    std::ostringstream os;
+    os << name_ << ": "
+       << (sense_ == Sense::Minimize ? "minimize" : "maximize") << " "
+       << objective_.str() << "\n";
+    os << "  over " << n_ << " binary variables, " << constraints_.size()
+       << " constraints\n";
+    for (const auto &con : constraints_) {
+        os << "  s.t. ";
+        bool first = true;
+        for (std::size_t i = 0; i < con.coeffs.size(); ++i) {
+            const int c = con.coeffs[i];
+            if (c == 0)
+                continue;
+            if (first) {
+                if (c < 0)
+                    os << "-";
+                first = false;
+            } else {
+                os << (c < 0 ? " - " : " + ");
+            }
+            if (std::abs(c) != 1)
+                os << std::abs(c) << "*";
+            os << "x" << i;
+        }
+        os << " = " << con.rhs << "\n";
+    }
+    return os.str();
+}
+
+} // namespace chocoq::model

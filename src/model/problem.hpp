@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The constrained-binary-optimization problem model of Eq. (1):
+ *
+ *     min or max f(x),  s.t.  C x = c,  x in {0,1}^n
+ *
+ * with a multilinear objective f and integer linear equality constraints.
+ */
+
+#ifndef CHOCOQ_MODEL_PROBLEM_HPP
+#define CHOCOQ_MODEL_PROBLEM_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "model/polynomial.hpp"
+
+namespace chocoq::model
+{
+
+/** Optimization direction. */
+enum class Sense
+{
+    Minimize,
+    Maximize
+};
+
+/** One linear equality sum_i coeffs[i] x_i = rhs with integer coefficients. */
+struct LinearConstraint
+{
+    std::vector<int> coeffs;
+    int rhs = 0;
+
+    /** Left-hand side value under the assignment @p idx. */
+    int
+    lhs(Basis idx) const
+    {
+        int acc = 0;
+        for (std::size_t i = 0; i < coeffs.size(); ++i)
+            if (coeffs[i] != 0 && getBit(idx, static_cast<int>(i)))
+                acc += coeffs[i];
+        return acc;
+    }
+
+    bool satisfied(Basis idx) const { return lhs(idx) == rhs; }
+
+    /**
+     * True when all coefficients share one sign (the "summation format"
+     * x_{i1} + ... + x_{ik} = c that the cyclic Hamiltonian [47] supports).
+     */
+    bool isSummationFormat() const;
+};
+
+/** A constrained binary optimization instance. */
+class Problem
+{
+  public:
+    /** Problem over @p num_vars binary variables. */
+    explicit Problem(int num_vars, Sense sense = Sense::Minimize,
+                     std::string name = "problem");
+
+    int numVars() const { return n_; }
+    Sense sense() const { return sense_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** The raw objective f (in the problem's own sense). */
+    const Polynomial &objective() const { return objective_; }
+    void setObjective(Polynomial f);
+
+    const std::vector<LinearConstraint> &constraints() const
+    {
+        return constraints_;
+    }
+
+    /** Add the equality sum coeffs[i] x_i = rhs. */
+    void addEquality(std::vector<int> coeffs, int rhs);
+
+    /**
+     * Add the inequality sum coeffs[i] x_i <= rhs by introducing binary
+     * slack variables (rhs - lhs must fit in the slacks). Only the form
+     * needed by the benchmark problems (slack range 1) is provided:
+     * lhs + s = rhs with a fresh slack variable s.
+     * @return Index of the new slack variable.
+     */
+    int addInequalityWithSlack(std::vector<int> coeffs, int rhs);
+
+    /** f(x) in the problem's own sense. */
+    double objectiveOf(Basis idx) const { return objective_.evaluate(idx); }
+
+    /**
+     * Objective converted to minimization form (negated for Maximize).
+     * All solvers work on this form.
+     */
+    double minimizedObjectiveOf(Basis idx) const;
+
+    /** The minimization-form objective polynomial. */
+    Polynomial minimizedObjective() const;
+
+    /** Sum of |C_i x - c_i| over all constraints. */
+    int violation(Basis idx) const;
+
+    bool isFeasible(Basis idx) const { return violation(idx) == 0; }
+
+    /**
+     * Minimization-form objective plus lambda * sum_i (C_i x - c_i)^2
+     * expanded as a multilinear polynomial — the soft-constraint encoding
+     * of penalty-based QAOA [44].
+     */
+    Polynomial penaltyPolynomial(double lambda) const;
+
+    /** True when every constraint is in summation format. */
+    bool allSummationFormat() const;
+
+    /** Multi-line description (name, objective, constraints). */
+    std::string str() const;
+
+  private:
+    int n_;
+    Sense sense_;
+    std::string name_;
+    Polynomial objective_;
+    std::vector<LinearConstraint> constraints_;
+};
+
+} // namespace chocoq::model
+
+#endif // CHOCOQ_MODEL_PROBLEM_HPP

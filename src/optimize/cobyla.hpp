@@ -1,0 +1,31 @@
+/**
+ * @file
+ * COBYLA-style linear-approximation trust-region minimizer.
+ *
+ * Powell's COBYLA [39] interpolates the objective linearly on a simplex of
+ * m+1 points and moves within a shrinking trust region. This is a
+ * from-scratch implementation of that core mechanism for unconstrained
+ * parameter spaces (QAOA angles), which is how the paper uses it.
+ */
+
+#ifndef CHOCOQ_OPTIMIZE_COBYLA_HPP
+#define CHOCOQ_OPTIMIZE_COBYLA_HPP
+
+#include "optimize/optimizer.hpp"
+
+namespace chocoq::optimize
+{
+
+/** Linear-approximation trust-region method (Powell-style). */
+class Cobyla : public Optimizer
+{
+  public:
+    std::string name() const override { return "cobyla"; }
+
+    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                       const OptOptions &opts) const override;
+};
+
+} // namespace chocoq::optimize
+
+#endif // CHOCOQ_OPTIMIZE_COBYLA_HPP

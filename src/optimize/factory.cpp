@@ -1,0 +1,24 @@
+#include "optimize/optimizer.hpp"
+
+#include "common/error.hpp"
+#include "optimize/cobyla.hpp"
+#include "optimize/neldermead.hpp"
+#include "optimize/spsa.hpp"
+
+namespace chocoq::optimize
+{
+
+std::unique_ptr<Optimizer>
+makeOptimizer(const std::string &name)
+{
+    if (name == "cobyla")
+        return std::make_unique<Cobyla>();
+    if (name == "nelder-mead")
+        return std::make_unique<NelderMead>();
+    if (name == "spsa")
+        return std::make_unique<Spsa>();
+    CHOCOQ_FATAL("unknown optimizer '" << name
+                 << "' (expected cobyla, nelder-mead, or spsa)");
+}
+
+} // namespace chocoq::optimize

@@ -1,0 +1,119 @@
+#include "optimize/neldermead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace chocoq::optimize
+{
+
+OptResult
+NelderMead::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                     const OptOptions &opts) const
+{
+    const std::size_t m = x0.size();
+    CHOCOQ_ASSERT(m >= 1, "nelder-mead needs at least one parameter");
+    constexpr double kAlpha = 1.0;  // reflection
+    constexpr double kGamma = 2.0;  // expansion
+    constexpr double kRho = 0.5;    // contraction
+    constexpr double kSigma = 0.5;  // shrink
+
+    OptResult out;
+    auto eval = [&](const std::vector<double> &x) {
+        ++out.evaluations;
+        return f(x);
+    };
+
+    std::vector<std::vector<double>> verts(m + 1, x0);
+    std::vector<double> vals(m + 1);
+    for (std::size_t i = 0; i < m; ++i)
+        verts[i + 1][i] += opts.initialStep;
+    for (std::size_t i = 0; i <= m; ++i)
+        vals[i] = eval(verts[i]);
+
+    std::vector<std::size_t> order(m + 1);
+    for (int iter = 0; iter < opts.maxIterations; ++iter) {
+        ++out.iterations;
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return vals[a] < vals[b];
+                  });
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[m - 1];
+
+        // Termination on simplex size.
+        double spread = 0.0;
+        for (std::size_t c = 0; c < m; ++c)
+            spread = std::max(spread,
+                              std::abs(verts[best][c] - verts[worst][c]));
+        out.trace.push_back({out.iterations, vals[best]});
+        if (spread < opts.tolerance)
+            break;
+
+        // Centroid of all but the worst.
+        std::vector<double> centroid(m, 0.0);
+        for (std::size_t i = 0; i <= m; ++i) {
+            if (i == worst)
+                continue;
+            for (std::size_t c = 0; c < m; ++c)
+                centroid[c] += verts[i][c];
+        }
+        for (double &v : centroid)
+            v /= static_cast<double>(m);
+
+        auto blend = [&](double coeff) {
+            std::vector<double> x(m);
+            for (std::size_t c = 0; c < m; ++c)
+                x[c] = centroid[c] + coeff * (centroid[c] - verts[worst][c]);
+            return x;
+        };
+
+        std::vector<double> refl = blend(kAlpha);
+        const double refl_val = eval(refl);
+        if (refl_val < vals[best]) {
+            std::vector<double> expd = blend(kGamma);
+            const double expd_val = eval(expd);
+            if (expd_val < refl_val) {
+                verts[worst] = std::move(expd);
+                vals[worst] = expd_val;
+            } else {
+                verts[worst] = std::move(refl);
+                vals[worst] = refl_val;
+            }
+            continue;
+        }
+        if (refl_val < vals[second_worst]) {
+            verts[worst] = std::move(refl);
+            vals[worst] = refl_val;
+            continue;
+        }
+        std::vector<double> contr = blend(-kRho);
+        const double contr_val = eval(contr);
+        if (contr_val < vals[worst]) {
+            verts[worst] = std::move(contr);
+            vals[worst] = contr_val;
+            continue;
+        }
+        // Shrink towards the best vertex.
+        for (std::size_t i = 0; i <= m; ++i) {
+            if (i == best)
+                continue;
+            for (std::size_t c = 0; c < m; ++c)
+                verts[i][c] = verts[best][c]
+                              + kSigma * (verts[i][c] - verts[best][c]);
+            vals[i] = eval(verts[i]);
+        }
+    }
+
+    const std::size_t bi = static_cast<std::size_t>(
+        std::min_element(vals.begin(), vals.end()) - vals.begin());
+    out.best = verts[bi];
+    out.bestValue = vals[bi];
+    return out;
+}
+
+} // namespace chocoq::optimize

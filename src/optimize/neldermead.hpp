@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Nelder-Mead downhill-simplex minimizer.
+ */
+
+#ifndef CHOCOQ_OPTIMIZE_NELDERMEAD_HPP
+#define CHOCOQ_OPTIMIZE_NELDERMEAD_HPP
+
+#include "optimize/optimizer.hpp"
+
+namespace chocoq::optimize
+{
+
+/** Classic Nelder-Mead with standard reflection coefficients. */
+class NelderMead : public Optimizer
+{
+  public:
+    std::string name() const override { return "nelder-mead"; }
+
+    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                       const OptOptions &opts) const override;
+};
+
+} // namespace chocoq::optimize
+
+#endif // CHOCOQ_OPTIMIZE_NELDERMEAD_HPP

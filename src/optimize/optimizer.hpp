@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Derivative-free optimizer interface.
+ *
+ * The paper updates QAOA parameters with constrained optimization by
+ * linear approximation (COBYLA, [39]) for every design. This module
+ * provides a from-scratch COBYLA-style linear-approximation trust-region
+ * method plus two widely used alternatives (Nelder-Mead, SPSA) for the
+ * ablation and robustness experiments.
+ */
+
+#ifndef CHOCOQ_OPTIMIZE_OPTIMIZER_HPP
+#define CHOCOQ_OPTIMIZE_OPTIMIZER_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace chocoq::optimize
+{
+
+/** Objective callback: parameters -> scalar cost (to minimize). */
+using ObjectiveFn = std::function<double(const std::vector<double> &)>;
+
+/** Per-iteration trace entry. */
+struct TracePoint
+{
+    int iteration = 0;
+    double best = 0.0;
+};
+
+/** Optimization outcome. */
+struct OptResult
+{
+    std::vector<double> best;
+    double bestValue = 0.0;
+    /** Number of objective evaluations consumed. */
+    int evaluations = 0;
+    /** Number of optimizer iterations performed. */
+    int iterations = 0;
+    /** Best-so-far value after each iteration (convergence curves). */
+    std::vector<TracePoint> trace;
+};
+
+/** Common options. */
+struct OptOptions
+{
+    int maxIterations = 150;
+    /** Initial step / trust-region radius. */
+    double initialStep = 0.5;
+    /** Convergence radius: stop when the step shrinks below this. */
+    double tolerance = 1e-4;
+    /** Seed for stochastic methods (SPSA). */
+    std::uint64_t seed = 1;
+};
+
+/** Abstract derivative-free minimizer. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Algorithm name for reports. */
+    virtual std::string name() const = 0;
+
+    /** Minimize @p f starting from @p x0. */
+    virtual OptResult minimize(const ObjectiveFn &f,
+                               const std::vector<double> &x0,
+                               const OptOptions &opts) const = 0;
+};
+
+/** Factory by name: "cobyla", "nelder-mead", or "spsa". */
+std::unique_ptr<Optimizer> makeOptimizer(const std::string &name);
+
+} // namespace chocoq::optimize
+
+#endif // CHOCOQ_OPTIMIZE_OPTIMIZER_HPP

@@ -1,0 +1,71 @@
+#include "optimize/spsa.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace chocoq::optimize
+{
+
+OptResult
+Spsa::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+               const OptOptions &opts) const
+{
+    const std::size_t m = x0.size();
+    CHOCOQ_ASSERT(m >= 1, "spsa needs at least one parameter");
+
+    OptResult out;
+    Rng rng(opts.seed);
+    auto eval = [&](const std::vector<double> &x) {
+        ++out.evaluations;
+        return f(x);
+    };
+
+    std::vector<double> x = x0;
+    std::vector<double> best = x0;
+    double best_val = eval(x0);
+
+    const double a = opts.initialStep;
+    const double c = std::max(0.1 * opts.initialStep, 1e-3);
+    const double big_a = 0.1 * opts.maxIterations;
+
+    std::vector<double> delta(m), xp(m), xm(m);
+    for (int k = 0; k < opts.maxIterations; ++k) {
+        ++out.iterations;
+        const double ak = a / std::pow(k + 1.0 + big_a, 0.602);
+        const double ck = c / std::pow(k + 1.0, 0.101);
+        for (std::size_t i = 0; i < m; ++i)
+            delta[i] = rng.chance(0.5) ? 1.0 : -1.0;
+        for (std::size_t i = 0; i < m; ++i) {
+            xp[i] = x[i] + ck * delta[i];
+            xm[i] = x[i] - ck * delta[i];
+        }
+        const double fp = eval(xp);
+        const double fm = eval(xm);
+        for (std::size_t i = 0; i < m; ++i)
+            x[i] -= ak * (fp - fm) / (2.0 * ck * delta[i]);
+
+        const double fx = std::min(fp, fm);
+        const auto &cand = fp < fm ? xp : xm;
+        if (fx < best_val) {
+            best_val = fx;
+            best = cand;
+        }
+        out.trace.push_back({out.iterations, best_val});
+        if (ak < opts.tolerance)
+            break;
+    }
+
+    // Final candidate may beat the best perturbed point.
+    const double final_val = eval(x);
+    if (final_val < best_val) {
+        best_val = final_val;
+        best = x;
+    }
+    out.best = best;
+    out.bestValue = best_val;
+    return out;
+}
+
+} // namespace chocoq::optimize

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Simultaneous perturbation stochastic approximation (SPSA).
+ */
+
+#ifndef CHOCOQ_OPTIMIZE_SPSA_HPP
+#define CHOCOQ_OPTIMIZE_SPSA_HPP
+
+#include "optimize/optimizer.hpp"
+
+namespace chocoq::optimize
+{
+
+/** SPSA with the standard gain schedules (Spall's coefficients). */
+class Spsa : public Optimizer
+{
+  public:
+    std::string name() const override { return "spsa"; }
+
+    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                       const OptOptions &opts) const override;
+};
+
+} // namespace chocoq::optimize
+
+#endif // CHOCOQ_OPTIMIZE_SPSA_HPP

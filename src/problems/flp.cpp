@@ -1,0 +1,50 @@
+#include "problems/flp.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace chocoq::problems
+{
+
+model::Problem
+makeFlp(const FlpConfig &config, Rng &rng)
+{
+    const FlpLayout lay{config.facilities, config.demands};
+    CHOCOQ_ASSERT(lay.m >= 1 && lay.d >= 1, "FLP needs m, d >= 1");
+
+    std::ostringstream name;
+    name << "FLP-" << lay.m << "F-" << lay.d << "D";
+    model::Problem p(lay.numVars(), model::Sense::Minimize, name.str());
+
+    model::Polynomial f;
+    for (int i = 0; i < lay.m; ++i)
+        f.addTerm({lay.y(i)},
+                  rng.intIn(config.openCostLo, config.openCostHi));
+    for (int j = 0; j < lay.d; ++j)
+        for (int i = 0; i < lay.m; ++i)
+            f.addTerm({lay.x(i, j)},
+                      rng.intIn(config.serveCostLo, config.serveCostHi));
+    p.setObjective(std::move(f));
+
+    // Every demand is served by exactly one facility.
+    for (int j = 0; j < lay.d; ++j) {
+        std::vector<int> coeffs(lay.numVars(), 0);
+        for (int i = 0; i < lay.m; ++i)
+            coeffs[lay.x(i, j)] = 1;
+        p.addEquality(std::move(coeffs), 1);
+    }
+    // Serving requires an open facility: x_ij - y_i + s_ij = 0.
+    for (int j = 0; j < lay.d; ++j) {
+        for (int i = 0; i < lay.m; ++i) {
+            std::vector<int> coeffs(lay.numVars(), 0);
+            coeffs[lay.x(i, j)] = 1;
+            coeffs[lay.y(i)] = -1;
+            coeffs[lay.s(i, j)] = 1;
+            p.addEquality(std::move(coeffs), 0);
+        }
+    }
+    return p;
+}
+
+} // namespace chocoq::problems

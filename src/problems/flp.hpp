@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Facility location problem (FLP) generator [37].
+ *
+ * Variables (matching the paper's F1 = "2F-1D" sizing: 2 facilities and
+ * 1 demand give 6 variables and 3 constraints):
+ *   y_i           (i < m)           facility i is open,
+ *   x_ij                            demand j served by facility i,
+ *   s_ij                            slack for x_ij <= y_i.
+ *
+ * Objective: minimize sum_i f_i y_i + sum_ij c_ij x_ij.
+ * Constraints: sum_i x_ij = 1 for every demand j (service), and
+ * x_ij - y_i + s_ij = 0 for every pair (open-before-serve). The second
+ * family mixes +1 and -1 coefficients and shares y_i across demands — the
+ * exact structure the cyclic Hamiltonian [47] cannot encode.
+ */
+
+#ifndef CHOCOQ_PROBLEMS_FLP_HPP
+#define CHOCOQ_PROBLEMS_FLP_HPP
+
+#include "common/rng.hpp"
+#include "model/problem.hpp"
+
+namespace chocoq::problems
+{
+
+/** FLP instance parameters. */
+struct FlpConfig
+{
+    int facilities = 2;
+    int demands = 1;
+    /** Facility opening cost range [lo, hi]. */
+    int openCostLo = 3, openCostHi = 10;
+    /** Service cost range [lo, hi]. */
+    int serveCostLo = 1, serveCostHi = 8;
+};
+
+/** Index helpers for the FLP variable layout. */
+struct FlpLayout
+{
+    int m, d;
+    int y(int i) const { return i; }
+    int x(int i, int j) const { return m + j * m + i; }
+    int s(int i, int j) const { return m + m * d + j * m + i; }
+    int numVars() const { return m + 2 * m * d; }
+};
+
+/** Generate a random FLP instance (n = m + 2 m d variables). */
+model::Problem makeFlp(const FlpConfig &config, Rng &rng);
+
+} // namespace chocoq::problems
+
+#endif // CHOCOQ_PROBLEMS_FLP_HPP

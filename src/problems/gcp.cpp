@@ -1,0 +1,67 @@
+#include "problems/gcp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace chocoq::problems
+{
+
+model::Problem
+makeGcp(const GcpConfig &config, Rng &rng)
+{
+    CHOCOQ_ASSERT(config.vertices >= 2 && config.colors >= 2,
+                  "GCP needs >= 2 vertices and colors");
+    std::vector<std::pair<int, int>> edges = config.edges;
+    if (edges.empty()) {
+        const int max_edges = config.vertices * (config.vertices - 1) / 2;
+        CHOCOQ_ASSERT(config.edgeCount <= max_edges,
+                      "more edges requested than the clique has");
+        std::set<std::pair<int, int>> chosen;
+        while (static_cast<int>(chosen.size()) < config.edgeCount) {
+            int a = rng.intIn(0, config.vertices - 1);
+            int b = rng.intIn(0, config.vertices - 1);
+            if (a == b)
+                continue;
+            chosen.insert({std::min(a, b), std::max(a, b)});
+        }
+        edges.assign(chosen.begin(), chosen.end());
+    }
+
+    const GcpLayout lay{config.vertices, config.colors,
+                        static_cast<int>(edges.size())};
+    std::ostringstream name;
+    name << "GCP-" << lay.v << "V-" << lay.e << "E-" << lay.k << "C";
+    model::Problem p(lay.numVars(), model::Sense::Minimize, name.str());
+
+    // Color weights grow with the color index (plus a per-vertex jitter)
+    // so the optimum uses the smallest palette the edges allow.
+    model::Polynomial f;
+    for (int v = 0; v < lay.v; ++v)
+        for (int c = 0; c < lay.k; ++c)
+            f.addTerm({lay.x(v, c)}, 2 * c + rng.intIn(0, 1));
+    p.setObjective(std::move(f));
+
+    // Exactly one color per vertex.
+    for (int v = 0; v < lay.v; ++v) {
+        std::vector<int> coeffs(lay.numVars(), 0);
+        for (int c = 0; c < lay.k; ++c)
+            coeffs[lay.x(v, c)] = 1;
+        p.addEquality(std::move(coeffs), 1);
+    }
+    // Adjacent vertices cannot share color c: x_uc + x_vc + s_ec = 1.
+    for (int e = 0; e < lay.e; ++e) {
+        for (int c = 0; c < lay.k; ++c) {
+            std::vector<int> coeffs(lay.numVars(), 0);
+            coeffs[lay.x(edges[e].first, c)] = 1;
+            coeffs[lay.x(edges[e].second, c)] = 1;
+            coeffs[lay.s(e, c)] = 1;
+            p.addEquality(std::move(coeffs), 1);
+        }
+    }
+    return p;
+}
+
+} // namespace chocoq::problems

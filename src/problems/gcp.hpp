@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Graph coloring problem (GCP) generator [26].
+ *
+ * Variables (the paper's G1 = "3V-1E" with 3 colors needs 12 qubits):
+ *   x_vc              vertex v has color c,
+ *   s_ec              slack for edge e not sharing color c.
+ *
+ * Objective: minimize sum_vc w_c x_vc with color weights growing in c, so
+ * optima prefer a small palette. Constraints: one-hot color per vertex and
+ * x_uc + x_vc + s_ec = 1 for every edge and color. The edge rows share
+ * variables with the one-hot rows, which is what breaks the cyclic
+ * Hamiltonian encoding on this family (Table II).
+ */
+
+#ifndef CHOCOQ_PROBLEMS_GCP_HPP
+#define CHOCOQ_PROBLEMS_GCP_HPP
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/problem.hpp"
+
+namespace chocoq::problems
+{
+
+/** GCP instance parameters. */
+struct GcpConfig
+{
+    int vertices = 3;
+    int colors = 3;
+    /** Edges; when empty, `edgeCount` random distinct edges are drawn. */
+    std::vector<std::pair<int, int>> edges;
+    int edgeCount = 1;
+};
+
+/** Index helpers for the GCP variable layout. */
+struct GcpLayout
+{
+    int v, k, e;
+    int x(int vertex, int color) const { return vertex * k + color; }
+    int s(int edge, int color) const { return v * k + edge * k + color; }
+    int numVars() const { return v * k + e * k; }
+};
+
+/** Generate a GCP instance (n = (V + E) * K variables). */
+model::Problem makeGcp(const GcpConfig &config, Rng &rng);
+
+} // namespace chocoq::problems
+
+#endif // CHOCOQ_PROBLEMS_GCP_HPP

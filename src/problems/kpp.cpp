@@ -1,0 +1,70 @@
+#include "problems/kpp.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace chocoq::problems
+{
+
+model::Problem
+makeKpp(const KppConfig &config, Rng &rng)
+{
+    CHOCOQ_ASSERT(config.vertices >= 2 && config.blocks >= 2,
+                  "KPP needs >= 2 vertices and blocks");
+    std::vector<std::tuple<int, int, int>> edges = config.edges;
+    if (edges.empty()) {
+        const int max_edges = config.vertices * (config.vertices - 1) / 2;
+        CHOCOQ_ASSERT(config.edgeCount <= max_edges,
+                      "more edges requested than the clique has");
+        std::set<std::pair<int, int>> chosen;
+        while (static_cast<int>(chosen.size()) < config.edgeCount) {
+            int a = rng.intIn(0, config.vertices - 1);
+            int b = rng.intIn(0, config.vertices - 1);
+            if (a == b)
+                continue;
+            chosen.insert({std::min(a, b), std::max(a, b)});
+        }
+        for (const auto &[a, b] : chosen)
+            edges.emplace_back(a, b,
+                               rng.intIn(config.weightLo, config.weightHi));
+    }
+
+    const KppLayout lay{config.vertices, config.blocks};
+    std::ostringstream name;
+    name << "KPP-" << lay.v << "V-" << edges.size() << "E-" << lay.b << "B";
+    model::Problem p(lay.numVars(), model::Sense::Minimize, name.str());
+
+    // Cut weight: w_e * (1 - sum_b x_ub x_vb).
+    model::Polynomial f;
+    for (const auto &[u, v, w] : edges) {
+        f.addTerm({}, w);
+        for (int b = 0; b < lay.b; ++b)
+            f.addTerm({lay.x(u, b), lay.x(v, b)}, -w);
+    }
+    p.setObjective(std::move(f));
+
+    // One block per vertex.
+    for (int v = 0; v < lay.v; ++v) {
+        std::vector<int> coeffs(lay.numVars(), 0);
+        for (int b = 0; b < lay.b; ++b)
+            coeffs[lay.x(v, b)] = 1;
+        p.addEquality(std::move(coeffs), 1);
+    }
+    if (config.balanced) {
+        CHOCOQ_ASSERT(config.vertices % config.blocks == 0,
+                      "balanced KPP requires V divisible by B");
+        const int per_block = config.vertices / config.blocks;
+        for (int b = 0; b < lay.b; ++b) {
+            std::vector<int> coeffs(lay.numVars(), 0);
+            for (int v = 0; v < lay.v; ++v)
+                coeffs[lay.x(v, b)] = 1;
+            p.addEquality(std::move(coeffs), per_block);
+        }
+    }
+    return p;
+}
+
+} // namespace chocoq::problems

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * K-partition problem (KPP) generator [11].
+ *
+ * Variables: x_vb = vertex v assigned to block b (n = V * B qubits; the
+ * paper's K1 = "4V-3E-2B" gives 8 variables, 4 constraints).
+ *
+ * Objective: minimize the weight of cut edges,
+ *   f = sum_e w_e * (1 - sum_b x_ub x_vb).
+ * Constraints: one block per vertex, sum_b x_vb = 1 — pure summation
+ * format with no shared variables between rows, which is why the cyclic
+ * Hamiltonian baseline performs best on this family (Table II). An
+ * optional balance mode adds sum_v x_vb = V/B per block; those rows share
+ * variables with the one-hot rows and are exercised by tests and the
+ * extension example.
+ */
+
+#ifndef CHOCOQ_PROBLEMS_KPP_HPP
+#define CHOCOQ_PROBLEMS_KPP_HPP
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/problem.hpp"
+
+namespace chocoq::problems
+{
+
+/** KPP instance parameters. */
+struct KppConfig
+{
+    int vertices = 4;
+    int blocks = 2;
+    /** Weighted edges {u, v, w}; empty -> `edgeCount` random edges. */
+    std::vector<std::tuple<int, int, int>> edges;
+    int edgeCount = 3;
+    int weightLo = 1, weightHi = 5;
+    /** Add per-block balance rows (requires vertices % blocks == 0). */
+    bool balanced = false;
+};
+
+/** Index helpers for the KPP variable layout. */
+struct KppLayout
+{
+    int v, b;
+    int x(int vertex, int block) const { return vertex * b + block; }
+    int numVars() const { return v * b; }
+};
+
+/** Generate a KPP instance (n = V * B variables). */
+model::Problem makeKpp(const KppConfig &config, Rng &rng);
+
+} // namespace chocoq::problems
+
+#endif // CHOCOQ_PROBLEMS_KPP_HPP

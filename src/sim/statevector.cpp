@@ -1,0 +1,248 @@
+#include "sim/statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace chocoq::sim
+{
+
+StateVector::StateVector(int num_qubits)
+    : n_(num_qubits), amp_(std::size_t{1} << num_qubits, Cplx{0.0, 0.0})
+{
+    CHOCOQ_ASSERT(num_qubits >= 1 && num_qubits <= 30,
+                  "qubit count out of supported range");
+    amp_[0] = 1.0;
+}
+
+void
+StateVector::reset(Basis idx)
+{
+    CHOCOQ_ASSERT(idx < amp_.size(), "reset state out of range");
+    std::fill(amp_.begin(), amp_.end(), Cplx{0.0, 0.0});
+    amp_[idx] = 1.0;
+}
+
+double
+StateVector::totalProbability() const
+{
+    double p = 0.0;
+    for (const auto &a : amp_)
+        p += std::norm(a);
+    return p;
+}
+
+double
+StateVector::prob(Basis idx) const
+{
+    CHOCOQ_ASSERT(idx < amp_.size(), "prob state out of range");
+    return std::norm(amp_[idx]);
+}
+
+void
+StateVector::apply1q(int q, Cplx m00, Cplx m01, Cplx m10, Cplx m11)
+{
+    const Basis stride = Basis{1} << q;
+    const std::size_t dim = amp_.size();
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            const std::size_t i1 = i0 + stride;
+            const Cplx a0 = amp_[i0];
+            const Cplx a1 = amp_[i1];
+            amp_[i0] = m00 * a0 + m01 * a1;
+            amp_[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+StateVector::applyControlled1q(Basis control_mask, int q, Cplx m00, Cplx m01,
+                               Cplx m10, Cplx m11)
+{
+    CHOCOQ_ASSERT((control_mask & (Basis{1} << q)) == 0,
+                  "target overlaps controls");
+    const Basis stride = Basis{1} << q;
+    const std::size_t dim = amp_.size();
+    for (std::size_t base = 0; base < dim; base += 2 * stride) {
+        for (std::size_t off = 0; off < stride; ++off) {
+            const std::size_t i0 = base + off;
+            if ((i0 & control_mask) != control_mask)
+                continue;
+            const std::size_t i1 = i0 + stride;
+            const Cplx a0 = amp_[i0];
+            const Cplx a1 = amp_[i1];
+            amp_[i0] = m00 * a0 + m01 * a1;
+            amp_[i1] = m10 * a0 + m11 * a1;
+        }
+    }
+}
+
+void
+StateVector::applyPhaseMask(Basis mask, double phi)
+{
+    const Cplx phase{std::cos(phi), std::sin(phi)};
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i)
+        if ((i & mask) == mask)
+            amp_[i] *= phase;
+}
+
+void
+StateVector::applyDiagonal(const std::function<Cplx(Basis)> &f)
+{
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i)
+        amp_[i] *= f(i);
+}
+
+void
+StateVector::applyPairRotation(Basis support_mask, Basis v_bits, double beta)
+{
+    CHOCOQ_ASSERT((v_bits & ~support_mask) == 0,
+                  "v pattern outside support");
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-term support");
+    const Cplx c{std::cos(beta), 0.0};
+    const Cplx ms{0.0, -std::sin(beta)};
+    const std::size_t dim = amp_.size();
+    // Visit only states matching the v pattern on the support; the partner
+    // (v-bar pattern) is idx XOR support_mask and is updated in the same
+    // step, so each pair is touched exactly once.
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & support_mask) != v_bits)
+            continue;
+        const std::size_t j = i ^ support_mask;
+        const Cplx a = amp_[i];
+        const Cplx b = amp_[j];
+        amp_[i] = c * a + ms * b;
+        amp_[j] = ms * a + c * b;
+    }
+}
+
+void
+StateVector::applyXY(int a, int b, double beta)
+{
+    CHOCOQ_ASSERT(a != b, "XY on identical qubits");
+    const Basis ba = Basis{1} << a;
+    const Basis bb = Basis{1} << b;
+    const Cplx c{std::cos(2.0 * beta), 0.0};
+    const Cplx ms{0.0, -std::sin(2.0 * beta)};
+    const std::size_t dim = amp_.size();
+    // Pairs |..0_a..1_b..> <-> |..1_a..0_b..>: iterate states with a=1,b=0.
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & ba) == 0 || (i & bb) != 0)
+            continue;
+        const std::size_t j = (i ^ ba) | bb;
+        const Cplx x = amp_[i];
+        const Cplx y = amp_[j];
+        amp_[i] = c * x + ms * y;
+        amp_[j] = ms * x + c * y;
+    }
+}
+
+void
+StateVector::applySwap(int a, int b)
+{
+    CHOCOQ_ASSERT(a != b, "swap on identical qubits");
+    const Basis ba = Basis{1} << a;
+    const Basis bb = Basis{1} << b;
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        if ((i & ba) == 0 || (i & bb) != 0)
+            continue;
+        const std::size_t j = (i ^ ba) | bb;
+        std::swap(amp_[i], amp_[j]);
+    }
+}
+
+void
+StateVector::applyPhaseTable(const std::vector<double> &table, double gamma)
+{
+    CHOCOQ_ASSERT(table.size() == amp_.size(), "phase table size mismatch");
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double phi = -gamma * table[i];
+        amp_[i] *= Cplx{std::cos(phi), std::sin(phi)};
+    }
+}
+
+double
+StateVector::expectationTable(const std::vector<double> &table) const
+{
+    CHOCOQ_ASSERT(table.size() == amp_.size(),
+                  "expectation table size mismatch");
+    double acc = 0.0;
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i)
+        acc += std::norm(amp_[i]) * table[i];
+    return acc;
+}
+
+double
+StateVector::expectationDiagonal(const std::function<double(Basis)> &f) const
+{
+    double acc = 0.0;
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double p = std::norm(amp_[i]);
+        if (p > 0.0)
+            acc += p * f(i);
+    }
+    return acc;
+}
+
+std::map<Basis, double>
+StateVector::distribution(double eps) const
+{
+    std::map<Basis, double> out;
+    const std::size_t dim = amp_.size();
+    for (std::size_t i = 0; i < dim; ++i) {
+        const double p = std::norm(amp_[i]);
+        if (p > eps)
+            out[i] = p;
+    }
+    return out;
+}
+
+std::size_t
+StateVector::distinctStates(double eps) const
+{
+    std::size_t count = 0;
+    for (const auto &a : amp_)
+        if (std::norm(a) > eps)
+            ++count;
+    return count;
+}
+
+std::map<Basis, int>
+StateVector::sample(Rng &rng, int shots, double readout_flip_prob) const
+{
+    // Cumulative distribution once, then binary search per shot.
+    const std::size_t dim = amp_.size();
+    std::vector<double> cdf(dim);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+        acc += std::norm(amp_[i]);
+        cdf[i] = acc;
+    }
+    CHOCOQ_ASSERT(acc > 1e-9, "sampling a zero state");
+
+    std::map<Basis, int> hist;
+    for (int s = 0; s < shots; ++s) {
+        const double r = rng.uniform() * acc;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+        Basis idx = static_cast<Basis>(it - cdf.begin());
+        if (idx >= dim)
+            idx = dim - 1;
+        if (readout_flip_prob > 0.0) {
+            for (int q = 0; q < n_; ++q)
+                if (rng.chance(readout_flip_prob))
+                    idx = flipBit(idx, q);
+        }
+        ++hist[idx];
+    }
+    return hist;
+}
+
+} // namespace chocoq::sim

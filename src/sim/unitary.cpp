@@ -1,0 +1,27 @@
+#include "sim/unitary.hpp"
+
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+
+namespace chocoq::sim
+{
+
+linalg::Matrix
+circuitUnitary(const circuit::Circuit &c)
+{
+    const int n = c.numQubits();
+    CHOCOQ_ASSERT(n >= 1 && n <= 14, "circuitUnitary limited to 14 qubits");
+    const std::size_t dim = std::size_t{1} << n;
+    linalg::Matrix u(dim, dim);
+    StateVector state(n);
+    for (std::size_t col = 0; col < dim; ++col) {
+        state.reset(col);
+        execute(state, c);
+        for (std::size_t row = 0; row < dim; ++row)
+            u.at(row, col) = state.amplitudes()[row];
+    }
+    return u;
+}
+
+} // namespace chocoq::sim

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Dense unitary extraction from circuits (test and analysis utility).
+ */
+
+#ifndef CHOCOQ_SIM_UNITARY_HPP
+#define CHOCOQ_SIM_UNITARY_HPP
+
+#include "circuit/circuit.hpp"
+#include "linalg/matrix.hpp"
+
+namespace chocoq::sim
+{
+
+/**
+ * Build the dense unitary implemented by @p c by executing it on every
+ * computational basis state. O(4^n); intended for small test circuits.
+ */
+linalg::Matrix circuitUnitary(const circuit::Circuit &c);
+
+} // namespace chocoq::sim
+
+#endif // CHOCOQ_SIM_UNITARY_HPP

@@ -1,0 +1,121 @@
+#include "solvers/cyclic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/circuits.hpp"
+#include "model/exact.hpp"
+
+namespace chocoq::solvers
+{
+
+CyclicQaoaSolver::CyclicQaoaSolver(CyclicOptions opts)
+    : opts_(std::move(opts))
+{
+    CHOCOQ_ASSERT(opts_.layers >= 1, "cyclic QAOA needs >= 1 layer");
+}
+
+std::vector<std::pair<int, int>>
+CyclicQaoaSolver::mixerPairs(const model::Problem &p)
+{
+    std::vector<std::pair<int, int>> pairs;
+    for (const auto &con : p.constraints()) {
+        if (!con.isSummationFormat())
+            continue; // the cyclic Hamiltonian cannot encode this row
+        std::vector<int> vars;
+        for (std::size_t i = 0; i < con.coeffs.size(); ++i)
+            if (con.coeffs[i] != 0)
+                vars.push_back(static_cast<int>(i));
+        for (std::size_t i = 0; i + 1 < vars.size(); ++i)
+            pairs.emplace_back(vars[i], vars[i + 1]);
+    }
+    return pairs;
+}
+
+core::SolverOutcome
+CyclicQaoaSolver::solve(const model::Problem &p) const
+{
+    Timer compile_timer;
+    const int n = p.numVars();
+    const auto init = model::findFeasible(p);
+    if (!init)
+        CHOCOQ_FATAL("problem " << p.name()
+                     << " has no feasible assignment");
+    const Basis x0 = *init;
+    auto pairs = std::make_shared<std::vector<std::pair<int, int>>>(
+        mixerPairs(p));
+    auto f = std::make_shared<model::Polynomial>(p.minimizedObjective());
+    // The cyclic design is a hard-constraint method: its optimizer chases
+    // the raw objective and trusts the XY mixer to conserve constraints.
+    // On rows it cannot encode, that trust is misplaced — the optimizer
+    // happily walks into the infeasible region, which is exactly the
+    // leakage Table II reports for this baseline on FLP/GCP.
+    auto phase_table =
+        std::make_shared<std::vector<double>>(std::size_t{1} << n);
+    for (std::size_t i = 0; i < phase_table->size(); ++i)
+        (*phase_table)[i] = f->evaluate(i);
+
+    core::SubRun run;
+    run.numQubits = n;
+    run.init = x0;
+    run.costTable = phase_table;
+    run.build = [n, x0, f, pairs](const std::vector<double> &theta) {
+        circuit::Circuit c(n);
+        core::appendBasisPreparation(c, x0);
+        const std::size_t layers = theta.size() / 2;
+        for (std::size_t l = 0; l < layers; ++l) {
+            core::appendObjectivePhase(c, *f, theta[2 * l]);
+            for (const auto &[a, b] : *pairs)
+                c.xy(a, b, theta[2 * l + 1]);
+        }
+        return c;
+    };
+    run.evolve = [x0, phase_table, pairs](sim::StateVector &state,
+                                          const std::vector<double> &theta) {
+        state.reset(x0);
+        const std::size_t layers = theta.size() / 2;
+        for (std::size_t l = 0; l < layers; ++l) {
+            state.applyPhaseTable(*phase_table, theta[2 * l]);
+            for (const auto &[a, b] : *pairs)
+                state.applyXY(a, b, theta[2 * l + 1]);
+        }
+    };
+    run.lift = [](Basis x) { return x; };
+    const double plan_seconds = compile_timer.seconds();
+
+    core::EngineOptions engine = opts_.engine;
+    if (engine.theta0.empty()) {
+        std::vector<double> wide;
+        for (int l = 0; l < opts_.layers; ++l) {
+            engine.theta0.push_back(0.2);
+            engine.theta0.push_back(0.5);
+            wide.push_back(0.7);
+            wide.push_back(1.6);
+        }
+        engine.extraStarts = {std::move(wide)};
+    }
+
+    const core::EngineResult res = core::runQaoa(
+        {run}, [&](Basis x) { return p.minimizedObjectiveOf(x); },
+        engine);
+
+    core::SolverOutcome out;
+    out.distribution = res.distribution;
+    out.iterations = res.opt.iterations;
+    out.evaluations = res.opt.evaluations;
+    out.bestCost = res.opt.bestValue;
+    out.trace = res.opt.trace;
+    out.logicalDepth = res.logicalDepth;
+    out.basisDepth = res.basisDepth;
+    out.basisGateCount = res.basisGateCount;
+    out.basisTwoQubitCount = res.basisTwoQubitCount;
+    out.qubitsUsed = res.qubitsUsed;
+    out.circuitsPerIteration = 1;
+    out.compileSeconds = plan_seconds + res.compileSeconds;
+    out.simSeconds = res.simSeconds;
+    out.classicalSeconds = res.classicalSeconds;
+    return out;
+}
+
+} // namespace chocoq::solvers

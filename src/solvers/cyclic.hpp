@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Cyclic-Hamiltonian QAOA baseline [47].
+ *
+ * Hard-constraint encoding via the one-dimensional-Ising-inspired XY
+ * mixer (Eq. 2): for each constraint in summation format, consecutive
+ * variable pairs of the constraint get X_i X_j + Y_i Y_j rotations, which
+ * conserve the excitation number of that chain. The initial state is one
+ * feasible solution. Constraints that are NOT in summation format (mixed
+ * signs, e.g. FLP's x_ij - y_i + s_ij = 0) cannot be encoded — the mixer
+ * skips them, and constraint rows that share variables interfere; both
+ * effects reproduce the leakage the paper reports for this design on
+ * FLP/GCP (Table II).
+ */
+
+#ifndef CHOCOQ_SOLVERS_CYCLIC_HPP
+#define CHOCOQ_SOLVERS_CYCLIC_HPP
+
+#include "core/solver.hpp"
+
+namespace chocoq::solvers
+{
+
+/** Cyclic-Hamiltonian QAOA configuration. */
+struct CyclicOptions
+{
+    /** Alternating layers (paper simulates baselines with 7). */
+    int layers = 7;
+    core::EngineOptions engine;
+};
+
+/** XY-mixer QAOA baseline. */
+class CyclicQaoaSolver : public core::Solver
+{
+  public:
+    explicit CyclicQaoaSolver(CyclicOptions opts = {});
+
+    std::string name() const override { return "cyclic"; }
+
+    core::SolverOutcome solve(const model::Problem &p) const override;
+
+    /** Pairs of qubits carrying XY rotations for @p p (analysis hook). */
+    static std::vector<std::pair<int, int>> mixerPairs(
+        const model::Problem &p);
+
+  private:
+    CyclicOptions opts_;
+};
+
+} // namespace chocoq::solvers
+
+#endif // CHOCOQ_SOLVERS_CYCLIC_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Penalty-based QAOA baseline [44], enhanced per the paper's Table II
+ * footnote with the two open-sourced optimizations it cites:
+ * FrozenQubits-style hotspot freezing [4] and Red-QAOA-style parameter
+ * warm starting [45].
+ *
+ * Encoding: soft constraints. The objective Hamiltonian is the penalty
+ * polynomial f + lambda * sum_i (C_i x - c_i)^2; the driver is the
+ * standard transverse-field RX layer; the initial state is the uniform
+ * superposition.
+ */
+
+#ifndef CHOCOQ_SOLVERS_PENALTY_HPP
+#define CHOCOQ_SOLVERS_PENALTY_HPP
+
+#include "core/solver.hpp"
+
+namespace chocoq::solvers
+{
+
+/** Penalty-based QAOA configuration. */
+struct PenaltyOptions
+{
+    /** Alternating layers (the paper simulates baselines with 7). */
+    int layers = 7;
+    /** Penalty weight lambda. */
+    double lambda = 10.0;
+    /** Hotspot variables to freeze (FrozenQubits [4]); 2^k sub-circuits. */
+    int freeze = 1;
+    /** Grid warm start of the initial parameters (Red-QAOA [45]). */
+    bool warmStart = true;
+    core::EngineOptions engine;
+};
+
+/** Soft-constraint QAOA baseline. */
+class PenaltyQaoaSolver : public core::Solver
+{
+  public:
+    explicit PenaltyQaoaSolver(PenaltyOptions opts = {});
+
+    std::string name() const override { return "penalty"; }
+
+    core::SolverOutcome solve(const model::Problem &p) const override;
+
+  private:
+    PenaltyOptions opts_;
+};
+
+} // namespace chocoq::solvers
+
+#endif // CHOCOQ_SOLVERS_PENALTY_HPP

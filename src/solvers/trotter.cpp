@@ -1,0 +1,107 @@
+#include "solvers/trotter.hpp"
+
+#include "circuit/transpile.hpp"
+#include "common/error.hpp"
+#include "common/membytes.hpp"
+#include "common/timer.hpp"
+#include "core/circuits.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/givens.hpp"
+
+namespace chocoq::solvers
+{
+
+TrotterReport
+trotterDecompose(const std::vector<core::CommuteTerm> &terms, int n,
+                 double beta, const TrotterOptions &opts)
+{
+    TrotterReport out;
+    if (n > opts.maxQubits) {
+        out.timedOut = true;
+        return out;
+    }
+    MemBytes::resetPeak();
+    const std::size_t base = MemBytes::peak();
+    Timer timer;
+
+    // Stage 1: dense driver assembly (the Eq. 5 tensor computation).
+    linalg::Matrix hd = core::denseDriver(terms, n);
+    if (timer.seconds() > opts.timeoutSeconds) {
+        out.timedOut = true;
+        out.seconds = timer.seconds();
+        out.peakBytes = MemBytes::peak() - base;
+        return out;
+    }
+
+    // Stage 2: one small-step unitary exp(-i beta H_d / N).
+    linalg::Matrix step =
+        linalg::expUnitary(hd, beta / opts.repetitions);
+    if (timer.seconds() > opts.timeoutSeconds) {
+        out.timedOut = true;
+        out.seconds = timer.seconds();
+        out.peakBytes = MemBytes::peak() - base;
+        return out;
+    }
+
+    // Stage 3: two-level synthesis of the step, repeated N times.
+    const linalg::GivensSynthesis synth =
+        linalg::synthesizeTwoLevel(step, n);
+    out.depth = synth.depth * static_cast<std::size_t>(opts.repetitions);
+    out.gates =
+        synth.basicGates * static_cast<std::size_t>(opts.repetitions);
+
+    if (opts.measureError) {
+        // Lie-Trotter product-formula error: each small step is the
+        // product of LOCAL term exponentials (that is what makes the step
+        // implementable), and the deviation from exp(-i beta H_d) shrinks
+        // as O(1/N).
+        linalg::Matrix local_step =
+            linalg::Matrix::identity(step.rows());
+        for (const auto &t : terms)
+            local_step = linalg::expUnitary(core::denseTerm(t, n),
+                                            beta / opts.repetitions)
+                         * local_step;
+        linalg::Matrix prod = linalg::Matrix::identity(step.rows());
+        for (int r = 0; r < opts.repetitions; ++r) {
+            prod = prod * local_step;
+            if (timer.seconds() > opts.timeoutSeconds) {
+                out.timedOut = true;
+                break;
+            }
+        }
+        if (!out.timedOut) {
+            const linalg::Matrix exact = linalg::expUnitary(hd, beta);
+            out.stepError = prod.maxAbsDiff(exact);
+        }
+    }
+
+    out.seconds = timer.seconds();
+    out.peakBytes = MemBytes::peak() - base;
+    if (out.seconds > opts.timeoutSeconds)
+        out.timedOut = true;
+    return out;
+}
+
+TrotterReport
+chocoDecompose(const std::vector<core::CommuteTerm> &terms, int n,
+               double beta)
+{
+    TrotterReport out;
+    MemBytes::resetPeak();
+    const std::size_t base = MemBytes::peak();
+    Timer timer;
+
+    circuit::Circuit c(n);
+    core::appendDriverLayer(c, terms, beta);
+    circuit::Circuit lowered = circuit::transpile(c);
+    out.depth = static_cast<std::size_t>(lowered.depth());
+    out.gates = lowered.gateCount();
+    out.seconds = timer.seconds();
+    // Circuit storage is the only allocation on this path; report it.
+    const std::size_t circuit_bytes =
+        lowered.gates().size() * (sizeof(circuit::Gate) + 2 * sizeof(int));
+    out.peakBytes = std::max(MemBytes::peak() - base, circuit_bytes);
+    return out;
+}
+
+} // namespace chocoq::solvers

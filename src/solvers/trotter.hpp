@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trotter-decomposition comparator for Figure 12 [36].
+ *
+ * The conventional route to implementing exp(-i beta H_d): assemble the
+ * dense driver Hamiltonian (O(4^n) memory), exponentiate one small step
+ * exp(-i beta H_d / N), synthesize the step unitary into basic gates with
+ * two-level (Givens) rotations, and repeat the step N times. Every stage
+ * is intentionally exponential — that is the comparison the paper draws
+ * against Choco-Q's linear-cost equivalent decomposition.
+ */
+
+#ifndef CHOCOQ_SOLVERS_TROTTER_HPP
+#define CHOCOQ_SOLVERS_TROTTER_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/commute.hpp"
+
+namespace chocoq::solvers
+{
+
+/** Outcome of one Trotter decomposition attempt. */
+struct TrotterReport
+{
+    /** True when the attempt was abandoned (budget exceeded). */
+    bool timedOut = false;
+    /** Wall-clock seconds spent. */
+    double seconds = 0.0;
+    /** Peak tracked allocation in bytes. */
+    std::size_t peakBytes = 0;
+    /** Basic-gate depth of the full N-step circuit. */
+    std::size_t depth = 0;
+    /** Basic-gate count of the full N-step circuit. */
+    std::size_t gates = 0;
+    /** Max |approx - exact| amplitude error of the N-step product. */
+    double stepError = 0.0;
+};
+
+/** Trotter configuration. */
+struct TrotterOptions
+{
+    /** Number of repetitions N (paper: N > 100). */
+    int repetitions = 100;
+    /** Wall-clock budget; exceeded -> timedOut result. */
+    double timeoutSeconds = 30.0;
+    /** Hard qubit cap (dense math beyond this is pointless). */
+    int maxQubits = 12;
+    /** Also measure the product-formula approximation error. */
+    bool measureError = false;
+};
+
+/**
+ * Run the Trotter decomposition of exp(-i beta H_d) for the driver built
+ * from @p terms over @p n qubits.
+ */
+TrotterReport trotterDecompose(const std::vector<core::CommuteTerm> &terms,
+                               int n, double beta,
+                               const TrotterOptions &opts = {});
+
+/**
+ * Choco-Q counterpart measured the same way: build the serialized
+ * Lemma-2 circuit, transpile to basic gates, report time/memory/depth.
+ */
+TrotterReport chocoDecompose(const std::vector<core::CommuteTerm> &terms,
+                             int n, double beta);
+
+
+} // namespace chocoq::solvers
+
+#endif // CHOCOQ_SOLVERS_TROTTER_HPP

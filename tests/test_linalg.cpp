@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the dense linear-algebra substrate: matrices, exact
+ * fractions, matrix exponentials, Pauli builders, and Givens synthesis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/fraction.hpp"
+#include "linalg/givens.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/paulis.hpp"
+
+using namespace chocoq;
+using linalg::Cplx;
+using linalg::Fraction;
+using linalg::Matrix;
+
+namespace
+{
+
+Matrix
+randomUnitary(Rng &rng, int n)
+{
+    // Product of random single-qubit rotations and CX-like permutations
+    // is unitary by construction.
+    const std::size_t dim = std::size_t{1} << n;
+    Matrix u = Matrix::identity(dim);
+    for (int round = 0; round < 4; ++round) {
+        for (int q = 0; q < n; ++q) {
+            const double a = rng.uniform(0, 2 * M_PI);
+            const double b = rng.uniform(0, 2 * M_PI);
+            Matrix rot = Matrix::identity(dim);
+            const Basis stride = Basis{1} << q;
+            for (std::size_t i = 0; i < dim; ++i) {
+                if (i & stride)
+                    continue;
+                const std::size_t j = i | stride;
+                rot.at(i, i) = std::cos(a);
+                rot.at(i, j) = -std::sin(a) * Cplx{std::cos(b),
+                                                   std::sin(b)};
+                rot.at(j, i) = std::sin(a) * Cplx{std::cos(b),
+                                                  -std::sin(b)};
+                rot.at(j, j) = std::cos(a);
+            }
+            u = rot * u;
+        }
+    }
+    return u;
+}
+
+} // namespace
+
+TEST(Matrix, IdentityAndMultiply)
+{
+    const Matrix id = Matrix::identity(4);
+    Matrix a(4, 4);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            a.at(r, c) = Cplx(static_cast<double>(r), static_cast<double>(c));
+    EXPECT_LT((a * id).maxAbsDiff(a), 1e-14);
+    EXPECT_LT((id * a).maxAbsDiff(a), 1e-14);
+}
+
+TEST(Matrix, DaggerIsConjugateTranspose)
+{
+    Matrix a(2, 3);
+    a.at(0, 1) = Cplx{1, 2};
+    a.at(1, 2) = Cplx{-3, 4};
+    const Matrix d = a.dagger();
+    EXPECT_EQ(d.rows(), 3u);
+    EXPECT_EQ(d.cols(), 2u);
+    EXPECT_EQ(d.at(1, 0), (Cplx{1, -2}));
+    EXPECT_EQ(d.at(2, 1), (Cplx{-3, -4}));
+}
+
+TEST(Matrix, KronMatchesHandComputation)
+{
+    const Matrix x = linalg::pauliX();
+    const Matrix z = linalg::pauliZ();
+    const Matrix k = z.kron(x); // acts as X on low qubit, Z on high.
+    EXPECT_EQ(k.rows(), 4u);
+    // (Z kron X)|00> = |01>: column 0 has a 1 in row 1.
+    EXPECT_EQ(k.at(1, 0), (Cplx{1, 0}));
+    // (Z kron X)|10> = -|11>.
+    EXPECT_EQ(k.at(3, 2), (Cplx{-1, 0}));
+}
+
+TEST(Matrix, PauliAlgebra)
+{
+    const Matrix x = linalg::pauliX();
+    const Matrix y = linalg::pauliY();
+    const Matrix z = linalg::pauliZ();
+    // XY = iZ.
+    EXPECT_LT((x * y - z * Cplx{0, 1}).maxAbs(), 1e-14);
+    // X^2 = I.
+    EXPECT_LT((x * x).maxAbsDiff(Matrix::identity(2)), 1e-14);
+    // sigma+ + sigma- = X.
+    EXPECT_LT((linalg::sigmaRaise() + linalg::sigmaLower()).maxAbsDiff(x),
+              1e-14);
+}
+
+TEST(Matrix, UnitarityAndHermiticityChecks)
+{
+    EXPECT_TRUE(linalg::pauliX().isUnitary());
+    EXPECT_TRUE(linalg::pauliX().isHermitian());
+    EXPECT_FALSE(linalg::sigmaRaise().isUnitary());
+    EXPECT_FALSE(linalg::sigmaRaise().isHermitian());
+}
+
+TEST(Matrix, PhaseDistanceIgnoresGlobalPhase)
+{
+    Rng rng(3);
+    const Matrix u = randomUnitary(rng, 2);
+    const Matrix v = u * Cplx{std::cos(1.1), std::sin(1.1)};
+    EXPECT_LT(linalg::phaseDistance(u, v), 1e-10);
+    EXPECT_GT(linalg::phaseDistance(u, linalg::pauliX().kron(
+                                           linalg::pauliX())),
+              1e-3);
+}
+
+TEST(Expm, ZeroGivesIdentity)
+{
+    const Matrix z(3, 3);
+    EXPECT_LT(linalg::expm(z).maxAbsDiff(Matrix::identity(3)), 1e-12);
+}
+
+TEST(Expm, DiagonalMatchesScalarExp)
+{
+    Matrix d(2, 2);
+    d.at(0, 0) = 0.5;
+    d.at(1, 1) = Cplx{0, 1.5};
+    const Matrix e = linalg::expm(d);
+    EXPECT_NEAR(std::abs(e.at(0, 0) - std::exp(0.5)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(e.at(1, 1)
+                         - Cplx(std::cos(1.5), std::sin(1.5))),
+                0.0, 1e-12);
+    EXPECT_NEAR(std::abs(e.at(0, 1)), 0.0, 1e-14);
+}
+
+TEST(Expm, PauliXRotation)
+{
+    // exp(-i t X) = cos(t) I - i sin(t) X.
+    const double t = 0.7;
+    const Matrix u = linalg::expUnitary(linalg::pauliX(), t);
+    EXPECT_NEAR(std::abs(u.at(0, 0) - std::cos(t)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u.at(0, 1) - Cplx(0, -std::sin(t))), 0.0, 1e-12);
+    EXPECT_TRUE(u.isUnitary());
+}
+
+TEST(Expm, HermitianGeneratorGivesUnitary)
+{
+    Rng rng(11);
+    for (int n = 1; n <= 3; ++n) {
+        const std::size_t dim = std::size_t{1} << n;
+        Matrix h(dim, dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+            h.at(r, r) = rng.uniform(-1, 1);
+            for (std::size_t c = r + 1; c < dim; ++c) {
+                h.at(r, c) = Cplx{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+                h.at(c, r) = std::conj(h.at(r, c));
+            }
+        }
+        EXPECT_TRUE(linalg::expUnitary(h, 0.9).isUnitary(1e-9));
+    }
+}
+
+TEST(Fraction, Arithmetic)
+{
+    const Fraction half(1, 2);
+    const Fraction third(1, 3);
+    EXPECT_EQ(half + third, Fraction(5, 6));
+    EXPECT_EQ(half - third, Fraction(1, 6));
+    EXPECT_EQ(half * third, Fraction(1, 6));
+    EXPECT_EQ(half / third, Fraction(3, 2));
+    EXPECT_EQ(-half, Fraction(-1, 2));
+}
+
+TEST(Fraction, NormalizesSignAndGcd)
+{
+    EXPECT_EQ(Fraction(2, -4), Fraction(-1, 2));
+    EXPECT_EQ(Fraction(6, 4), Fraction(3, 2));
+    EXPECT_EQ(Fraction(0, 5), Fraction(0));
+    EXPECT_TRUE(Fraction(4, 2).isInteger());
+    EXPECT_FALSE(Fraction(1, 2).isInteger());
+}
+
+TEST(Fraction, Ordering)
+{
+    EXPECT_TRUE(Fraction(1, 3) < Fraction(1, 2));
+    EXPECT_TRUE(Fraction(-1, 2) < Fraction(1, 3));
+    EXPECT_NEAR(Fraction(22, 7).toDouble(), 3.142857, 1e-5);
+}
+
+TEST(Givens, IdentityNeedsNoRotations)
+{
+    const auto synth =
+        linalg::synthesizeTwoLevel(Matrix::identity(8), 3);
+    EXPECT_EQ(synth.rotations, 0u);
+    EXPECT_EQ(synth.depth, 0u);
+}
+
+TEST(Givens, DenseUnitaryNeedsExponentialRotations)
+{
+    Rng rng(23);
+    const Matrix u3 = randomUnitary(rng, 3);
+    const Matrix u4 = randomUnitary(rng, 4);
+    const auto s3 = linalg::synthesizeTwoLevel(u3, 3);
+    const auto s4 = linalg::synthesizeTwoLevel(u4, 4);
+    EXPECT_GT(s3.rotations, 8u);
+    // Rotation count grows roughly 4x per extra qubit for dense unitaries.
+    EXPECT_GT(s4.rotations, 2 * s3.rotations);
+    EXPECT_GT(s4.depth, s4.rotations);
+}
+
+TEST(Givens, EmbeddedSingleQubitGateStaysCheap)
+{
+    // A 1q gate embedded in 4 qubits touches half the basis pairs but the
+    // elimination count is far below the dense bound 2^{n-1}(2^n - 1).
+    Rng rng(29);
+    Matrix rot = randomUnitary(rng, 1);
+    const Matrix u = linalg::embed1q(rot, 0, 4);
+    const auto synth = linalg::synthesizeTwoLevel(u, 4);
+    EXPECT_LT(synth.rotations, 40u);
+}
+
+TEST(MatrixVec, ApplyAndDotAndNorm)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = Cplx{0, 1};
+    a.at(1, 0) = 2;
+    linalg::CVec v{Cplx{1, 0}, Cplx{0, 1}};
+    const auto w = a.apply(v);
+    EXPECT_NEAR(std::abs(w[0] - Cplx(0, 1) * Cplx(0, 1) - 1.0), 0.0, 1e-14);
+    EXPECT_NEAR(std::abs(w[1] - 2.0), 0.0, 1e-14);
+    EXPECT_NEAR(linalg::norm(v), std::sqrt(2.0), 1e-14);
+    EXPECT_NEAR(std::abs(linalg::dot(v, v) - 2.0), 0.0, 1e-14);
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the problem model: multilinear polynomial algebra, constraint
+ * handling, penalty expansion, and the exact reference solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "model/exact.hpp"
+#include "model/polynomial.hpp"
+#include "model/problem.hpp"
+
+using namespace chocoq;
+using model::LinearConstraint;
+using model::Polynomial;
+using model::Problem;
+using model::Sense;
+
+TEST(Polynomial, ConstantAndVariable)
+{
+    const auto c = Polynomial::constant(3.5);
+    EXPECT_DOUBLE_EQ(c.evaluate(0b101), 3.5);
+    const auto x = Polynomial::variable(2, 2.0);
+    EXPECT_DOUBLE_EQ(x.evaluate(0b100), 2.0);
+    EXPECT_DOUBLE_EQ(x.evaluate(0b011), 0.0);
+}
+
+TEST(Polynomial, AdditionMergesAndCancels)
+{
+    Polynomial p;
+    p.addTerm({0, 1}, 2.0);
+    p.addTerm({1, 0}, -2.0); // unsorted on purpose; must merge and cancel
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Polynomial, MultiplicationIsIdempotentOnVariables)
+{
+    // (x0 + x1)^2 = x0 + x1 + 2 x0 x1 since x^2 = x.
+    Polynomial s;
+    s.addTerm({0}, 1.0);
+    s.addTerm({1}, 1.0);
+    const Polynomial sq = s * s;
+    EXPECT_DOUBLE_EQ(sq.terms().at({0}), 1.0);
+    EXPECT_DOUBLE_EQ(sq.terms().at({1}), 1.0);
+    EXPECT_DOUBLE_EQ(sq.terms().at({0, 1}), 2.0);
+}
+
+TEST(Polynomial, EvaluateMatchesExpansion)
+{
+    Polynomial p;
+    p.addTerm({}, 1.0);
+    p.addTerm({0}, -2.0);
+    p.addTerm({0, 2}, 4.0);
+    EXPECT_DOUBLE_EQ(p.evaluate(0b000), 1.0);
+    EXPECT_DOUBLE_EQ(p.evaluate(0b001), -1.0);
+    EXPECT_DOUBLE_EQ(p.evaluate(0b101), 3.0);
+}
+
+TEST(Polynomial, SubstituteEliminatesVariable)
+{
+    Polynomial p;
+    p.addTerm({0, 1}, 3.0);
+    p.addTerm({1}, 1.0);
+    const Polynomial p1 = p.substitute(0, 1);
+    EXPECT_DOUBLE_EQ(p1.evaluate(0b10), 4.0);
+    const Polynomial p0 = p.substitute(0, 0);
+    EXPECT_DOUBLE_EQ(p0.evaluate(0b10), 1.0);
+}
+
+TEST(Polynomial, RemappedRenumbersVariables)
+{
+    Polynomial p;
+    p.addTerm({1, 3}, 2.0);
+    const std::vector<int> new_of{-1, 0, -1, 1};
+    const Polynomial q = p.remapped(new_of);
+    EXPECT_DOUBLE_EQ(q.terms().at({0, 1}), 2.0);
+}
+
+TEST(Polynomial, DegreeAndMaxVar)
+{
+    Polynomial p;
+    EXPECT_EQ(p.degree(), 0);
+    EXPECT_EQ(p.maxVar(), -1);
+    p.addTerm({4}, 1.0);
+    p.addTerm({0, 2, 5}, 1.0);
+    EXPECT_EQ(p.degree(), 3);
+    EXPECT_EQ(p.maxVar(), 5);
+}
+
+TEST(Polynomial, StrIsReadable)
+{
+    Polynomial p;
+    p.addTerm({}, 3.0);
+    p.addTerm({0, 2}, 2.0);
+    p.addTerm({1}, -1.0);
+    const std::string s = p.str();
+    EXPECT_NE(s.find("3"), std::string::npos);
+    EXPECT_NE(s.find("x0*x2"), std::string::npos);
+    EXPECT_NE(s.find("- x1"), std::string::npos);
+}
+
+TEST(Constraint, LhsAndSatisfied)
+{
+    LinearConstraint con{{1, -1, 2}, 1};
+    EXPECT_EQ(con.lhs(0b001), 1);
+    EXPECT_TRUE(con.satisfied(0b001));
+    EXPECT_EQ(con.lhs(0b111), 2);
+    EXPECT_FALSE(con.satisfied(0b111));
+}
+
+TEST(Constraint, SummationFormatDetection)
+{
+    EXPECT_TRUE((LinearConstraint{{1, 1, 0, 1}, 2}).isSummationFormat());
+    EXPECT_TRUE((LinearConstraint{{-1, -1, 0}, -1}).isSummationFormat());
+    EXPECT_FALSE((LinearConstraint{{1, -1, 0}, 0}).isSummationFormat());
+    EXPECT_FALSE((LinearConstraint{{2, 1}, 1}).isSummationFormat());
+    EXPECT_FALSE((LinearConstraint{{0, 0}, 0}).isSummationFormat());
+}
+
+TEST(ProblemModel, PaperFig2Example)
+{
+    // max 3 x1 + 2 x2 + x3 + x4 s.t. x1 - x3 = 0, x1 + x2 + x4 = 1;
+    // optimal solution {1, 0, 1, 0} (paper Sec. II-A).
+    Problem p(4, Sense::Maximize, "fig2");
+    Polynomial f;
+    f.addTerm({0}, 3.0);
+    f.addTerm({1}, 2.0);
+    f.addTerm({2}, 1.0);
+    f.addTerm({3}, 1.0);
+    p.setObjective(std::move(f));
+    p.addEquality({1, 0, -1, 0}, 0);
+    p.addEquality({1, 1, 0, 1}, 1);
+
+    const auto exact = model::solveExact(p);
+    ASSERT_TRUE(exact.feasible);
+    ASSERT_EQ(exact.optima.size(), 1u);
+    EXPECT_EQ(bitString(exact.optima[0], 4), "1010");
+    EXPECT_DOUBLE_EQ(exact.optimumRaw, 4.0);
+    EXPECT_DOUBLE_EQ(exact.optimum, -4.0); // minimization form
+}
+
+TEST(ProblemModel, ViolationCountsAbsoluteGaps)
+{
+    Problem p(2);
+    p.setObjective(Polynomial::variable(0));
+    p.addEquality({1, 1}, 1);
+    p.addEquality({1, -1}, 0);
+    EXPECT_EQ(p.violation(0b00), 1);
+    EXPECT_EQ(p.violation(0b11), 1);
+    EXPECT_EQ(p.violation(0b01), 1);
+    EXPECT_TRUE(p.isFeasible(0b01) == false);
+}
+
+TEST(ProblemModel, PenaltyPolynomialZeroOnFeasible)
+{
+    Problem p(3);
+    Polynomial f;
+    f.addTerm({0}, 2.0);
+    p.setObjective(std::move(f));
+    p.addEquality({1, 1, 1}, 1);
+    const Polynomial pen = p.penaltyPolynomial(10.0);
+    for (Basis x = 0; x < 8; ++x) {
+        const double expect =
+            p.minimizedObjectiveOf(x)
+            + 10.0 * std::pow(p.constraints()[0].lhs(x) - 1, 2);
+        EXPECT_NEAR(pen.evaluate(x), expect, 1e-12);
+    }
+}
+
+TEST(ProblemModel, InequalitySlackAddsVariable)
+{
+    Problem p(2);
+    p.setObjective(Polynomial::variable(0));
+    const int slack = p.addInequalityWithSlack({1, 1}, 1); // x0 + x1 <= 1
+    EXPECT_EQ(slack, 2);
+    EXPECT_EQ(p.numVars(), 3);
+    // x0 = x1 = 0 requires s = 1.
+    EXPECT_TRUE(p.isFeasible(0b100));
+    EXPECT_FALSE(p.isFeasible(0b000));
+    EXPECT_TRUE(p.isFeasible(0b001));
+    EXPECT_FALSE(p.isFeasible(0b011));
+}
+
+TEST(ProblemModel, RejectsBadInput)
+{
+    Problem p(2);
+    Polynomial f;
+    f.addTerm({5}, 1.0);
+    EXPECT_THROW(p.setObjective(f), FatalError);
+    std::vector<int> zeros{0, 0};
+    EXPECT_THROW(p.addEquality(zeros, 1), FatalError);
+    std::vector<int> toolong{1, 1, 1};
+    EXPECT_THROW(p.addEquality(toolong, 1), FatalError);
+}
+
+TEST(ExactSolver, EnumeratesAllOptima)
+{
+    // Symmetric problem: pick exactly one of two variables, equal cost.
+    Problem p(2);
+    Polynomial f;
+    f.addTerm({0}, 1.0);
+    f.addTerm({1}, 1.0);
+    p.setObjective(std::move(f));
+    p.addEquality({1, 1}, 1);
+    const auto exact = model::solveExact(p);
+    EXPECT_EQ(exact.optima.size(), 2u);
+    EXPECT_EQ(exact.feasibleCount, 2u);
+    EXPECT_DOUBLE_EQ(exact.optimum, 1.0);
+}
+
+TEST(ExactSolver, InfeasibleSystem)
+{
+    Problem p(2);
+    p.setObjective(Polynomial::variable(0));
+    p.addEquality({1, 1}, 5); // unreachable
+    const auto exact = model::solveExact(p);
+    EXPECT_FALSE(exact.feasible);
+    EXPECT_FALSE(model::findFeasible(p).has_value());
+}
+
+TEST(ExactSolver, FindFeasibleSatisfiesConstraints)
+{
+    Problem p(6);
+    p.setObjective(Polynomial::variable(0));
+    p.addEquality({1, 1, 1, 0, 0, 0}, 2);
+    p.addEquality({0, 0, 1, 1, 1, 0}, 1);
+    const auto x = model::findFeasible(p);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_TRUE(p.isFeasible(*x));
+}
+
+TEST(ExactSolver, EnumerateFeasibleRespectsLimit)
+{
+    Problem p(4);
+    p.setObjective(Polynomial::variable(0));
+    p.addEquality({1, 1, 1, 1}, 2); // C(4,2) = 6 solutions
+    EXPECT_EQ(model::enumerateFeasible(p, 100).size(), 6u);
+    EXPECT_EQ(model::enumerateFeasible(p, 3).size(), 3u);
+}
+
+TEST(ExactSolver, MaximizationFlipsSign)
+{
+    Problem p(2, Sense::Maximize);
+    Polynomial f;
+    f.addTerm({0}, 5.0);
+    f.addTerm({1}, 1.0);
+    p.setObjective(std::move(f));
+    p.addEquality({1, 1}, 1);
+    const auto exact = model::solveExact(p);
+    EXPECT_EQ(exact.optima.front(), 0b01u);
+    EXPECT_DOUBLE_EQ(exact.optimumRaw, 5.0);
+}
+
+TEST(ExactSolver, PruningStillFindsInteriorSolutions)
+{
+    // Constraint that requires a mix of early and late variables.
+    Problem p(10);
+    Polynomial f;
+    for (int i = 0; i < 10; ++i)
+        f.addTerm({i}, i + 1);
+    p.setObjective(std::move(f));
+    std::vector<int> coeffs(10, 0);
+    coeffs[0] = 1;
+    coeffs[9] = -1;
+    p.addEquality(coeffs, 0); // x0 == x9
+    const auto exact = model::solveExact(p);
+    EXPECT_TRUE(exact.feasible);
+    EXPECT_EQ(exact.feasibleCount, 512u); // half the cube
+    EXPECT_DOUBLE_EQ(exact.optimum, 0.0);
+}

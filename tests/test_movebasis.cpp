@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the move-basis (nullspace over {-1,0,1}) computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/movebasis.hpp"
+#include "model/exact.hpp"
+#include "problems/suite.hpp"
+
+using namespace chocoq;
+
+TEST(MoveBasis, SingleSummationConstraint)
+{
+    // x0 + x1 + x2 = 1: nullspace basis has 2 vectors, e.g. x0 - x1.
+    model::Problem p(3);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1}, 1);
+    const auto basis = core::computeMoveBasis(p);
+    EXPECT_EQ(basis.rank, 1);
+    EXPECT_EQ(basis.moves.size(), 2u);
+    EXPECT_TRUE(basis.complete);
+    for (const auto &u : basis.moves) {
+        EXPECT_TRUE(core::inAlphabet(u));
+        EXPECT_TRUE(core::isNullVector(p.constraints(), u));
+    }
+}
+
+TEST(MoveBasis, MixedSignConstraints)
+{
+    // The paper's Fig. 3 example: x1 - x3 = 0, x1 + x2 + x4 = 1.
+    model::Problem p(4);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 0, -1, 0}, 0);
+    p.addEquality({1, 1, 0, 1}, 1);
+    const auto basis = core::computeMoveBasis(p);
+    EXPECT_EQ(basis.rank, 2);
+    EXPECT_EQ(basis.moves.size(), 2u);
+    for (const auto &u : basis.moves) {
+        EXPECT_TRUE(core::inAlphabet(u));
+        EXPECT_TRUE(core::isNullVector(p.constraints(), u));
+    }
+}
+
+TEST(MoveBasis, FullRankSystemHasNoMoves)
+{
+    // x0 = 1, x1 = 0: the solution is unique, no mixing needed.
+    model::Problem p(2);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 0}, 1);
+    p.addEquality({0, 1}, 0);
+    const auto basis = core::computeMoveBasis(p);
+    EXPECT_EQ(basis.rank, 2);
+    EXPECT_TRUE(basis.moves.empty());
+}
+
+TEST(MoveBasis, UnconstrainedGivesSingleFlips)
+{
+    const auto basis = core::computeMoveBasis({}, 3);
+    EXPECT_EQ(basis.moves.size(), 3u);
+    for (const auto &u : basis.moves) {
+        int nz = 0;
+        for (int x : u)
+            nz += x != 0;
+        EXPECT_EQ(nz, 1);
+    }
+}
+
+TEST(MoveBasis, RedundantConstraintDoesNotShrinkBasis)
+{
+    // Duplicate rows must not change rank.
+    model::Problem p(3);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 0}, 1);
+    p.addEquality({1, 1, 0}, 1);
+    const auto basis = core::computeMoveBasis(p);
+    EXPECT_EQ(basis.rank, 1);
+    EXPECT_EQ(basis.moves.size(), 2u);
+}
+
+/** Every suite scale yields a complete alphabet-compliant basis with
+ * n - rank vectors, and moves connect feasible states to feasible states. */
+class SuiteMoveBasis
+    : public ::testing::TestWithParam<chocoq::problems::Scale>
+{
+};
+
+TEST_P(SuiteMoveBasis, BasisIsCompleteAndNullAndSized)
+{
+    const auto p = problems::makeCase(GetParam(), 0);
+    const auto basis = core::computeMoveBasis(p);
+    EXPECT_TRUE(basis.complete) << p.name();
+    EXPECT_EQ(static_cast<int>(basis.moves.size()),
+              p.numVars() - basis.rank)
+        << p.name();
+    for (const auto &u : basis.moves) {
+        EXPECT_TRUE(core::inAlphabet(u));
+        EXPECT_TRUE(core::isNullVector(p.constraints(), u));
+    }
+}
+
+TEST_P(SuiteMoveBasis, MovesMapFeasibleToFeasible)
+{
+    const auto p = problems::makeCase(GetParam(), 1);
+    const auto basis = core::computeMoveBasis(p);
+    const auto x0 = model::findFeasible(p);
+    ASSERT_TRUE(x0.has_value()) << p.name();
+    // Applying a move (where applicable: v-pattern matches) keeps
+    // feasibility: x' = x XOR support when x matches v or v-bar.
+    for (const auto &u : basis.moves) {
+        Basis support = 0, v = 0;
+        for (std::size_t i = 0; i < u.size(); ++i) {
+            if (u[i] == 0)
+                continue;
+            support |= Basis{1} << i;
+            if (u[i] > 0)
+                v |= Basis{1} << i;
+        }
+        const Basis on_support = *x0 & support;
+        if (on_support == v || on_support == (v ^ support)) {
+            const Basis moved = *x0 ^ support;
+            EXPECT_TRUE(p.isFeasible(moved)) << p.name();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScales, SuiteMoveBasis,
+    ::testing::ValuesIn(chocoq::problems::allScales()),
+    [](const ::testing::TestParamInfo<chocoq::problems::Scale> &info) {
+        return chocoq::problems::scaleName(info.param);
+    });
+
+TEST(ExpandMoveSet, ContainsBasisAndOnlyNullVectors)
+{
+    model::Problem p(4);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1, 1}, 2);
+    const auto basis = core::computeMoveBasis(p);
+    const auto moves = core::expandMoveSet(basis, p.constraints(), 100);
+    EXPECT_GE(moves.size(), basis.moves.size());
+    for (const auto &u : moves) {
+        EXPECT_TRUE(core::inAlphabet(u));
+        EXPECT_TRUE(core::isNullVector(p.constraints(), u));
+    }
+}
+
+TEST(ExpandMoveSet, DeduplicatesUpToSign)
+{
+    model::Problem p(3);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1}, 1);
+    const auto basis = core::computeMoveBasis(p);
+    const auto moves = core::expandMoveSet(basis, p.constraints(), 100);
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+        for (std::size_t j = i + 1; j < moves.size(); ++j) {
+            bool same = true, negated = true;
+            for (std::size_t k = 0; k < moves[i].size(); ++k) {
+                same = same && moves[i][k] == moves[j][k];
+                negated = negated && moves[i][k] == -moves[j][k];
+            }
+            EXPECT_FALSE(same || negated);
+        }
+    }
+}
+
+TEST(ExpandMoveSet, RespectsCap)
+{
+    model::Problem p(6);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1, 1, 1, 1}, 3);
+    const auto basis = core::computeMoveBasis(p);
+    const auto moves = core::expandMoveSet(basis, p.constraints(), 7);
+    EXPECT_LE(moves.size(), 7u);
+    EXPECT_GE(moves.size(), basis.moves.size());
+}
+
+TEST(ExpandMoveSet, FullEnumerationCoversSingleConstraintSwaps)
+{
+    // x0+x1+x2=1: ALL alphabet null vectors are the 3 pairwise swaps.
+    model::Problem p(3);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1}, 1);
+    const auto basis = core::computeMoveBasis(p);
+    const auto moves = core::expandMoveSet(basis, p.constraints(), 100);
+    EXPECT_EQ(moves.size(), 3u); // (e0-e1), (e0-e2), (e1-e2) up to sign
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the derivative-free optimizers on standard objectives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "optimize/cobyla.hpp"
+#include "optimize/neldermead.hpp"
+#include "optimize/optimizer.hpp"
+#include "optimize/spsa.hpp"
+
+using namespace chocoq;
+using optimize::ObjectiveFn;
+using optimize::OptOptions;
+
+namespace
+{
+
+double
+quadratic(const std::vector<double> &x)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+        acc += (x[i] - static_cast<double>(i)) * (x[i]
+                                                  - static_cast<double>(i));
+    return acc;
+}
+
+double
+rosenbrock(const std::vector<double> &x)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i + 1 < x.size(); ++i)
+        acc += 100.0 * std::pow(x[i + 1] - x[i] * x[i], 2)
+               + std::pow(1.0 - x[i], 2);
+    return acc;
+}
+
+} // namespace
+
+/** All three methods on a separable quadratic. */
+class OptimizerQuadratic
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OptimizerQuadratic, ConvergesNearMinimum)
+{
+    const auto opt = optimize::makeOptimizer(GetParam());
+    OptOptions opts;
+    opts.maxIterations = 400;
+    opts.initialStep = 0.8;
+    opts.seed = 3;
+    const auto res = opt->minimize(quadratic, {2.0, 2.0, 2.0}, opts);
+    EXPECT_LT(res.bestValue, 0.5) << opt->name();
+    EXPECT_GT(res.evaluations, 0);
+    EXPECT_GT(res.iterations, 0);
+}
+
+TEST_P(OptimizerQuadratic, TraceIsMonotoneNonIncreasing)
+{
+    const auto opt = optimize::makeOptimizer(GetParam());
+    OptOptions opts;
+    opts.maxIterations = 100;
+    const auto res = opt->minimize(quadratic, {3.0, -1.0}, opts);
+    for (std::size_t i = 1; i < res.trace.size(); ++i)
+        EXPECT_LE(res.trace[i].best, res.trace[i - 1].best + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, OptimizerQuadratic,
+                         ::testing::Values("cobyla", "nelder-mead", "spsa"));
+
+TEST(Cobyla, HandlesOneDimension)
+{
+    const optimize::Cobyla opt;
+    OptOptions opts;
+    opts.maxIterations = 200;
+    const auto res = opt.minimize(
+        [](const std::vector<double> &x) {
+            return (x[0] - 1.5) * (x[0] - 1.5);
+        },
+        {0.0}, opts);
+    EXPECT_NEAR(res.best[0], 1.5, 0.05);
+}
+
+TEST(Cobyla, ImprovesRosenbrockSubstantially)
+{
+    const optimize::Cobyla opt;
+    OptOptions opts;
+    opts.maxIterations = 500;
+    opts.initialStep = 0.5;
+    const std::vector<double> x0{-1.2, 1.0};
+    const auto res = opt.minimize(rosenbrock, x0, opts);
+    EXPECT_LT(res.bestValue, rosenbrock(x0) * 0.25);
+}
+
+TEST(NelderMead, SolvesRosenbrock2d)
+{
+    const optimize::NelderMead opt;
+    OptOptions opts;
+    opts.maxIterations = 2000;
+    opts.tolerance = 1e-8;
+    const auto res = opt.minimize(rosenbrock, {-1.2, 1.0}, opts);
+    EXPECT_LT(res.bestValue, 1e-4);
+    EXPECT_NEAR(res.best[0], 1.0, 0.05);
+    EXPECT_NEAR(res.best[1], 1.0, 0.05);
+}
+
+TEST(Spsa, DeterministicForFixedSeed)
+{
+    const optimize::Spsa opt;
+    OptOptions opts;
+    opts.maxIterations = 50;
+    opts.seed = 99;
+    const auto a = opt.minimize(quadratic, {1.0, 1.0}, opts);
+    const auto b = opt.minimize(quadratic, {1.0, 1.0}, opts);
+    EXPECT_EQ(a.bestValue, b.bestValue);
+    EXPECT_EQ(a.best, b.best);
+}
+
+TEST(Spsa, UsesTwoEvaluationsPerIteration)
+{
+    const optimize::Spsa opt;
+    OptOptions opts;
+    opts.maxIterations = 30;
+    const auto res = opt.minimize(quadratic, {0.5}, opts);
+    // 1 initial + 2 per iteration + 1 final.
+    EXPECT_EQ(res.evaluations, 1 + 2 * res.iterations + 1);
+}
+
+TEST(Factory, ReturnsNamedMethodsAndRejectsUnknown)
+{
+    EXPECT_EQ(optimize::makeOptimizer("cobyla")->name(), "cobyla");
+    EXPECT_EQ(optimize::makeOptimizer("nelder-mead")->name(),
+              "nelder-mead");
+    EXPECT_EQ(optimize::makeOptimizer("spsa")->name(), "spsa");
+    EXPECT_THROW(optimize::makeOptimizer("adam"), FatalError);
+}
+
+TEST(Optimizers, RespectIterationBudget)
+{
+    for (const char *name : {"cobyla", "nelder-mead", "spsa"}) {
+        const auto opt = optimize::makeOptimizer(name);
+        OptOptions opts;
+        opts.maxIterations = 7;
+        opts.tolerance = 0.0;
+        const auto res = opt->minimize(quadratic, {5.0, 5.0}, opts);
+        EXPECT_LE(res.iterations, 7) << name;
+    }
+}
+
+TEST(Optimizers, FlatObjectiveTerminatesGracefully)
+{
+    for (const char *name : {"cobyla", "nelder-mead", "spsa"}) {
+        const auto opt = optimize::makeOptimizer(name);
+        OptOptions opts;
+        opts.maxIterations = 50;
+        const auto res = opt->minimize(
+            [](const std::vector<double> &) { return 1.0; }, {0.0, 0.0},
+            opts);
+        EXPECT_DOUBLE_EQ(res.bestValue, 1.0) << name;
+    }
+}

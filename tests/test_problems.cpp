@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Tests for the FLP/GCP/KPP generators and the benchmark scale registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/exact.hpp"
+#include "problems/flp.hpp"
+#include "problems/gcp.hpp"
+#include "problems/kpp.hpp"
+#include "problems/suite.hpp"
+
+using namespace chocoq;
+
+TEST(Flp, F1SizesMatchPaper)
+{
+    // F1 = 2F-1D: 6 variables, 3 constraints (paper Sec. V-C: "F1 ...
+    // only consist of six variables and three constraints").
+    Rng rng(1);
+    problems::FlpConfig cfg;
+    cfg.facilities = 2;
+    cfg.demands = 1;
+    const auto p = problems::makeFlp(cfg, rng);
+    EXPECT_EQ(p.numVars(), 6);
+    EXPECT_EQ(p.constraints().size(), 3u);
+}
+
+TEST(Flp, FeasibleSolutionsServeEveryDemand)
+{
+    Rng rng(2);
+    problems::FlpConfig cfg;
+    cfg.facilities = 3;
+    cfg.demands = 2;
+    const auto p = problems::makeFlp(cfg, rng);
+    const problems::FlpLayout lay{3, 2};
+    for (Basis x : model::enumerateFeasible(p, 200)) {
+        for (int j = 0; j < 2; ++j) {
+            int served = 0;
+            for (int i = 0; i < 3; ++i)
+                served += getBit(x, lay.x(i, j));
+            EXPECT_EQ(served, 1);
+            // Serving facility must be open.
+            for (int i = 0; i < 3; ++i) {
+                if (getBit(x, lay.x(i, j))) {
+                    EXPECT_EQ(getBit(x, lay.y(i)), 1);
+                }
+            }
+        }
+    }
+}
+
+TEST(Flp, HasMixedSignConstraints)
+{
+    Rng rng(3);
+    const auto p = problems::makeFlp({}, rng);
+    EXPECT_FALSE(p.allSummationFormat());
+}
+
+TEST(Flp, OptimumOpensAtLeastOneFacility)
+{
+    Rng rng(4);
+    const auto p = problems::makeFlp({}, rng);
+    const auto exact = model::solveExact(p);
+    ASSERT_TRUE(exact.feasible);
+    int open = 0;
+    for (int i = 0; i < 2; ++i)
+        open += getBit(exact.optima.front(), i);
+    EXPECT_GE(open, 1);
+}
+
+TEST(Gcp, G1SizesMatchPaper)
+{
+    // G1 needs 12 qubits (paper Sec. V-C).
+    Rng rng(5);
+    problems::GcpConfig cfg;
+    cfg.vertices = 3;
+    cfg.edgeCount = 1;
+    cfg.colors = 3;
+    const auto p = problems::makeGcp(cfg, rng);
+    EXPECT_EQ(p.numVars(), 12);
+    EXPECT_EQ(p.constraints().size(), 6u);
+}
+
+TEST(Gcp, FeasibleColoringsAreProper)
+{
+    Rng rng(6);
+    problems::GcpConfig cfg;
+    cfg.vertices = 3;
+    cfg.colors = 3;
+    cfg.edges = {{0, 1}, {1, 2}};
+    const auto p = problems::makeGcp(cfg, rng);
+    const problems::GcpLayout lay{3, 3, 2};
+    for (Basis x : model::enumerateFeasible(p, 500)) {
+        for (int v = 0; v < 3; ++v) {
+            int colors = 0;
+            for (int c = 0; c < 3; ++c)
+                colors += getBit(x, lay.x(v, c));
+            EXPECT_EQ(colors, 1);
+        }
+        for (int c = 0; c < 3; ++c) {
+            EXPECT_FALSE(getBit(x, lay.x(0, c))
+                         && getBit(x, lay.x(1, c)));
+            EXPECT_FALSE(getBit(x, lay.x(1, c))
+                         && getBit(x, lay.x(2, c)));
+        }
+    }
+}
+
+TEST(Gcp, OptimumPrefersCheapColors)
+{
+    // Triangle-free pair of vertices: both can take the cheapest color.
+    Rng rng(7);
+    problems::GcpConfig cfg;
+    cfg.vertices = 2;
+    cfg.colors = 2;
+    cfg.edges = {{0, 1}};
+    const auto p = problems::makeGcp(cfg, rng);
+    const auto exact = model::solveExact(p);
+    ASSERT_TRUE(exact.feasible);
+    // With an edge, the two vertices must differ; cost stays minimal.
+    EXPECT_GT(exact.feasibleCount, 0u);
+}
+
+TEST(Kpp, FeasiblePartitionsAreOneHot)
+{
+    Rng rng(8);
+    problems::KppConfig cfg;
+    cfg.vertices = 4;
+    cfg.blocks = 2;
+    cfg.edgeCount = 3;
+    const auto p = problems::makeKpp(cfg, rng);
+    EXPECT_EQ(p.numVars(), 8);
+    EXPECT_TRUE(p.allSummationFormat());
+    const problems::KppLayout lay{4, 2};
+    for (Basis x : model::enumerateFeasible(p, 100))
+        for (int v = 0; v < 4; ++v)
+            EXPECT_EQ(getBit(x, lay.x(v, 0)) + getBit(x, lay.x(v, 1)), 1);
+}
+
+TEST(Kpp, BalancedModeEnforcesBlockSizes)
+{
+    Rng rng(9);
+    problems::KppConfig cfg;
+    cfg.vertices = 4;
+    cfg.blocks = 2;
+    cfg.edgeCount = 2;
+    cfg.balanced = true;
+    const auto p = problems::makeKpp(cfg, rng);
+    EXPECT_EQ(p.constraints().size(), 6u);
+    const problems::KppLayout lay{4, 2};
+    for (Basis x : model::enumerateFeasible(p, 100)) {
+        for (int b = 0; b < 2; ++b) {
+            int in_block = 0;
+            for (int v = 0; v < 4; ++v)
+                in_block += getBit(x, lay.x(v, b));
+            EXPECT_EQ(in_block, 2);
+        }
+    }
+}
+
+TEST(Kpp, CutObjectiveMatchesHandCount)
+{
+    Rng rng(10);
+    problems::KppConfig cfg;
+    cfg.vertices = 3;
+    cfg.blocks = 2;
+    cfg.edges = {{0, 1, 2}, {1, 2, 3}};
+    const auto p = problems::makeKpp(cfg, rng);
+    const problems::KppLayout lay{3, 2};
+    // All three vertices in block 0: no cut edges.
+    Basis x = 0;
+    for (int v = 0; v < 3; ++v)
+        x = setBit(x, lay.x(v, 0), 1);
+    EXPECT_DOUBLE_EQ(p.objectiveOf(x), 0.0);
+    // Vertex 1 alone in block 1 cuts both edges: cost 5.
+    Basis y = setBit(setBit(x, lay.x(1, 0), 0), lay.x(1, 1), 1);
+    EXPECT_DOUBLE_EQ(p.objectiveOf(y), 5.0);
+}
+
+TEST(Suite, ScaleTableMatchesDesignDoc)
+{
+    using problems::Scale;
+    EXPECT_EQ(problems::scaleNumVars(Scale::F1), 6);
+    EXPECT_EQ(problems::scaleNumConstraints(Scale::F1), 3);
+    EXPECT_EQ(problems::scaleNumVars(Scale::F4), 28);
+    EXPECT_EQ(problems::scaleNumVars(Scale::G1), 12);
+    EXPECT_EQ(problems::scaleNumVars(Scale::K1), 8);
+    EXPECT_EQ(problems::scaleName(Scale::G3), "G3");
+    EXPECT_EQ(problems::scaleConfig(Scale::F1), "2F-1D");
+}
+
+/** Every scale generates consistent, feasible, deterministic cases. */
+class SuiteScales : public ::testing::TestWithParam<problems::Scale>
+{
+};
+
+TEST_P(SuiteScales, GeneratedCaseMatchesRegistry)
+{
+    const auto p = problems::makeCase(GetParam(), 0);
+    EXPECT_EQ(p.numVars(), problems::scaleNumVars(GetParam()));
+    EXPECT_EQ(static_cast<int>(p.constraints().size()),
+              problems::scaleNumConstraints(GetParam()));
+}
+
+TEST_P(SuiteScales, CasesAreFeasibleAndDeterministic)
+{
+    const auto a = problems::makeCase(GetParam(), 3);
+    const auto b = problems::makeCase(GetParam(), 3);
+    EXPECT_EQ(a.objective().str(), b.objective().str());
+    EXPECT_TRUE(model::findFeasible(a).has_value()) << a.name();
+    // Different indices give different instances (objective jitter).
+    const auto c = problems::makeCase(GetParam(), 4);
+    EXPECT_NE(a.objective().str(), c.objective().str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScales, SuiteScales,
+    ::testing::ValuesIn(chocoq::problems::allScales()),
+    [](const ::testing::TestParamInfo<chocoq::problems::Scale> &info) {
+        return chocoq::problems::scaleName(info.param);
+    });

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * State-vector simulator tests: every gate kernel against dense matrices,
+ * fast paths, sampling statistics, and noise trajectories.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "linalg/expm.hpp"
+#include "linalg/paulis.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+#include "sim/unitary.hpp"
+
+using namespace chocoq;
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateType;
+using linalg::Cplx;
+using linalg::Matrix;
+using sim::StateVector;
+
+namespace
+{
+
+linalg::CVec
+randomState(Rng &rng, int n)
+{
+    linalg::CVec psi(std::size_t{1} << n);
+    double norm2 = 0;
+    for (auto &a : psi) {
+        a = Cplx{rng.normal(), rng.normal()};
+        norm2 += std::norm(a);
+    }
+    for (auto &a : psi)
+        a /= std::sqrt(norm2);
+    return psi;
+}
+
+/** Apply gate through the executor and compare with the dense unitary. */
+void
+expectGateMatchesMatrix(const Gate &g, int n, int seed)
+{
+    Rng rng(seed);
+    const auto psi = randomState(rng, n);
+    StateVector state(n);
+    state.amplitudes() = psi;
+    sim::applyGate(state, g);
+
+    Circuit c(n);
+    c.add(g);
+    const Matrix u = sim::circuitUnitary(c);
+    // circuitUnitary itself uses applyGate; cross-check against an
+    // independently built dense operator for 1q gates and structure
+    // checks elsewhere, so here verify executor linearity + norm.
+    const auto expect = u.apply(psi);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(std::abs(state.amplitudes()[i] - expect[i]), 0.0,
+                    1e-10);
+    EXPECT_NEAR(state.totalProbability(), 1.0, 1e-10);
+}
+
+} // namespace
+
+TEST(StateVector, InitialState)
+{
+    StateVector s(3);
+    EXPECT_EQ(s.dim(), 8u);
+    EXPECT_NEAR(s.prob(0), 1.0, 1e-15);
+    s.reset(5);
+    EXPECT_NEAR(s.prob(5), 1.0, 1e-15);
+    EXPECT_NEAR(s.totalProbability(), 1.0, 1e-15);
+}
+
+TEST(StateVector, HadamardAgainstMatrix)
+{
+    StateVector s(1);
+    sim::applyGate(s, {GateType::H, {0}, 0.0});
+    EXPECT_NEAR(s.prob(0), 0.5, 1e-12);
+    EXPECT_NEAR(s.prob(1), 0.5, 1e-12);
+}
+
+TEST(StateVector, SingleQubitGatesAgainstDense)
+{
+    // Verify apply1q against explicit Pauli matrices on random states.
+    Rng rng(5);
+    const auto psi = randomState(rng, 3);
+    for (const auto &[gate, mat] :
+         {std::pair<GateType, Matrix>{GateType::X, linalg::pauliX()},
+          {GateType::Y, linalg::pauliY()},
+          {GateType::Z, linalg::pauliZ()}}) {
+        for (int q = 0; q < 3; ++q) {
+            StateVector s(3);
+            s.amplitudes() = psi;
+            sim::applyGate(s, {gate, {q}, 0.0});
+            const auto expect = linalg::embed1q(mat, q, 3).apply(psi);
+            for (std::size_t i = 0; i < expect.size(); ++i)
+                EXPECT_NEAR(std::abs(s.amplitudes()[i] - expect[i]), 0.0,
+                            1e-12);
+        }
+    }
+}
+
+TEST(StateVector, RotationGatesAreGeneratorExponentials)
+{
+    Rng rng(6);
+    const double theta = 1.234;
+    const auto checks = {
+        std::pair<GateType, Matrix>{GateType::RX, linalg::pauliX()},
+        {GateType::RY, linalg::pauliY()},
+        {GateType::RZ, linalg::pauliZ()},
+    };
+    for (const auto &[gate, generator] : checks) {
+        const auto psi = randomState(rng, 2);
+        StateVector s(2);
+        s.amplitudes() = psi;
+        sim::applyGate(s, {gate, {1}, theta});
+        const Matrix u = linalg::expUnitary(
+            linalg::embed1q(generator, 1, 2), theta / 2.0);
+        const auto expect = u.apply(psi);
+        for (std::size_t i = 0; i < expect.size(); ++i)
+            EXPECT_NEAR(std::abs(s.amplitudes()[i] - expect[i]), 0.0,
+                        1e-10);
+    }
+}
+
+TEST(StateVector, ControlledAndCompositeGates)
+{
+    for (int seed = 0; seed < 5; ++seed) {
+        expectGateMatchesMatrix({GateType::CX, {0, 2}, 0.0}, 3, seed);
+        expectGateMatchesMatrix({GateType::CZ, {1, 2}, 0.0}, 3, seed);
+        expectGateMatchesMatrix({GateType::CP, {0, 1}, 0.8}, 3, seed);
+        expectGateMatchesMatrix({GateType::CCX, {0, 1, 2}, 0.0}, 3, seed);
+        expectGateMatchesMatrix({GateType::SWAP, {0, 2}, 0.0}, 3, seed);
+        expectGateMatchesMatrix({GateType::RZZ, {0, 1}, 0.5}, 3, seed);
+        expectGateMatchesMatrix({GateType::MCP, {0, 1, 2}, 0.9}, 3, seed);
+        expectGateMatchesMatrix({GateType::MCX, {0, 1, 2}, 0.0}, 3, seed);
+    }
+}
+
+TEST(StateVector, XYAgainstDenseExponential)
+{
+    // exp(-i beta (XX + YY)) built densely vs the applyXY kernel.
+    Rng rng(8);
+    const double beta = 0.66;
+    const Matrix xx = linalg::pauliX().kron(linalg::pauliX());
+    const Matrix yy = linalg::pauliY().kron(linalg::pauliY());
+    const Matrix u = linalg::expUnitary(xx + yy, beta);
+    const auto psi = randomState(rng, 2);
+    StateVector s(2);
+    s.amplitudes() = psi;
+    s.applyXY(0, 1, beta);
+    const auto expect = u.apply(psi);
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_NEAR(std::abs(s.amplitudes()[i] - expect[i]), 0.0, 1e-10);
+}
+
+TEST(StateVector, XYConservesExcitationNumber)
+{
+    StateVector s(2);
+    s.reset(0b01);
+    s.applyXY(0, 1, 0.7);
+    EXPECT_NEAR(s.prob(0b01) + s.prob(0b10), 1.0, 1e-12);
+    s.reset(0b11);
+    s.applyXY(0, 1, 0.7);
+    EXPECT_NEAR(s.prob(0b11), 1.0, 1e-12);
+}
+
+TEST(StateVector, PhaseMaskOnlyHitsMatchingStates)
+{
+    StateVector s(2);
+    s.amplitudes() = {0.5, 0.5, 0.5, 0.5};
+    s.applyPhaseMask(0b11, M_PI);
+    EXPECT_NEAR(std::abs(s.amplitudes()[3] + 0.5), 0.0, 1e-12);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(std::abs(s.amplitudes()[i] - 0.5), 0.0, 1e-12);
+}
+
+TEST(StateVector, PhaseTableMatchesDiagonal)
+{
+    Rng rng(10);
+    const int n = 4;
+    std::vector<double> table(1 << n);
+    for (auto &v : table)
+        v = rng.uniform(-2, 2);
+    const double gamma = 0.9;
+    const auto psi = randomState(rng, n);
+    StateVector a(n), b(n);
+    a.amplitudes() = psi;
+    b.amplitudes() = psi;
+    a.applyPhaseTable(table, gamma);
+    b.applyDiagonal([&](Basis idx) {
+        const double phi = -gamma * table[idx];
+        return Cplx{std::cos(phi), std::sin(phi)};
+    });
+    for (std::size_t i = 0; i < psi.size(); ++i)
+        EXPECT_NEAR(std::abs(a.amplitudes()[i] - b.amplitudes()[i]), 0.0,
+                    1e-12);
+}
+
+TEST(StateVector, ExpectationTableMatchesCallback)
+{
+    Rng rng(12);
+    const int n = 3;
+    std::vector<double> table(1 << n);
+    for (auto &v : table)
+        v = rng.uniform(-5, 5);
+    StateVector s(n);
+    s.amplitudes() = randomState(rng, n);
+    const double a = s.expectationTable(table);
+    const double b =
+        s.expectationDiagonal([&](Basis idx) { return table[idx]; });
+    EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(StateVector, DistributionAndDistinctStates)
+{
+    StateVector s(2);
+    sim::applyGate(s, {GateType::H, {0}, 0.0});
+    EXPECT_EQ(s.distinctStates(), 2u);
+    const auto dist = s.distribution();
+    EXPECT_EQ(dist.size(), 2u);
+    EXPECT_NEAR(dist.at(0), 0.5, 1e-12);
+    EXPECT_NEAR(dist.at(1), 0.5, 1e-12);
+}
+
+TEST(StateVector, SamplingMatchesProbabilities)
+{
+    StateVector s(2);
+    sim::applyGate(s, {GateType::H, {0}, 0.0});
+    Rng rng(33);
+    const auto hist = s.sample(rng, 20000);
+    EXPECT_NEAR(hist.at(0) / 20000.0, 0.5, 0.02);
+    EXPECT_NEAR(hist.at(1) / 20000.0, 0.5, 0.02);
+    EXPECT_EQ(hist.count(2), 0u);
+}
+
+TEST(StateVector, ReadoutErrorFlipsBits)
+{
+    StateVector s(1); // stays |0>
+    Rng rng(35);
+    const auto hist = s.sample(rng, 20000, 0.1);
+    EXPECT_NEAR(hist.at(1) / 20000.0, 0.1, 0.015);
+}
+
+TEST(Executor, AfterGateProbeSeesEveryGate)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.barrier();
+    c.x(1);
+    StateVector s(2);
+    std::vector<std::size_t> seen;
+    sim::execute(s, c, [&](std::size_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen.size(), 4u); // includes the barrier position
+}
+
+TEST(Executor, NoisyTrajectoriesPreserveNorm)
+{
+    Circuit c(3);
+    for (int q = 0; q < 3; ++q)
+        c.h(q);
+    for (int q = 0; q + 1 < 3; ++q)
+        c.cx(q, q + 1);
+    sim::NoiseModel noise;
+    noise.p1q = 0.05;
+    noise.p2q = 0.1;
+    Rng rng(40);
+    for (int t = 0; t < 10; ++t) {
+        StateVector s(3);
+        sim::executeNoisy(s, c, noise, rng);
+        EXPECT_NEAR(s.totalProbability(), 1.0, 1e-10);
+    }
+}
+
+TEST(Executor, ZeroNoiseMatchesCleanExecution)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    StateVector clean(2), noisy(2);
+    sim::execute(clean, c);
+    Rng rng(41);
+    sim::executeNoisy(noisy, c, {}, rng);
+    for (std::size_t i = 0; i < clean.dim(); ++i)
+        EXPECT_NEAR(std::abs(clean.amplitudes()[i]
+                             - noisy.amplitudes()[i]),
+                    0.0, 1e-14);
+}
+
+TEST(Executor, NoiseShrinksSuccessProbability)
+{
+    // A Bell-pair circuit: with noise, P(|00> or |11>) drops below 1.
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    sim::NoiseModel noise;
+    noise.p1q = 0.02;
+    noise.p2q = 0.05;
+    Rng rng(42);
+    double good = 0.0;
+    const int kTrajectories = 200;
+    for (int t = 0; t < kTrajectories; ++t) {
+        StateVector s(2);
+        sim::executeNoisy(s, c, noise, rng);
+        good += s.prob(0b00) + s.prob(0b11);
+    }
+    good /= kTrajectories;
+    EXPECT_LT(good, 0.999);
+    EXPECT_GT(good, 0.8);
+}
+
+TEST(Unitary, HGateUnitary)
+{
+    Circuit c(1);
+    c.h(0);
+    const Matrix u = sim::circuitUnitary(c);
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(u.at(0, 0) - inv_sqrt2), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u.at(1, 1) + inv_sqrt2), 0.0, 1e-12);
+}
+
+TEST(StateVector, PairRotationFullAngleReturnsMinusState)
+{
+    // beta = pi: exp(-i pi Hc) = -identity on the coupled pair... in fact
+    // cos(pi) = -1 on the pair block and identity elsewhere.
+    StateVector s(2);
+    s.reset(0b01);
+    s.applyPairRotation(0b11, 0b01, M_PI);
+    EXPECT_NEAR(std::abs(s.amplitudes()[0b01] + 1.0), 0.0, 1e-12);
+}
+
+TEST(StateVector, PairRotationHalfAngleSwaps)
+{
+    // beta = pi/2 maps |v> to -i|v-bar>.
+    StateVector s(2);
+    s.reset(0b01);
+    s.applyPairRotation(0b11, 0b01, M_PI / 2);
+    EXPECT_NEAR(s.prob(0b10), 1.0, 1e-12);
+}

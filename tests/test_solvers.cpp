@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Solver-level unit tests: the shared QAOA engine, the penalty baseline's
+ * freezing/warm-start machinery, cyclic mixer construction, the Trotter
+ * comparator, and the device/latency models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/chocoq_solver.hpp"
+#include "core/circuits.hpp"
+#include "core/commute.hpp"
+#include "core/qaoa.hpp"
+#include "device/device.hpp"
+#include "model/exact.hpp"
+#include "problems/suite.hpp"
+#include "solvers/cyclic.hpp"
+#include "solvers/penalty.hpp"
+#include "sim/unitary.hpp"
+#include "solvers/trotter.hpp"
+
+using namespace chocoq;
+
+TEST(QaoaEngine, SingleSubrunExactDistribution)
+{
+    // One-qubit "ansatz": RX rotation; cost favors |1>.
+    core::SubRun run;
+    run.numQubits = 1;
+    run.init = 0;
+    run.build = [](const std::vector<double> &theta) {
+        circuit::Circuit c(1);
+        c.rx(0, theta[0]);
+        return c;
+    };
+    run.lift = [](Basis x) { return x; };
+
+    core::EngineOptions opts;
+    opts.theta0 = {0.5};
+    opts.opt.maxIterations = 80;
+    const auto res = core::runQaoa(
+        {run}, [](Basis x) { return x == 1 ? -1.0 : 1.0; }, opts);
+    // Optimal RX angle is pi: all mass on |1>.
+    EXPECT_GT(res.distribution.at(1), 0.95);
+    EXPECT_LE(res.opt.bestValue, -0.9);
+}
+
+TEST(QaoaEngine, EvolveFastPathMatchesBuild)
+{
+    core::SubRun a;
+    a.numQubits = 2;
+    a.build = [](const std::vector<double> &theta) {
+        circuit::Circuit c(2);
+        c.h(0);
+        c.cp(0, 1, theta[0]);
+        c.rx(1, theta[0]);
+        return c;
+    };
+    a.lift = [](Basis x) { return x; };
+    core::SubRun b = a;
+    b.evolve = [](sim::StateVector &state,
+                  const std::vector<double> &theta) {
+        state.reset(0);
+        constexpr double kInvSqrt2 = 0.70710678118654752440;
+        state.apply1q(0, kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
+        state.applyPhaseMask(0b11, theta[0]);
+        const sim::Cplx c{std::cos(theta[0] / 2), 0.0};
+        const sim::Cplx ms{0.0, -std::sin(theta[0] / 2)};
+        state.apply1q(1, c, ms, ms, c);
+    };
+
+    core::EngineOptions opts;
+    opts.theta0 = {0.9};
+    opts.opt.maxIterations = 10;
+    const auto cost = [](Basis x) { return static_cast<double>(x); };
+    const auto res_a = core::runQaoa({a}, cost, opts);
+    const auto res_b = core::runQaoa({b}, cost, opts);
+    EXPECT_NEAR(res_a.opt.bestValue, res_b.opt.bestValue, 1e-9);
+}
+
+TEST(QaoaEngine, MultipleSubrunsMergeWeighted)
+{
+    // Two constant circuits pinned to |0> and |1>, weights 1 and 3.
+    auto make = [](Basis init, double weight) {
+        core::SubRun run;
+        run.numQubits = 1;
+        run.init = init;
+        run.weight = weight;
+        run.build = [init](const std::vector<double> &) {
+            circuit::Circuit c(1);
+            core::appendBasisPreparation(c, init);
+            return c;
+        };
+        run.lift = [](Basis x) { return x; };
+        return run;
+    };
+    core::EngineOptions opts;
+    opts.theta0 = {0.0};
+    opts.opt.maxIterations = 2;
+    const auto res = core::runQaoa({make(0, 1.0), make(1, 3.0)},
+                                   [](Basis) { return 0.0; }, opts);
+    EXPECT_NEAR(res.distribution.at(0), 0.25, 1e-9);
+    EXPECT_NEAR(res.distribution.at(1), 0.75, 1e-9);
+}
+
+TEST(QaoaEngine, ShotSamplingApproximatesExact)
+{
+    core::SubRun run;
+    run.numQubits = 1;
+    run.build = [](const std::vector<double> &) {
+        circuit::Circuit c(1);
+        c.h(0);
+        return c;
+    };
+    run.lift = [](Basis x) { return x; };
+    core::EngineOptions opts;
+    opts.theta0 = {0.0};
+    opts.opt.maxIterations = 1;
+    opts.shots = 20000;
+    const auto res = core::runQaoa({run}, [](Basis) { return 0.0; }, opts);
+    EXPECT_NEAR(res.distribution.at(0), 0.5, 0.03);
+}
+
+TEST(QaoaEngine, ReportsTranspiledArtifacts)
+{
+    const auto terms = core::makeCommuteTerms({{1, -1, 1, 0}});
+    core::SubRun run;
+    run.numQubits = 4;
+    run.build = [terms](const std::vector<double> &theta) {
+        circuit::Circuit c(4);
+        core::appendDriverLayer(c, terms, theta[0]);
+        return c;
+    };
+    run.lift = [](Basis x) { return x; };
+    core::EngineOptions opts;
+    opts.theta0 = {0.7};
+    opts.opt.maxIterations = 1;
+    const auto res = core::runQaoa({run}, [](Basis) { return 0.0; }, opts);
+    EXPECT_GT(res.basisDepth, res.logicalDepth);
+    EXPECT_GT(res.basisGateCount, 0u);
+    EXPECT_GE(res.qubitsUsed, 4);
+}
+
+TEST(Penalty, FreezeZeroRunsOneCircuit)
+{
+    const auto p = problems::makeCase(problems::Scale::K1, 0);
+    solvers::PenaltyOptions opts;
+    opts.layers = 2;
+    opts.freeze = 0;
+    opts.warmStart = false;
+    opts.engine.opt.maxIterations = 10;
+    const auto run = solvers::PenaltyQaoaSolver(opts).solve(p);
+    EXPECT_EQ(run.circuitsPerIteration, 1);
+}
+
+TEST(Penalty, FreezeTwoRunsFourCircuits)
+{
+    const auto p = problems::makeCase(problems::Scale::K1, 0);
+    solvers::PenaltyOptions opts;
+    opts.layers = 2;
+    opts.freeze = 2;
+    opts.warmStart = false;
+    opts.engine.opt.maxIterations = 10;
+    const auto run = solvers::PenaltyQaoaSolver(opts).solve(p);
+    EXPECT_EQ(run.circuitsPerIteration, 4);
+    // Distribution still covers the full variable space and normalizes.
+    double total = 0.0;
+    for (const auto &[x, prob] : run.distribution) {
+        EXPECT_LT(x, Basis{1} << p.numVars());
+        total += prob;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Penalty, WarmStartDoesNotHurtCost)
+{
+    const auto p = problems::makeCase(problems::Scale::K1, 1);
+    solvers::PenaltyOptions cold;
+    cold.layers = 2;
+    cold.warmStart = false;
+    cold.engine.opt.maxIterations = 25;
+    solvers::PenaltyOptions warm = cold;
+    warm.warmStart = true;
+    const auto run_cold = solvers::PenaltyQaoaSolver(cold).solve(p);
+    const auto run_warm = solvers::PenaltyQaoaSolver(warm).solve(p);
+    EXPECT_LE(run_warm.bestCost, run_cold.bestCost + 2.0);
+}
+
+TEST(Cyclic, MixerPairsFollowConstraintChains)
+{
+    model::Problem p(5);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1, 1, 0, 0}, 1); // chain (0,1), (1,2)
+    p.addEquality({0, 0, 0, 1, 1}, 1); // chain (3,4)
+    p.addEquality({1, 0, -1, 0, 0}, 0); // mixed sign: skipped
+    const auto pairs = solvers::CyclicQaoaSolver::mixerPairs(p);
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0], (std::pair<int, int>{0, 1}));
+    EXPECT_EQ(pairs[1], (std::pair<int, int>{1, 2}));
+    EXPECT_EQ(pairs[2], (std::pair<int, int>{3, 4}));
+}
+
+TEST(Cyclic, InfeasibleProblemThrows)
+{
+    model::Problem p(2);
+    p.setObjective(model::Polynomial::variable(0));
+    p.addEquality({1, 1}, 5);
+    solvers::CyclicQaoaSolver solver;
+    EXPECT_THROW(solver.solve(p), FatalError);
+}
+
+TEST(Trotter, SmallDriverSucceedsAndScales)
+{
+    const auto terms =
+        core::makeCommuteTerms({{1, -1, 0, 0}, {0, 1, -1, 0},
+                                {0, 0, 1, -1}});
+    solvers::TrotterOptions opts;
+    opts.repetitions = 10;
+    const auto r4 = solvers::trotterDecompose(terms, 4, 0.7, opts);
+    EXPECT_FALSE(r4.timedOut);
+    EXPECT_GT(r4.depth, 0u);
+    EXPECT_GT(r4.peakBytes, (std::size_t{1} << 8) * 16);
+
+    // Choco path: orders of magnitude cheaper.
+    const auto choco = solvers::chocoDecompose(terms, 4, 0.7);
+    EXPECT_LT(choco.depth, r4.depth / 10);
+    EXPECT_LT(choco.peakBytes, r4.peakBytes);
+}
+
+TEST(Trotter, QubitCapTriggersTimeout)
+{
+    const auto terms = core::makeCommuteTerms({{1, -1}});
+    solvers::TrotterOptions opts;
+    opts.maxQubits = 6;
+    const auto report = solvers::trotterDecompose(terms, 7, 0.5, opts);
+    EXPECT_TRUE(report.timedOut);
+}
+
+TEST(Trotter, ErrorShrinksWithMoreRepetitions)
+{
+    const auto terms =
+        core::makeCommuteTerms({{1, -1, 0}, {0, 1, -1}});
+    solvers::TrotterOptions coarse;
+    coarse.repetitions = 2;
+    coarse.measureError = true;
+    solvers::TrotterOptions fine = coarse;
+    fine.repetitions = 20;
+    const auto r_coarse = solvers::trotterDecompose(terms, 3, 0.9, coarse);
+    const auto r_fine = solvers::trotterDecompose(terms, 3, 0.9, fine);
+    EXPECT_LT(r_fine.stepError, r_coarse.stepError);
+}
+
+TEST(Device, PresetsMatchPaperDescription)
+{
+    const auto dev_fez = device::fez();
+    EXPECT_TRUE(dev_fez.nativeCz);
+    EXPECT_NEAR(dev_fez.err2qNative, 0.003, 1e-9); // CZ 99.7%
+    const auto dev_osaka = device::osaka();
+    EXPECT_FALSE(dev_osaka.nativeCz);
+    EXPECT_NEAR(dev_osaka.err2qNative, 0.007, 1e-9); // ECR 99.3%
+    EXPECT_NEAR(dev_osaka.czFactor, 3.0, 1e-9); // 3 ECR per CZ
+    EXPECT_EQ(device::allDevices().size(), 3u);
+}
+
+TEST(Device, LookupByNameIsCaseInsensitive)
+{
+    EXPECT_EQ(device::deviceByName("FEZ").name, "Fez");
+    EXPECT_EQ(device::deviceByName("sherbrooke").name, "Sherbrooke");
+    EXPECT_THROW(device::deviceByName("quito"), FatalError);
+}
+
+TEST(Device, NoiseScalesWithCzFactor)
+{
+    const auto noise_fez = device::noiseOf(device::fez());
+    const auto noise_osaka = device::noiseOf(device::osaka());
+    EXPECT_LT(noise_fez.p2q, noise_osaka.p2q);
+    EXPECT_NEAR(noise_osaka.p2q, 0.021, 1e-9);
+}
+
+TEST(Device, LatencyBreakdownAddsUp)
+{
+    const auto lat = device::estimateLatency(device::fez(), 200, 30, 2,
+                                             1000, 0.4, 0.1);
+    EXPECT_NEAR(lat.total(),
+                lat.compileSeconds + lat.quantumSeconds
+                    + lat.classicalSeconds,
+                1e-12);
+    EXPECT_GT(lat.quantumSeconds, 0.0);
+    // More iterations cost more quantum time.
+    const auto lat2 = device::estimateLatency(device::fez(), 200, 60, 2,
+                                              1000, 0.4, 0.1);
+    EXPECT_GT(lat2.quantumSeconds, lat.quantumSeconds);
+}
+
+TEST(QaoaEngine, ExtraStartsFindBetterMinimum)
+{
+    // Objective with a deceptive local minimum near theta0 and the true
+    // minimum near an extra start.
+    core::SubRun run;
+    run.numQubits = 1;
+    run.build = [](const std::vector<double> &theta) {
+        circuit::Circuit c(1);
+        c.rx(0, theta[0]);
+        return c;
+    };
+    run.lift = [](Basis x) { return x; };
+    core::EngineOptions narrow;
+    narrow.theta0 = {0.05};
+    narrow.opt.maxIterations = 15;
+    narrow.opt.initialStep = 0.05;
+    const auto cost = [](Basis x) { return x == 1 ? -1.0 : 1.0; };
+    const auto res_narrow = core::runQaoa({run}, cost, narrow);
+
+    core::EngineOptions multi = narrow;
+    multi.extraStarts = {{3.0}};
+    const auto res_multi = core::runQaoa({run}, cost, multi);
+    EXPECT_LE(res_multi.opt.bestValue, res_narrow.opt.bestValue + 1e-9);
+    EXPECT_GT(res_multi.opt.evaluations, res_narrow.opt.evaluations);
+}
+
+TEST(QaoaEngine, IndependentSubrunsOptimizeSeparately)
+{
+    // Two one-qubit subruns whose optimal angles differ; independent
+    // optimization should satisfy both.
+    auto make = [](double target) {
+        core::SubRun run;
+        run.numQubits = 1;
+        run.build = [](const std::vector<double> &theta) {
+            circuit::Circuit c(1);
+            c.rx(0, theta[0]);
+            return c;
+        };
+        run.lift = [target](Basis x) {
+            // Subrun A rewards |1>, subrun B rewards |0> via lift trick:
+            // map to distinct full-space states.
+            return static_cast<Basis>(target > 0 ? x : (x ^ 1)) ;
+        };
+        return run;
+    };
+    core::EngineOptions opts;
+    opts.theta0 = {0.4};
+    opts.opt.maxIterations = 60;
+    opts.independentSubruns = true;
+    const auto res = core::runQaoa(
+        {make(1.0), make(-1.0)},
+        [](Basis x) { return x == 1 ? -1.0 : 1.0; }, opts);
+    // Both subruns can push all their mass onto full-space |1>.
+    EXPECT_GT(res.distribution.at(1), 0.9);
+}
+
+TEST(Ablation, GenericSynthesisPaddingDeepensWithoutChangingResult)
+{
+    const auto p = problems::makeCase(problems::Scale::K1, 0);
+    core::ChocoQOptions plain;
+    plain.eliminate = 0;
+    plain.engine.theta0 = {0.5, 1.1};
+    plain.engine.opt.maxIterations = 1;
+    plain.engine.opt.initialStep = 1e-9;
+    core::ChocoQOptions padded = plain;
+    padded.genericSynthesisPadding = true;
+
+    const auto run_plain = core::ChocoQSolver(plain).solve(p);
+    const auto run_padded = core::ChocoQSolver(padded).solve(p);
+    EXPECT_GT(run_padded.basisDepth, run_plain.basisDepth);
+    EXPECT_GT(run_padded.basisGateCount, run_plain.basisGateCount);
+    // Identity padding: the noiseless distribution is unchanged.
+    for (const auto &[x, prob] : run_plain.distribution) {
+        const auto it = run_padded.distribution.find(x);
+        ASSERT_NE(it, run_padded.distribution.end());
+        EXPECT_NEAR(prob, it->second, 1e-9);
+    }
+}
+
+TEST(Ablation, GenericSynthesisCostGrowsFasterThanLemma2)
+{
+    // The generic/Lemma-2 basic-gate ratio grows with the support size
+    // (exponential vs linear decomposition cost).
+    double prev_ratio = 0.0;
+    for (int k : {3, 5, 7}) {
+        std::vector<int> u(k, 1);
+        for (int i = 0; i < k; i += 2)
+            u[i] = -1;
+        const auto term = core::makeCommuteTerm(u);
+        const std::size_t generic =
+            core::genericTermSynthesisGates(term, 0.7);
+        circuit::Circuit c(k);
+        core::appendCommuteTermCircuit(c, term, 0.7);
+        const std::size_t lemma2 = circuit::transpile(c).gateCount();
+        const double ratio = static_cast<double>(generic)
+                             / static_cast<double>(lemma2);
+        EXPECT_GT(ratio, prev_ratio);
+        prev_ratio = ratio;
+    }
+    EXPECT_GT(prev_ratio, 2.0);
+}
+
+TEST(Padding, IdentityPairsPreserveUnitary)
+{
+    circuit::Circuit c(3);
+    c.h(0);
+    c.cx(0, 1);
+    circuit::Circuit padded = c;
+    core::appendIdentityPadding(padded, 5);
+    EXPECT_EQ(padded.gateCount(), c.gateCount() + 10);
+    const auto u = sim::circuitUnitary(c);
+    const auto v = sim::circuitUnitary(padded);
+    EXPECT_LT(u.maxAbsDiff(v), 1e-12);
+}
