@@ -4,9 +4,20 @@
  * application, the commute pair-rotation fast path, diagonal phase
  * tables, move-basis computation, transpilation, and the Lemma-2 circuit
  * construction.
+ *
+ * The kernel benchmarks report a ns_per_amp counter (wall time per
+ * state-vector amplitude, normalized to the full 2^n dimension so that
+ * fast/naive ratios read directly as speedups) and the whole run is
+ * mirrored to BENCH_kernels.json so successive PRs can track the perf
+ * trajectory; pass --benchmark_out=... to override the JSON path.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <complex>
+#include <string>
+#include <vector>
 
 #include "circuit/transpile.hpp"
 #include "core/chocoq_solver.hpp"
@@ -15,45 +26,212 @@
 #include "model/exact.hpp"
 #include "problems/suite.hpp"
 #include "sim/executor.hpp"
+#include "sim/naive.hpp"
+#include "sim/parallel.hpp"
 
 using namespace chocoq;
+using linalg::Cplx;
+using linalg::CVec;
 
 namespace
 {
+
+constexpr double kInvSqrt2 = 0.70710678118654752440;
+
+/** Qubit count for the masked-kernel comparisons (1M amplitudes). */
+constexpr int kKernelQubits = 20;
+
+/** Items-processed plus ns-per-amplitude counter, both per iteration. */
+void
+setAmpCounters(benchmark::State &state, std::int64_t amps_per_iter)
+{
+    state.SetItemsProcessed(state.iterations() * amps_per_iter);
+    state.counters["ns_per_amp"] = benchmark::Counter(
+        static_cast<double>(state.iterations())
+            * static_cast<double>(amps_per_iter) * 1e-9,
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+/**
+ * Support mask/v-bits pattern of size k spread over the upper half of
+ * the register (the representative case: free low bits keep the subspace
+ * runs contiguous).
+ */
+core::CommuteTerm
+spreadTerm(int n, int k)
+{
+    std::vector<int> u(n, 0);
+    for (int i = 0; i < k; ++i)
+        u[n / 2 + i * (n / 2 - 1) / std::max(k - 1, 1)] =
+            (i % 2 == 0) ? 1 : -1;
+    return core::makeCommuteTerm(u);
+}
+
+/** Worst-case pattern: support packed into the lowest k bits (stride-2^k
+ * access, run length 1). */
+core::CommuteTerm
+lowTerm(int n, int k)
+{
+    std::vector<int> u(n, 0);
+    for (int i = 0; i < k; ++i)
+        u[i] = (i % 2 == 0) ? 1 : -1;
+    return core::makeCommuteTerm(u);
+}
+
+// ---- generic gate kernels ----
 
 void
 BM_Apply1q(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
     sim::StateVector sv(n);
-    constexpr double kInvSqrt2 = 0.70710678118654752440;
     for (auto _ : state) {
         sv.apply1q(n / 2, kInvSqrt2, kInvSqrt2, kInvSqrt2, -kInvSqrt2);
         benchmark::DoNotOptimize(sv.amplitudes().data());
     }
-    state.SetItemsProcessed(state.iterations()
-                            * (std::int64_t{1} << n));
+    setAmpCounters(state, std::int64_t{1} << n);
 }
 BENCHMARK(BM_Apply1q)->Arg(10)->Arg(14)->Arg(18);
 
 void
-BM_PairRotation(benchmark::State &state)
+BM_Diagonal1q(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
     sim::StateVector sv(n);
-    std::vector<int> u(n, 0);
-    u[0] = 1;
-    u[1] = -1;
-    u[n - 1] = 1;
-    const auto term = core::makeCommuteTerm(u);
+    const Cplx em{std::cos(0.4), -std::sin(0.4)};
+    for (auto _ : state) {
+        sv.applyDiagonal1q(n / 2, em, std::conj(em));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << n);
+}
+BENCHMARK(BM_Diagonal1q)->Arg(14)->Arg(18)->Arg(kKernelQubits);
+
+void
+BM_ParityPhase(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    const Cplx even{std::cos(0.4), -std::sin(0.4)};
+    const Basis mask = (Basis{1} << (n / 2)) | (Basis{1} << (n - 1));
+    for (auto _ : state) {
+        sv.applyParityPhase(mask, even, std::conj(even));
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << n);
+}
+BENCHMARK(BM_ParityPhase)->Arg(14)->Arg(18)->Arg(kKernelQubits);
+
+// ---- masked kernels: subspace enumeration vs naive full scan ----
+
+void
+BM_PairRotation(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = spreadTerm(kKernelQubits, k);
     for (auto _ : state) {
         core::applyCommuteExact(sv, term, 0.3);
         benchmark::DoNotOptimize(sv.amplitudes().data());
     }
-    state.SetItemsProcessed(state.iterations()
-                            * (std::int64_t{1} << n));
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
 }
-BENCHMARK(BM_PairRotation)->Arg(10)->Arg(14)->Arg(18);
+BENCHMARK(BM_PairRotation)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
+
+void
+BM_PairRotationNaive(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = spreadTerm(kKernelQubits, k);
+    for (auto _ : state) {
+        sim::naive::pairRotation(sv.amplitudes(), term.supportMask,
+                                 term.vBits, 0.3);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_PairRotationNaive)->Arg(2)->Arg(3)->Arg(4)->Arg(8);
+
+void
+BM_PairRotationLowSupport(benchmark::State &state)
+{
+    const int k = static_cast<int>(state.range(0));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = lowTerm(kKernelQubits, k);
+    for (auto _ : state) {
+        core::applyCommuteExact(sv, term, 0.3);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_PairRotationLowSupport)->Arg(2)->Arg(4);
+
+void
+BM_PhaseMask(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = spreadTerm(kKernelQubits, m);
+    for (auto _ : state) {
+        sv.applyPhaseMask(term.supportMask, 0.4);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_PhaseMask)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_PhaseMaskNaive(benchmark::State &state)
+{
+    const int m = static_cast<int>(state.range(0));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = spreadTerm(kKernelQubits, m);
+    for (auto _ : state) {
+        sim::naive::phaseMask(sv.amplitudes(), term.supportMask, 0.4);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_PhaseMaskNaive)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_Controlled1q(benchmark::State &state)
+{
+    const int n = kKernelQubits;
+    sim::StateVector sv(n);
+    const Basis controls = (Basis{1} << 0) | (Basis{1} << (n - 1));
+    for (auto _ : state) {
+        sv.applyControlled1q(controls, n / 2, 0, 1, 1, 0);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << n);
+}
+BENCHMARK(BM_Controlled1q);
+
+void
+BM_XY(benchmark::State &state)
+{
+    sim::StateVector sv(kKernelQubits);
+    for (auto _ : state) {
+        sv.applyXY(1, kKernelQubits - 2, 0.6);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_XY);
+
+void
+BM_Swap(benchmark::State &state)
+{
+    sim::StateVector sv(kKernelQubits);
+    for (auto _ : state) {
+        sv.applySwap(1, kKernelQubits - 2);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_Swap);
 
 void
 BM_PhaseTable(benchmark::State &state)
@@ -65,10 +243,41 @@ BM_PhaseTable(benchmark::State &state)
         sv.applyPhaseTable(table, 0.4);
         benchmark::DoNotOptimize(sv.amplitudes().data());
     }
-    state.SetItemsProcessed(state.iterations()
-                            * (std::int64_t{1} << n));
+    setAmpCounters(state, std::int64_t{1} << n);
 }
 BENCHMARK(BM_PhaseTable)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_ExpectationTable(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    std::vector<double> table(std::size_t{1} << n, 0.5);
+    for (auto _ : state) {
+        double v = sv.expectationTable(table);
+        benchmark::DoNotOptimize(v);
+    }
+    setAmpCounters(state, std::int64_t{1} << n);
+}
+BENCHMARK(BM_ExpectationTable)->Arg(14)->Arg(18)->Arg(kKernelQubits);
+
+/** Pair rotation with CHOCOQ_THREADS overridden (OpenMP scaling probe). */
+void
+BM_PairRotationThreads(benchmark::State &state)
+{
+    sim::setSimThreads(static_cast<int>(state.range(0)));
+    sim::StateVector sv(kKernelQubits);
+    const auto term = spreadTerm(kKernelQubits, 3);
+    for (auto _ : state) {
+        core::applyCommuteExact(sv, term, 0.3);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    sim::setSimThreads(0);
+    setAmpCounters(state, std::int64_t{1} << kKernelQubits);
+}
+BENCHMARK(BM_PairRotationThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// ---- compiler / solver paths ----
 
 void
 BM_MoveBasis(benchmark::State &state)
@@ -146,4 +355,36 @@ BENCHMARK(BM_ChocoCompile)->Arg(0)->Arg(5)->Arg(9);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Console for humans plus a JSON mirror for the perf trajectory:
+    // default --benchmark_out to BENCH_kernels.json (in the invocation
+    // directory) unless the caller picked their own output file.
+    std::vector<char *> args(argv, argv + argc);
+    std::string out_flag = "--benchmark_out=BENCH_kernels.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+    bool has_out = false;
+    bool has_fmt = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--benchmark_out=", 0) == 0)
+            has_out = true;
+        if (arg.rfind("--benchmark_out_format=", 0) == 0)
+            has_fmt = true;
+    }
+    // Only default the JSON mirror when the caller expressed no output
+    // preference at all; an explicit format without a file is left to
+    // google-benchmark's own handling rather than polluting the .json.
+    if (!has_out && !has_fmt) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -120,8 +120,7 @@ ChocoQSolver::solve(const model::Problem &p) const
                 const std::size_t layers = theta.size() / 2;
                 for (std::size_t l = 0; l < layers; ++l) {
                     state.applyPhaseTable(*table, theta[2 * l]);
-                    for (const auto &term : *terms)
-                        applyCommuteExact(state, term, theta[2 * l + 1]);
+                    applyCommuteLayer(state, *terms, theta[2 * l + 1]);
                 }
             };
         }

@@ -1,5 +1,7 @@
 #include "core/commute.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "linalg/expm.hpp"
 #include "linalg/givens.hpp"
@@ -88,6 +90,16 @@ applyCommuteExact(sim::StateVector &state, const CommuteTerm &term,
                   double beta)
 {
     state.applyPairRotation(term.supportMask, term.vBits, beta);
+}
+
+void
+applyCommuteLayer(sim::StateVector &state,
+                  const std::vector<CommuteTerm> &terms, double beta)
+{
+    const double c = std::cos(beta);
+    const double s = std::sin(beta);
+    for (const auto &term : terms)
+        state.applyPairRotation(term.supportMask, term.vBits, c, s);
 }
 
 std::size_t

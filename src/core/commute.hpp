@@ -66,6 +66,14 @@ void applyCommuteExact(sim::StateVector &state, const CommuteTerm &term,
                        double beta);
 
 /**
+ * Exact evolution of a whole layer prod_u exp(-i beta Hc(u)) sharing one
+ * angle: cos/sin are computed once and reused across every term, so each
+ * term costs only its own 2^(n-k) pair rotations.
+ */
+void applyCommuteLayer(sim::StateVector &state,
+                       const std::vector<CommuteTerm> &terms, double beta);
+
+/**
  * Basic-gate cost of decomposing one local commute unitary with GENERIC
  * two-level synthesis instead of the Lemma-2 identity (the "Opt1 without
  * Opt2" configuration of the Fig. 14 ablation). Exponential in the

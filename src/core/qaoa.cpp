@@ -15,13 +15,25 @@ namespace
 
 using sim::StateVector;
 
+/**
+ * Evolve @p state to the subrun's output at @p theta. The state is
+ * re-dimensioned and reset in place so callers can cycle one scratch
+ * vector through thousands of objective evaluations without touching
+ * the heap (StateVector::prepare reuses its allocation).
+ */
 void
 evolveInto(StateVector &state, const SubRun &run,
            const std::vector<double> &theta)
 {
     if (run.evolve) {
+        // evolve() establishes its own initial state (see the SubRun
+        // contract), so only the dimension needs fixing up — prepare()'s
+        // zero-fill would be a redundant full-state sweep per objective
+        // evaluation.
+        state.resizeScratch(run.numQubits);
         run.evolve(state, theta);
     } else {
+        state.prepare(run.numQubits);
         circuit::Circuit c = run.build(theta);
         sim::execute(state, c);
     }
@@ -29,14 +41,14 @@ evolveInto(StateVector &state, const SubRun &run,
 
 /** Expectation of the configured cost for one subrun at theta. */
 double
-subrunCost(const SubRun &run, const std::function<double(Basis)> &cost,
+subrunCost(StateVector &scratch, const SubRun &run,
+           const std::function<double(Basis)> &cost,
            const std::vector<double> &theta)
 {
-    StateVector state(run.numQubits);
-    evolveInto(state, run, theta);
+    evolveInto(scratch, run, theta);
     if (run.costTable)
-        return state.expectationTable(*run.costTable);
-    return state.expectationDiagonal(
+        return scratch.expectationTable(*run.costTable);
+    return scratch.expectationDiagonal(
         [&](Basis x) { return cost(run.lift(x)); });
 }
 
@@ -73,9 +85,9 @@ optimizeMultiStart(const optimize::Optimizer &optimizer,
 
 /** Noisy-sampled distribution of one subrun lifted to the full space. */
 void
-accumulateNoisy(std::map<Basis, double> &into, const SubRun &run,
-                const circuit::Circuit &lowered, const EngineOptions &opts,
-                double weight, Rng &rng)
+accumulateNoisy(std::map<Basis, double> &into, StateVector &scratch,
+                const SubRun &run, const circuit::Circuit &lowered,
+                const EngineOptions &opts, double weight, Rng &rng)
 {
     const int shots = std::max(opts.shots, 1);
     const int trajectories = std::max(1, std::min(opts.trajectories, shots));
@@ -85,10 +97,10 @@ accumulateNoisy(std::map<Basis, double> &into, const SubRun &run,
     std::map<Basis, int> counts;
     long total = 0;
     for (int t = 0; t < trajectories; ++t) {
-        StateVector state(lowered.numQubits());
-        sim::executeNoisy(state, lowered, opts.noise, rng);
+        scratch.prepare(lowered.numQubits());
+        sim::executeNoisy(scratch, lowered, opts.noise, rng);
         const auto hist =
-            state.sample(rng, shots_per_traj, opts.noise.readout);
+            scratch.sample(rng, shots_per_traj, opts.noise.readout);
         for (const auto &[x, cnt] : hist) {
             counts[x & data_mask] += cnt;
             total += cnt;
@@ -118,6 +130,14 @@ runQaoa(const std::vector<SubRun> &subruns,
     double sim_seconds = 0.0;
     Timer total_timer;
 
+    // One scratch state shared by every objective evaluation below; its
+    // buffer is sized once and recycled, so the optimizer's thousands of
+    // evaluations perform zero statevector allocation.
+    int max_qubits = 1;
+    for (const auto &r : subruns)
+        max_qubits = std::max(max_qubits, r.numQubits);
+    StateVector scratch(max_qubits);
+
     // One parameter vector per subrun (identical when shared).
     std::vector<std::vector<double>> theta_star(subruns.size());
 
@@ -130,7 +150,7 @@ runQaoa(const std::vector<SubRun> &subruns,
         for (std::size_t i = 0; i < subruns.size(); ++i) {
             auto objective = [&](const std::vector<double> &theta) {
                 Timer t;
-                const double v = subrunCost(subruns[i], cost, theta);
+                const double v = subrunCost(scratch, subruns[i], cost, theta);
                 sim_seconds += t.seconds();
                 return v;
             };
@@ -166,7 +186,7 @@ runQaoa(const std::vector<SubRun> &subruns,
             double acc = 0.0;
             for (const auto &run : subruns)
                 acc += run.weight / weight_total
-                       * subrunCost(run, cost, theta);
+                       * subrunCost(scratch, run, cost, theta);
             sim_seconds += t.seconds();
             return acc;
         };
@@ -203,20 +223,18 @@ runQaoa(const std::vector<SubRun> &subruns,
     for (std::size_t i = 0; i < subruns.size(); ++i) {
         const double w = subruns[i].weight / weight_total;
         if (noisy) {
-            accumulateNoisy(out.distribution, subruns[i], finals[i], opts,
-                            w, rng);
+            accumulateNoisy(out.distribution, scratch, subruns[i],
+                            finals[i], opts, w, rng);
         } else if (opts.shots > 0) {
-            StateVector state(subruns[i].numQubits);
-            evolveInto(state, subruns[i], theta_star[i]);
-            const auto hist = state.sample(rng, opts.shots);
+            evolveInto(scratch, subruns[i], theta_star[i]);
+            const auto hist = scratch.sample(rng, opts.shots);
             for (const auto &[x, cnt] : hist)
                 out.distribution[subruns[i].lift(x)] +=
                     w * static_cast<double>(cnt)
                     / static_cast<double>(opts.shots);
         } else {
-            StateVector state(subruns[i].numQubits);
-            evolveInto(state, subruns[i], theta_star[i]);
-            for (const auto &[x, p] : state.distribution())
+            evolveInto(scratch, subruns[i], theta_star[i]);
+            for (const auto &[x, p] : scratch.distribution())
                 out.distribution[subruns[i].lift(x)] += w * p;
         }
     }

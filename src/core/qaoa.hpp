@@ -44,6 +44,9 @@ struct SubRun
      * theta (must be unitarily equivalent to build(); the equivalence is a
      * tested property). Used by the variational loop and the exact final
      * distribution; gate-noise sampling always goes through build().
+     * Contract: the callee receives a state of the right dimension with
+     * unspecified contents and must establish its own initial state
+     * (every implementation starts with state.reset(init)).
      */
     std::function<void(sim::StateVector &, const std::vector<double> &)>
         evolve;

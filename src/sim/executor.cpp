@@ -42,21 +42,19 @@ applyGate(StateVector &state, const Gate &g)
         state.apply1q(g.qubits[0], 0, Cplx{0, -1}, Cplx{0, 1}, 0);
         return;
       case GateType::Z:
-        state.apply1q(g.qubits[0], 1, 0, 0, -1);
+        state.applyDiagonal1q(g.qubits[0], 1, -1);
         return;
       case GateType::S:
-        state.apply1q(g.qubits[0], 1, 0, 0, Cplx{0, 1});
+        state.applyDiagonal1q(g.qubits[0], 1, Cplx{0, 1});
         return;
       case GateType::Sdg:
-        state.apply1q(g.qubits[0], 1, 0, 0, Cplx{0, -1});
+        state.applyDiagonal1q(g.qubits[0], 1, Cplx{0, -1});
         return;
       case GateType::T:
-        state.apply1q(g.qubits[0], 1, 0, 0,
-                      Cplx{kInvSqrt2, kInvSqrt2});
+        state.applyDiagonal1q(g.qubits[0], 1, Cplx{kInvSqrt2, kInvSqrt2});
         return;
       case GateType::Tdg:
-        state.apply1q(g.qubits[0], 1, 0, 0,
-                      Cplx{kInvSqrt2, -kInvSqrt2});
+        state.applyDiagonal1q(g.qubits[0], 1, Cplx{kInvSqrt2, -kInvSqrt2});
         return;
       case GateType::RX: {
         const Cplx c{std::cos(theta / 2), 0.0};
@@ -72,13 +70,12 @@ applyGate(StateVector &state, const Gate &g)
       }
       case GateType::RZ: {
         const Cplx em{std::cos(theta / 2), -std::sin(theta / 2)};
-        const Cplx ep{std::cos(theta / 2), std::sin(theta / 2)};
-        state.apply1q(g.qubits[0], em, 0, 0, ep);
+        state.applyDiagonal1q(g.qubits[0], em, std::conj(em));
         return;
       }
       case GateType::P:
-        state.apply1q(g.qubits[0], 1, 0, 0,
-                      Cplx{std::cos(theta), std::sin(theta)});
+        state.applyDiagonal1q(g.qubits[0], 1,
+                              Cplx{std::cos(theta), std::sin(theta)});
         return;
       case GateType::CX:
         state.applyControlled1q(Basis{1} << g.qubits[0], g.qubits[1], 0, 1,
@@ -98,15 +95,11 @@ applyGate(StateVector &state, const Gate &g)
                                 0);
         return;
       case GateType::RZZ: {
+        // Diagonal two-mask kernel: equal bits = even parity of the
+        // two-bit mask -> e^{-i theta/2}, unequal -> e^{+i theta/2}.
         const Cplx same{std::cos(theta / 2), -std::sin(theta / 2)};
-        const Cplx diff{std::cos(theta / 2), std::sin(theta / 2)};
-        const Basis ba = Basis{1} << g.qubits[0];
-        const Basis bb = Basis{1} << g.qubits[1];
-        state.applyDiagonal([=](Basis idx) {
-            const bool a = (idx & ba) != 0;
-            const bool b = (idx & bb) != 0;
-            return a == b ? same : diff;
-        });
+        state.applyParityPhase(maskOf(g.qubits, 0, 2), same,
+                               std::conj(same));
         return;
       }
       case GateType::XY:

@@ -1,0 +1,64 @@
+#include "sim/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace chocoq::sim
+{
+
+namespace
+{
+
+/** 0 = not yet resolved; otherwise the clamped thread count. */
+std::atomic<int> g_threads{0};
+
+int
+clampThreads(long v)
+{
+    if (v < 1)
+        return 1;
+    if (v > kMaxSimThreads)
+        return kMaxSimThreads;
+    return static_cast<int>(v);
+}
+
+} // namespace
+
+int
+simThreads()
+{
+#ifndef _OPENMP
+    return 1;
+#else
+    int v = g_threads.load(std::memory_order_relaxed);
+    if (v > 0)
+        return v;
+    int resolved = 1;
+    if (const char *env = std::getenv("CHOCOQ_THREADS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && parsed > 0)
+            resolved = clampThreads(parsed);
+    }
+    // Dynamic team sizing would let the runtime grant different team
+    // sizes to identical loops on different calls, breaking the
+    // fixed-partition reproducibility guarantee; pin it off.
+    if (resolved > 1)
+        omp_set_dynamic(0);
+    g_threads.store(resolved, std::memory_order_relaxed);
+    return resolved;
+#endif
+}
+
+void
+setSimThreads(int threads)
+{
+#ifdef _OPENMP
+    if (threads > 1)
+        omp_set_dynamic(0);
+#endif
+    g_threads.store(threads <= 0 ? 0 : clampThreads(threads),
+                    std::memory_order_relaxed);
+}
+
+} // namespace chocoq::sim

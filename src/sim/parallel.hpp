@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Deterministic shared-memory parallelism for the state-vector kernels.
+ *
+ * Thread count is opt-in via the CHOCOQ_THREADS environment variable (or
+ * setSimThreads for tests); the default is single-threaded so results are
+ * bit-reproducible out of the box. When OpenMP is enabled at compile time
+ * and more than one thread is requested, loops are split into contiguous
+ * [begin, end) chunks by a fixed formula — chunk boundaries depend only
+ * on (count, granted team size), never on scheduling — and reductions
+ * accumulate one partial per thread which are then summed in thread
+ * order. Dynamic team sizing is pinned off when multithreading is
+ * enabled, so the granted team size — and therefore every bit of every
+ * result — is stable across calls for a given environment.
+ */
+
+#ifndef CHOCOQ_SIM_PARALLEL_HPP
+#define CHOCOQ_SIM_PARALLEL_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace chocoq::sim
+{
+
+/** Hard cap on worker threads (bounds the stack partial-sum buffers). */
+constexpr int kMaxSimThreads = 64;
+
+/** Minimum elements per thread before a loop is worth splitting. */
+constexpr std::size_t kParallelGrain = std::size_t{1} << 12;
+
+/**
+ * Resolved kernel thread count (>= 1). Reads CHOCOQ_THREADS once on first
+ * use; 1 when unset, when OpenMP is compiled out, or when the value is
+ * not a positive integer.
+ */
+int simThreads();
+
+/**
+ * Override the kernel thread count (clamped to [1, kMaxSimThreads]);
+ * pass 0 to re-resolve from the environment. Intended for tests and
+ * benchmarks.
+ */
+void setSimThreads(int threads);
+
+/** Threads a loop of @p count elements actually gets (>= 1). */
+inline int
+planThreads(std::size_t count)
+{
+#ifdef _OPENMP
+    const int nt = simThreads();
+    if (nt <= 1 || count < 2 * kParallelGrain)
+        return 1;
+    return static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(nt), count / kParallelGrain));
+#else
+    (void)count;
+    return 1;
+#endif
+}
+
+/**
+ * Run body(i) for i in [0, count). Parallel when planThreads(count) > 1;
+ * the body must write only locations owned by index i. An exception
+ * thrown by the body is captured inside the parallel region and
+ * rethrown to the caller after the join (one of the thrown exceptions,
+ * if several threads throw), matching single-threaded semantics.
+ */
+template <class Body>
+void
+parallelFor(std::size_t count, Body &&body)
+{
+#ifdef _OPENMP
+    const int nt = planThreads(count);
+    if (nt > 1) {
+        std::exception_ptr error;
+#pragma omp parallel num_threads(nt)
+        {
+            // Partition on the team size actually granted (the runtime
+            // may deliver fewer threads than requested) so every chunk
+            // is owned by a live thread.
+            const int team = omp_get_num_threads();
+            const int tid = omp_get_thread_num();
+            const std::size_t begin =
+                count * static_cast<std::size_t>(tid) / team;
+            const std::size_t end =
+                count * (static_cast<std::size_t>(tid) + 1) / team;
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    body(i);
+            } catch (...) {
+#pragma omp critical(chocoq_parallel_error)
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+#endif
+    for (std::size_t i = 0; i < count; ++i)
+        body(i);
+}
+
+/**
+ * Sum body(i) over i in [0, count). Deterministic for a fixed thread
+ * count: per-thread partials over fixed chunks, combined in thread
+ * order. Body exceptions are captured and rethrown after the join, as
+ * in parallelFor.
+ */
+template <class Body>
+double
+parallelReduce(std::size_t count, Body &&body)
+{
+#ifdef _OPENMP
+    const int nt = planThreads(count);
+    if (nt > 1) {
+        double partial[kMaxSimThreads] = {};
+        std::exception_ptr error;
+#pragma omp parallel num_threads(nt)
+        {
+            const int team = omp_get_num_threads();
+            const int tid = omp_get_thread_num();
+            const std::size_t begin =
+                count * static_cast<std::size_t>(tid) / team;
+            const std::size_t end =
+                count * (static_cast<std::size_t>(tid) + 1) / team;
+            double acc = 0.0;
+            try {
+                for (std::size_t i = begin; i < end; ++i)
+                    acc += body(i);
+            } catch (...) {
+#pragma omp critical(chocoq_parallel_error)
+                if (!error)
+                    error = std::current_exception();
+            }
+            partial[tid] = acc;
+        }
+        if (error)
+            std::rethrow_exception(error);
+        // team <= nt always, so summing the requested range in fixed
+        // order covers every live thread deterministically.
+        double total = 0.0;
+        for (int t = 0; t < nt; ++t)
+            total += partial[t];
+        return total;
+    }
+#endif
+    double acc = 0.0;
+    for (std::size_t i = 0; i < count; ++i)
+        acc += body(i);
+    return acc;
+}
+
+} // namespace chocoq::sim
+
+#endif // CHOCOQ_SIM_PARALLEL_HPP

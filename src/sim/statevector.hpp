@@ -8,20 +8,26 @@
  *  - applyPhaseMask / applyDiagonal for objective Hamiltonians,
  *  - applyPairRotation for exact exp(-i beta Hc(u)) evolution of a commute
  *    Hamiltonian term (the functional-simulation path),
- *  - applyXY for the cyclic-Hamiltonian baseline's mixer blocks.
+ *  - applyXY for the cyclic-Hamiltonian baseline's mixer blocks,
+ *  - applyDiagonal1q / applyParityPhase for diagonal gates (RZ, RZZ, ...).
+ *
+ * Masked kernels enumerate only the 2^(n-k) amplitudes they transform
+ * (see sim/subspace.hpp) instead of scanning all 2^n with a filter
+ * branch, and all full-dimension loops honor the CHOCOQ_THREADS OpenMP
+ * partitioning (see sim/parallel.hpp).
  */
 
 #ifndef CHOCOQ_SIM_STATEVECTOR_HPP
 #define CHOCOQ_SIM_STATEVECTOR_HPP
 
 #include <complex>
-#include <functional>
 #include <map>
 #include <vector>
 
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
+#include "sim/parallel.hpp"
 
 namespace chocoq::sim
 {
@@ -45,6 +51,22 @@ class StateVector
     /** Reset to the computational basis state |idx>. */
     void reset(Basis idx = 0);
 
+    /**
+     * Re-dimension to @p num_qubits qubits and reset to |0...0>. Reuses
+     * the existing allocation whenever capacity allows, so a scratch
+     * state cycled through repeated objective evaluations performs no
+     * steady-state heap allocation.
+     */
+    void prepare(int num_qubits);
+
+    /**
+     * Re-dimension to @p num_qubits qubits leaving the amplitudes
+     * unspecified (same allocation reuse as prepare). For callers that
+     * immediately establish their own initial state via reset() — skips
+     * prepare's redundant zero-fill sweep on the hot loop.
+     */
+    void resizeScratch(int num_qubits);
+
     /** Squared-norm of the state (should stay 1 within round-off). */
     double totalProbability() const;
 
@@ -53,6 +75,9 @@ class StateVector
 
     /** Apply a general single-qubit gate given row-major 2x2 entries. */
     void apply1q(int q, Cplx m00, Cplx m01, Cplx m10, Cplx m11);
+
+    /** Apply the diagonal gate diag(d0, d1) on qubit @p q (Z, S, T, RZ...). */
+    void applyDiagonal1q(int q, Cplx d0, Cplx d1);
 
     /**
      * Apply a single-qubit gate on @p q controlled on every qubit in
@@ -64,8 +89,30 @@ class StateVector
     /** Multiply amplitudes of states with (idx & mask) == mask by e^{i phi}. */
     void applyPhaseMask(Basis mask, double phi);
 
-    /** Multiply each amplitude by the diagonal factor f(idx). */
-    void applyDiagonal(const std::function<Cplx(Basis)> &f);
+    /**
+     * Two-valued parity diagonal: multiply amp[idx] by @p even when
+     * popcount(idx & mask) is even, by @p odd otherwise. RZZ and any
+     * exp(-i theta Z...Z/2) rotation reduce to this with
+     * even = e^{-i theta/2}, odd = e^{+i theta/2}.
+     */
+    void applyParityPhase(Basis mask, Cplx even, Cplx odd);
+
+    /**
+     * Multiply each amplitude by the diagonal factor f(idx).
+     *
+     * When CHOCOQ_THREADS enables multithreading, @p f is invoked
+     * concurrently from OpenMP workers and must be safe to call from
+     * multiple threads (pure functions and reads of immutable captures
+     * are fine; unsynchronized mutation of shared state is not).
+     */
+    template <class F>
+    void
+    applyDiagonal(F &&f)
+    {
+        Cplx *amp = amp_.data();
+        parallelFor(amp_.size(),
+                    [&](std::size_t i) { amp[i] *= f(static_cast<Basis>(i)); });
+    }
 
     /**
      * Fast diagonal-Hamiltonian phase: amp[i] *= exp(-i gamma table[i]).
@@ -86,14 +133,40 @@ class StateVector
      */
     void applyPairRotation(Basis support_mask, Basis v_bits, double beta);
 
+    /**
+     * Pair rotation with the trigonometry precomputed: the pair mixes
+     * under [[c, -i s], [-i s, c]] with @p c = cos(beta),
+     * @p s = sin(beta). Lets a layer of commute terms sharing one beta
+     * pay for sincos once (see core::applyCommuteLayer), and the
+     * real/imaginary structure halves the multiply count versus generic
+     * complex arithmetic.
+     */
+    void applyPairRotation(Basis support_mask, Basis v_bits, double c,
+                           double s);
+
     /** exp(-i beta (X_a X_b + Y_a Y_b)) on the {01, 10} block. */
     void applyXY(int a, int b, double beta);
 
     /** Swap amplitudes of qubits a and b. */
     void applySwap(int a, int b);
 
-    /** <state| diag(f) |state> for a real diagonal observable. */
-    double expectationDiagonal(const std::function<double(Basis)> &f) const;
+    /**
+     * <state| diag(f) |state> for a real diagonal observable.
+     *
+     * Same concurrency contract as applyDiagonal: with CHOCOQ_THREADS
+     * > 1, @p f runs concurrently from OpenMP workers and must be
+     * thread-safe.
+     */
+    template <class F>
+    double
+    expectationDiagonal(F &&f) const
+    {
+        const Cplx *amp = amp_.data();
+        return parallelReduce(amp_.size(), [&](std::size_t i) {
+            const double p = std::norm(amp[i]);
+            return p > 0.0 ? p * f(static_cast<Basis>(i)) : 0.0;
+        });
+    }
 
     /** Expectation of a precomputed diagonal observable table. */
     double expectationTable(const std::vector<double> &table) const;
@@ -115,6 +188,12 @@ class StateVector
                                 double readout_flip_prob = 0.0) const;
 
   private:
+    /** Free (spectator) bit mask complementing @p fixed_mask. */
+    Basis freeMask(Basis fixed_mask) const
+    {
+        return (amp_.size() - 1) & ~fixed_mask;
+    }
+
     int n_;
     CVec amp_;
 };

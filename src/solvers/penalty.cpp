@@ -137,11 +137,12 @@ PenaltyQaoaSolver::solve(const model::Problem &p) const
             // Red-QAOA-style warm start: coarse single-layer grid search.
             double best = 0.0;
             bool first = true;
+            sim::StateVector state(k);
             for (double g : {0.05, 0.1, 0.2, 0.4}) {
                 for (double b : {0.2, 0.4, 0.6, 0.9}) {
                     double acc = 0.0;
                     for (const auto &run : runs) {
-                        sim::StateVector state(run.numQubits);
+                        state.resizeScratch(run.numQubits);
                         run.evolve(state, {g, b});
                         acc += state.expectationTable(*run.costTable);
                     }
