@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hardware.dir/bench/bench_fig10_hardware.cpp.o"
+  "CMakeFiles/bench_fig10_hardware.dir/bench/bench_fig10_hardware.cpp.o.d"
+  "bench_fig10_hardware"
+  "bench_fig10_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_decomposition.dir/bench/bench_fig12_decomposition.cpp.o"
+  "CMakeFiles/bench_fig12_decomposition.dir/bench/bench_fig12_decomposition.cpp.o.d"
+  "bench_fig12_decomposition"
+  "bench_fig12_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_elimination.dir/bench/bench_fig13_elimination.cpp.o"
+  "CMakeFiles/bench_fig13_elimination.dir/bench/bench_fig13_elimination.cpp.o.d"
+  "bench_fig13_elimination"
+  "bench_fig13_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

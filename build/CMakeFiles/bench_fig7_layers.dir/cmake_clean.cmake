@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_layers.dir/bench/bench_fig7_layers.cpp.o"
+  "CMakeFiles/bench_fig7_layers.dir/bench/bench_fig7_layers.cpp.o.d"
+  "bench_fig7_layers"
+  "bench_fig7_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

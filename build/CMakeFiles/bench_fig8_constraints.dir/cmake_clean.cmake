@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_constraints.dir/bench/bench_fig8_constraints.cpp.o"
+  "CMakeFiles/bench_fig8_constraints.dir/bench/bench_fig8_constraints.cpp.o.d"
+  "bench_fig8_constraints"
+  "bench_fig8_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "CMakeFiles/chocoq.dir/src/circuit/circuit.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/transpile.cpp" "CMakeFiles/chocoq.dir/src/circuit/transpile.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/circuit/transpile.cpp.o.d"
+  "/root/repo/src/common/membytes.cpp" "CMakeFiles/chocoq.dir/src/common/membytes.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/common/membytes.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/chocoq.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/chocoq.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/core/chocoq_solver.cpp" "CMakeFiles/chocoq.dir/src/core/chocoq_solver.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/chocoq_solver.cpp.o.d"
+  "/root/repo/src/core/circuits.cpp" "CMakeFiles/chocoq.dir/src/core/circuits.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/circuits.cpp.o.d"
+  "/root/repo/src/core/commute.cpp" "CMakeFiles/chocoq.dir/src/core/commute.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/commute.cpp.o.d"
+  "/root/repo/src/core/eliminate.cpp" "CMakeFiles/chocoq.dir/src/core/eliminate.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/eliminate.cpp.o.d"
+  "/root/repo/src/core/movebasis.cpp" "CMakeFiles/chocoq.dir/src/core/movebasis.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/movebasis.cpp.o.d"
+  "/root/repo/src/core/qaoa.cpp" "CMakeFiles/chocoq.dir/src/core/qaoa.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/core/qaoa.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "CMakeFiles/chocoq.dir/src/device/device.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/device/device.cpp.o.d"
+  "/root/repo/src/linalg/expm.cpp" "CMakeFiles/chocoq.dir/src/linalg/expm.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/linalg/expm.cpp.o.d"
+  "/root/repo/src/linalg/givens.cpp" "CMakeFiles/chocoq.dir/src/linalg/givens.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/linalg/givens.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/chocoq.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "CMakeFiles/chocoq.dir/src/metrics/stats.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/metrics/stats.cpp.o.d"
+  "/root/repo/src/model/exact.cpp" "CMakeFiles/chocoq.dir/src/model/exact.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/model/exact.cpp.o.d"
+  "/root/repo/src/model/polynomial.cpp" "CMakeFiles/chocoq.dir/src/model/polynomial.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/model/polynomial.cpp.o.d"
+  "/root/repo/src/model/problem.cpp" "CMakeFiles/chocoq.dir/src/model/problem.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/model/problem.cpp.o.d"
+  "/root/repo/src/optimize/cobyla.cpp" "CMakeFiles/chocoq.dir/src/optimize/cobyla.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/optimize/cobyla.cpp.o.d"
+  "/root/repo/src/optimize/factory.cpp" "CMakeFiles/chocoq.dir/src/optimize/factory.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/optimize/factory.cpp.o.d"
+  "/root/repo/src/optimize/neldermead.cpp" "CMakeFiles/chocoq.dir/src/optimize/neldermead.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/optimize/neldermead.cpp.o.d"
+  "/root/repo/src/optimize/spsa.cpp" "CMakeFiles/chocoq.dir/src/optimize/spsa.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/optimize/spsa.cpp.o.d"
+  "/root/repo/src/problems/flp.cpp" "CMakeFiles/chocoq.dir/src/problems/flp.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/problems/flp.cpp.o.d"
+  "/root/repo/src/problems/gcp.cpp" "CMakeFiles/chocoq.dir/src/problems/gcp.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/problems/gcp.cpp.o.d"
+  "/root/repo/src/problems/kpp.cpp" "CMakeFiles/chocoq.dir/src/problems/kpp.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/problems/kpp.cpp.o.d"
+  "/root/repo/src/problems/suite.cpp" "CMakeFiles/chocoq.dir/src/problems/suite.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/problems/suite.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "CMakeFiles/chocoq.dir/src/sim/executor.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/sim/executor.cpp.o.d"
+  "/root/repo/src/sim/parallel.cpp" "CMakeFiles/chocoq.dir/src/sim/parallel.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/sim/parallel.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "CMakeFiles/chocoq.dir/src/sim/statevector.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/sim/statevector.cpp.o.d"
+  "/root/repo/src/sim/unitary.cpp" "CMakeFiles/chocoq.dir/src/sim/unitary.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/sim/unitary.cpp.o.d"
+  "/root/repo/src/solvers/cyclic.cpp" "CMakeFiles/chocoq.dir/src/solvers/cyclic.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/solvers/cyclic.cpp.o.d"
+  "/root/repo/src/solvers/hea.cpp" "CMakeFiles/chocoq.dir/src/solvers/hea.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/solvers/hea.cpp.o.d"
+  "/root/repo/src/solvers/penalty.cpp" "CMakeFiles/chocoq.dir/src/solvers/penalty.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/solvers/penalty.cpp.o.d"
+  "/root/repo/src/solvers/trotter.cpp" "CMakeFiles/chocoq.dir/src/solvers/trotter.cpp.o" "gcc" "CMakeFiles/chocoq.dir/src/solvers/trotter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

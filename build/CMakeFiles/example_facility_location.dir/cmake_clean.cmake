@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_facility_location.dir/examples/facility_location.cpp.o"
+  "CMakeFiles/example_facility_location.dir/examples/facility_location.cpp.o.d"
+  "example_facility_location"
+  "example_facility_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_facility_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

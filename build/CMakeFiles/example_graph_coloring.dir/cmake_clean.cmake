@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_coloring.dir/examples/graph_coloring.cpp.o"
+  "CMakeFiles/example_graph_coloring.dir/examples/graph_coloring.cpp.o.d"
+  "example_graph_coloring"
+  "example_graph_coloring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_k_partition.dir/examples/k_partition.cpp.o"
+  "CMakeFiles/example_k_partition.dir/examples/k_partition.cpp.o.d"
+  "example_k_partition"
+  "example_k_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_k_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_portfolio.dir/examples/portfolio.cpp.o"
+  "CMakeFiles/example_portfolio.dir/examples/portfolio.cpp.o.d"
+  "example_portfolio"
+  "example_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commute.dir/tests/test_commute.cpp.o"
+  "CMakeFiles/test_commute.dir/tests/test_commute.cpp.o.d"
+  "test_commute"
+  "test_commute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

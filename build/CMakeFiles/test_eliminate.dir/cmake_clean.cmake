@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eliminate.dir/tests/test_eliminate.cpp.o"
+  "CMakeFiles/test_eliminate.dir/tests/test_eliminate.cpp.o.d"
+  "test_eliminate"
+  "test_eliminate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eliminate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemmas.dir/tests/test_lemmas.cpp.o"
+  "CMakeFiles/test_lemmas.dir/tests/test_lemmas.cpp.o.d"
+  "test_lemmas"
+  "test_lemmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

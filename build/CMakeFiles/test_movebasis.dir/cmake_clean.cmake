@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_movebasis.dir/tests/test_movebasis.cpp.o"
+  "CMakeFiles/test_movebasis.dir/tests/test_movebasis.cpp.o.d"
+  "test_movebasis"
+  "test_movebasis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_movebasis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimize.dir/tests/test_optimize.cpp.o"
+  "CMakeFiles/test_optimize.dir/tests/test_optimize.cpp.o.d"
+  "test_optimize"
+  "test_optimize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
