@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Throughput/latency benchmark of the concurrent solve service, in the
+ * spirit of HPC AI500's "measure, don't assert" methodology: a
+ * repeated-structure job suite (the production shape: many requests,
+ * few distinct problem structures) runs at 1/2/4 workers and the run
+ * reports jobs/sec, p50/p99 end-to-end latency, compilation-cache hit
+ * rate, and a bitwise cross-worker-count determinism check, mirrored to
+ * BENCH_service.json for PR-over-PR tracking.
+ *
+ * Note on scaling: worker speedup is meaningful only on a machine with
+ * that many cores; the JSON records the hardware concurrency alongside
+ * the numbers so a 1-core CI box reporting ~1x is interpreted correctly.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "service/service.hpp"
+
+using namespace chocoq;
+
+namespace
+{
+
+struct Config
+{
+    bool full = false;
+    /** Jobs per distinct problem structure. */
+    int repeats = 8;
+    int iterations = 20;
+    std::vector<int> workerCounts = {1, 2, 4};
+    std::string outPath = "BENCH_service.json";
+};
+
+/** The repeated-structure suite: every structure appears `repeats`
+ * times with distinct ids and seeds, shuffled round-robin so repeats of
+ * one structure are interleaved across the stream (worst case for a
+ * cacheless service, steady state for ours). */
+std::vector<service::SolveJob>
+makeSuite(const Config &cfg)
+{
+    struct Structure
+    {
+        const char *scale;
+        unsigned caseIndex;
+    };
+    std::vector<Structure> structures = {
+        {"F1", 0}, {"F1", 1}, {"K1", 0}, {"K1", 1}, {"K2", 0}, {"G1", 0},
+    };
+    if (cfg.full) {
+        structures.push_back({"G1", 1});
+        structures.push_back({"F2", 0});
+    }
+
+    std::vector<service::SolveJob> jobs;
+    for (int r = 0; r < cfg.repeats; ++r) {
+        for (std::size_t s = 0; s < structures.size(); ++s) {
+            service::SolveJob job;
+            job.id = std::string(structures[s].scale) + "#"
+                     + std::to_string(structures[s].caseIndex) + "/"
+                     + std::to_string(r);
+            job.scale = structures[s].scale;
+            job.caseIndex = structures[s].caseIndex;
+            // Distinct seeds across repeats: structure is shared,
+            // execution is not, which is exactly what the cache keys on.
+            job.seed = 1000 + 17 * static_cast<std::uint64_t>(r) + s;
+            job.maxIterations = cfg.iterations;
+            job.keepStarts = 2; // batched multi-start screening
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/** @p sorted must be ascending (sorted once by the caller). */
+double
+percentile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct RunReport
+{
+    int workers = 0;
+    double wallSeconds = 0.0;
+    double jobsPerSec = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    double execP50Ms = 0.0;
+    double cacheHitRate = 0.0;
+    std::vector<service::SolveResult> results;
+};
+
+RunReport
+runSuite(const std::vector<service::SolveJob> &jobs, int workers)
+{
+    service::ServiceOptions options;
+    options.workers = workers;
+    service::SolveService svc(options); // fresh service: cold cache
+    Timer wall;
+    RunReport report;
+    report.results = svc.solveAll(jobs);
+    report.wallSeconds = wall.seconds();
+    report.workers = workers;
+    report.jobsPerSec =
+        static_cast<double>(jobs.size()) / report.wallSeconds;
+
+    std::vector<double> end_to_end, exec;
+    for (const auto &r : report.results) {
+        end_to_end.push_back(r.queueMs + r.solveMs);
+        exec.push_back(r.solveMs);
+        if (r.status != "ok")
+            std::cerr << "job " << r.id << " failed: " << r.error << "\n";
+    }
+    std::sort(end_to_end.begin(), end_to_end.end());
+    std::sort(exec.begin(), exec.end());
+    report.p50Ms = percentile(end_to_end, 0.50);
+    report.p99Ms = percentile(end_to_end, 0.99);
+    report.execP50Ms = percentile(exec, 0.50);
+    report.cacheHitRate = svc.cacheStats().hitRate();
+    return report;
+}
+
+/** Bitwise comparison of per-job outputs between two runs. */
+bool
+sameResults(const RunReport &a, const RunReport &b)
+{
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        const auto &ra = a.results[i];
+        const auto &rb = b.results[i];
+        if (ra.distHash != rb.distHash
+            || std::memcmp(&ra.bestCost, &rb.bestCost, sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--full") {
+            cfg.full = true;
+        } else if (arg == "--repeats" && i + 1 < argc) {
+            cfg.repeats = std::atoi(argv[++i]);
+        } else if (arg == "--out" && i + 1 < argc) {
+            cfg.outPath = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: " << argv[0]
+                      << " [--full] [--repeats N] [--out FILE]\n";
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            return 2;
+        }
+    }
+    const char *env = std::getenv("CHOCOQ_BENCH_FULL");
+    if (env && std::string(env) != "0")
+        cfg.full = true;
+    if (cfg.full)
+        cfg.repeats = std::max(cfg.repeats, 16);
+
+    const auto jobs = makeSuite(cfg);
+    std::cout << "=== bench_service (" << (cfg.full ? "full" : "quick")
+              << " mode): " << jobs.size()
+              << " jobs, hardware concurrency "
+              << std::thread::hardware_concurrency() << " ===\n";
+
+    std::vector<RunReport> runs;
+    for (const int workers : cfg.workerCounts) {
+        RunReport report = runSuite(jobs, workers);
+        std::cout << "workers=" << report.workers << ": "
+                  << report.jobsPerSec << " jobs/s, p50 " << report.p50Ms
+                  << " ms, p99 " << report.p99Ms << " ms, exec p50 "
+                  << report.execP50Ms << " ms, cache hit rate "
+                  << report.cacheHitRate << "\n";
+        runs.push_back(std::move(report));
+    }
+
+    bool deterministic = true;
+    for (std::size_t i = 1; i < runs.size(); ++i)
+        deterministic = deterministic && sameResults(runs[0], runs[i]);
+    const double speedup =
+        runs.size() >= 2 ? runs.back().jobsPerSec / runs.front().jobsPerSec
+                         : 1.0;
+    std::cout << "speedup " << runs.back().workers << "w vs "
+              << runs.front().workers << "w: " << speedup
+              << "x; deterministic across worker counts: "
+              << (deterministic ? "yes" : "NO") << "\n";
+
+    service::Json doc = service::Json::object();
+    doc.set("bench", "service");
+    doc.set("mode", cfg.full ? "full" : "quick");
+    doc.set("jobs", static_cast<double>(jobs.size()));
+    doc.set("hardware_concurrency",
+            static_cast<double>(std::thread::hardware_concurrency()));
+    doc.set("deterministic_across_worker_counts", deterministic);
+    doc.set("speedup_max_vs_min_workers", speedup);
+    service::Json run_array = service::Json::array();
+    for (const auto &r : runs) {
+        service::Json entry = service::Json::object();
+        entry.set("workers", r.workers);
+        entry.set("wall_seconds", r.wallSeconds);
+        entry.set("jobs_per_sec", r.jobsPerSec);
+        entry.set("latency_p50_ms", r.p50Ms);
+        entry.set("latency_p99_ms", r.p99Ms);
+        entry.set("exec_p50_ms", r.execP50Ms);
+        entry.set("cache_hit_rate", r.cacheHitRate);
+        run_array.push(std::move(entry));
+    }
+    doc.set("runs", std::move(run_array));
+
+    std::ofstream out(cfg.outPath);
+    out << doc.pretty() << "\n";
+    std::cout << "wrote " << cfg.outPath << "\n";
+    return deterministic ? 0 : 1;
+}

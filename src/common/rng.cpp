@@ -29,6 +29,13 @@ rotl(std::uint64_t x, int k)
 
 } // namespace
 
+std::uint64_t
+deriveSeed(std::uint64_t seed, std::uint64_t stream)
+{
+    std::uint64_t x = seed + stream * 0x9e3779b97f4a7c15ull;
+    return splitmix64(x);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
     std::uint64_t x = seed;

@@ -70,6 +70,15 @@ class Rng
     double spare_ = 0.0;
 };
 
+/**
+ * Derive an independent sub-stream seed from a master seed (splitmix64
+ * finalizer over seed + stream * golden-ratio). Components that need
+ * several decorrelated deterministic streams from one job/user seed
+ * (optimizer restarts, HEA initial angles, final sampling) share this
+ * one audited recipe.
+ */
+std::uint64_t deriveSeed(std::uint64_t seed, std::uint64_t stream);
+
 } // namespace chocoq
 
 #endif // CHOCOQ_COMMON_RNG_HPP

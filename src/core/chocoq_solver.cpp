@@ -58,16 +58,16 @@ ChocoQSolver::compileOnly(const model::Problem &p) const
     return out;
 }
 
-SolverOutcome
-ChocoQSolver::solve(const model::Problem &p) const
+std::shared_ptr<const ChocoQArtifacts>
+ChocoQSolver::compile(const model::Problem &p) const
 {
     Timer compile_timer;
+    auto art = std::make_shared<ChocoQArtifacts>();
     const int e = std::min(opts_.eliminate, p.numVars() - 1);
-    const EliminationPlan plan = chooseElimination(p, e);
-    const auto subs = buildSubInstances(p, plan);
-    const int k = static_cast<int>(plan.kept.size());
+    art->plan = chooseElimination(p, e);
+    const auto subs = buildSubInstances(p, art->plan);
+    const int k = static_cast<int>(art->plan.kept.size());
 
-    std::vector<SubRun> runs;
     for (const auto &sub : subs) {
         const auto init = model::findFeasible(sub.reduced);
         if (!init)
@@ -78,28 +78,57 @@ ChocoQSolver::solve(const model::Problem &p) const
             rb, sub.reduced.constraints(),
             std::max<std::size_t>(opts_.moveSetFactor, 1)
                 * std::max<std::size_t>(rb.moves.size(), 1));
-        auto terms = std::make_shared<std::vector<CommuteTerm>>(
+
+        CompiledSub cs;
+        cs.numQubits = k;
+        cs.init = *init;
+        cs.assignment = sub.assignment;
+        cs.terms = std::make_shared<const std::vector<CommuteTerm>>(
             makeCommuteTerms(moves));
-        auto f = std::make_shared<model::Polynomial>(
+        cs.objective = std::make_shared<const model::Polynomial>(
             sub.reduced.minimizedObjective());
-        auto table = tabulate(*f, k);
-        const Basis assignment = sub.assignment;
-        const Basis x0 = *init;
+        cs.costTable = tabulate(*cs.objective, k);
 
         // Fig. 14 ablation: extra basic gates a generic two-level
         // synthesis of each local unitary would cost over Lemma 2.
-        std::size_t pad_pairs = 0;
         if (opts_.genericSynthesisPadding) {
-            for (const auto &term : *terms) {
+            for (const auto &term : *cs.terms) {
                 const std::size_t generic = genericTermSynthesisGates(term, 0.7);
                 circuit::Circuit one(k);
                 appendCommuteTermCircuit(one, term, 0.7);
                 const std::size_t lemma2 =
                     circuit::transpile(one).gateCount();
                 if (generic > lemma2)
-                    pad_pairs += (generic - lemma2) / 2;
+                    cs.padPairs += (generic - lemma2) / 2;
             }
         }
+        art->subs.push_back(std::move(cs));
+    }
+    if (art->subs.empty())
+        CHOCOQ_FATAL("problem " << p.name()
+                     << " has no feasible assignment");
+    art->seconds = compile_timer.seconds();
+    return art;
+}
+
+SolverOutcome
+ChocoQSolver::solveCompiled(const model::Problem &p,
+                            const ChocoQArtifacts &art) const
+{
+    // SubRun closures capture only shared_ptr-to-const artifact pieces
+    // (plus plain values), so many jobs may run off one ChocoQArtifacts
+    // concurrently.
+    std::vector<SubRun> runs;
+    runs.reserve(art.subs.size());
+    const EliminationPlan &plan = art.plan;
+    for (const auto &cs : art.subs) {
+        const int k = cs.numQubits;
+        const Basis x0 = cs.init;
+        const Basis assignment = cs.assignment;
+        const auto f = cs.objective;
+        const auto terms = cs.terms;
+        const auto table = cs.costTable;
+        const std::size_t pad_pairs = cs.padPairs;
 
         SubRun run;
         run.numQubits = k;
@@ -123,16 +152,31 @@ ChocoQSolver::solve(const model::Problem &p) const
                     applyCommuteLayer(state, *terms, theta[2 * l + 1]);
                 }
             };
+            // Lockstep multi-start: per state this is exactly evolve()'s
+            // kernel sequence, only interleaved layer by layer so the
+            // phase table and terms stay cache-hot across the batch.
+            run.evolveBatch =
+                [x0, table, terms](
+                    const std::vector<sim::StateVector *> &states,
+                    const std::vector<std::vector<double>> &thetas) {
+                    for (auto *s : states)
+                        s->reset(x0);
+                    const std::size_t layers = thetas[0].size() / 2;
+                    for (std::size_t l = 0; l < layers; ++l) {
+                        for (std::size_t b = 0; b < states.size(); ++b)
+                            states[b]->applyPhaseTable(*table,
+                                                       thetas[b][2 * l]);
+                        for (std::size_t b = 0; b < states.size(); ++b)
+                            applyCommuteLayer(*states[b], *terms,
+                                              thetas[b][2 * l + 1]);
+                    }
+                };
         }
         run.lift = [plan, assignment](Basis x) {
             return liftToFull(x, plan, assignment);
         };
         runs.push_back(std::move(run));
     }
-    if (runs.empty())
-        CHOCOQ_FATAL("problem " << p.name()
-                     << " has no feasible assignment");
-    const double plan_seconds = compile_timer.seconds();
 
     EngineOptions engine = opts_.engine;
     if (engine.theta0.empty()) {
@@ -169,10 +213,16 @@ ChocoQSolver::solve(const model::Problem &p) const
     out.basisTwoQubitCount = res.basisTwoQubitCount;
     out.qubitsUsed = res.qubitsUsed;
     out.circuitsPerIteration = static_cast<int>(runs.size());
-    out.compileSeconds = plan_seconds + res.compileSeconds;
+    out.compileSeconds = art.seconds + res.compileSeconds;
     out.simSeconds = res.simSeconds;
     out.classicalSeconds = res.classicalSeconds;
     return out;
+}
+
+SolverOutcome
+ChocoQSolver::solve(const model::Problem &p) const
+{
+    return solveCompiled(p, *compile(p));
 }
 
 } // namespace chocoq::core

@@ -7,10 +7,13 @@
 #ifndef CHOCOQ_CORE_CHOCOQ_SOLVER_HPP
 #define CHOCOQ_CORE_CHOCOQ_SOLVER_HPP
 
+#include <memory>
+
 #include "core/commute.hpp"
 #include "core/eliminate.hpp"
 #include "core/movebasis.hpp"
 #include "core/solver.hpp"
+#include "model/polynomial.hpp"
 
 namespace chocoq::core
 {
@@ -47,6 +50,42 @@ struct ChocoQOptions
     EngineOptions engine;
 };
 
+/** One compiled sub-instance (fixed assignment of eliminated vars). */
+struct CompiledSub
+{
+    /** Data-qubit count (kept variables). */
+    int numQubits = 0;
+    /** Feasible initial basis state of the reduced instance. */
+    Basis init = 0;
+    /** Assignment bits of the eliminated variables (plan order). */
+    Basis assignment = 0;
+    /** Reduced minimization-form objective. */
+    std::shared_ptr<const model::Polynomial> objective;
+    /** Commute terms of the reduced move set. */
+    std::shared_ptr<const std::vector<CommuteTerm>> terms;
+    /** Objective eigenvalue per reduced basis state. */
+    std::shared_ptr<const std::vector<double>> costTable;
+    /** Fig. 14 ablation: identity-CX pairs padded per ansatz layer. */
+    std::size_t padPairs = 0;
+};
+
+/**
+ * Everything ChocoQSolver::solve derives from the problem *structure*
+ * (constraint matrix + objective polynomial) and the compile-relevant
+ * options: the elimination plan plus, per feasible assignment of the
+ * eliminated variables, the reduced objective, its eigenvalue table, and
+ * the commute terms of the reduced move set. Immutable once compile()
+ * returns, so a compilation cache can hand one instance to many
+ * concurrent jobs (the variational run only reads it).
+ */
+struct ChocoQArtifacts
+{
+    EliminationPlan plan;
+    std::vector<CompiledSub> subs;
+    /** Compilation wall time. */
+    double seconds = 0.0;
+};
+
 /** Compilation artifacts exposed for analysis benches (Fig. 12/13). */
 struct ChocoQCompilation
 {
@@ -68,6 +107,26 @@ class ChocoQSolver : public Solver
     std::string name() const override { return "choco-q"; }
 
     SolverOutcome solve(const model::Problem &p) const override;
+
+    /**
+     * Compile @p p into shareable artifacts (see ChocoQArtifacts).
+     * Throws FatalError when no assignment of the eliminated variables
+     * is feasible.
+     */
+    std::shared_ptr<const ChocoQArtifacts>
+    compile(const model::Problem &p) const;
+
+    /**
+     * Variational run on precompiled artifacts. @p art must come from
+     * compile() on a problem with identical constraints and objective
+     * and from a solver with identical compile-relevant options
+     * (eliminate, moveSetFactor, genericSynthesisPadding) — the
+     * service's compilation cache guarantees this by keying on exactly
+     * those inputs. solve(p) == solveCompiled(p, *compile(p)) bit for
+     * bit.
+     */
+    SolverOutcome solveCompiled(const model::Problem &p,
+                                const ChocoQArtifacts &art) const;
 
     /** Run only the compilation pipeline (benchmarking hook). */
     ChocoQCompilation compileOnly(const model::Problem &p) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
@@ -52,25 +53,92 @@ subrunCost(StateVector &scratch, const SubRun &run,
         [&](Basis x) { return cost(run.lift(x)); });
 }
 
+/** Costs of several theta candidates for one subrun. Takes the lockstep
+ * evolveBatch path when available so shared read-only data (the phase
+ * table, the commute terms) is loaded once per layer for the whole batch
+ * instead of once per start; the per-state arithmetic is identical to
+ * evolveInto, so both paths return bit-identical values (tested
+ * property). */
+std::vector<double>
+batchSubrunCosts(sim::ScratchPool &pool, const SubRun &run,
+                 const std::function<double(Basis)> &cost,
+                 const std::vector<std::vector<double>> &thetas)
+{
+    std::vector<double> out(thetas.size());
+    if (run.evolveBatch && thetas.size() > 1) {
+        std::vector<StateVector *> states(thetas.size());
+        for (std::size_t b = 0; b < thetas.size(); ++b) {
+            StateVector &s = pool.at(b, run.numQubits);
+            s.resizeScratch(run.numQubits);
+            states[b] = &s;
+        }
+        run.evolveBatch(states, thetas);
+        for (std::size_t b = 0; b < thetas.size(); ++b) {
+            if (run.costTable)
+                out[b] = states[b]->expectationTable(*run.costTable);
+            else
+                out[b] = states[b]->expectationDiagonal(
+                    [&](Basis x) { return cost(run.lift(x)); });
+        }
+    } else {
+        StateVector &scratch = pool.at(0, run.numQubits);
+        for (std::size_t b = 0; b < thetas.size(); ++b)
+            out[b] = subrunCost(scratch, run, cost, thetas[b]);
+    }
+    return out;
+}
+
+/** Evaluates a batch of theta candidates in one sweep. */
+using BatchEval = std::function<std::vector<double>(
+    const std::vector<std::vector<double>> &)>;
+
 /** Multi-start minimization; totals evaluations/iterations, keeps the
- * trace of the winning start. */
+ * trace of the winning start. With multiStartKeep > 0, one batched
+ * sweep screens every start and only the most promising keep receive a
+ * full optimizer run. */
 optimize::OptResult
 optimizeMultiStart(const optimize::Optimizer &optimizer,
                    const optimize::ObjectiveFn &objective,
-                   const EngineOptions &opts)
+                   const BatchEval &batch_eval, const EngineOptions &opts)
 {
     std::vector<std::vector<double>> starts{opts.theta0};
     for (const auto &s : opts.extraStarts)
         if (s.size() == opts.theta0.size())
             starts.push_back(s);
 
+    int screen_evals = 0;
+    if (opts.multiStartKeep > 0
+        && static_cast<std::size_t>(opts.multiStartKeep) < starts.size()) {
+        const std::vector<double> value = batch_eval(starts);
+        screen_evals = static_cast<int>(starts.size());
+        std::vector<std::size_t> order(starts.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        // stable_sort on values: ties keep submission order, so the
+        // surviving set is deterministic.
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return value[a] < value[b];
+                         });
+        order.resize(static_cast<std::size_t>(opts.multiStartKeep));
+        std::sort(order.begin(), order.end());
+        std::vector<std::vector<double>> kept;
+        kept.reserve(order.size());
+        for (std::size_t i : order)
+            kept.push_back(std::move(starts[i]));
+        starts = std::move(kept);
+    }
+
     optimize::OptResult best;
-    int total_evals = 0;
+    int total_evals = screen_evals;
     int total_iters = 0;
     bool first = true;
-    for (const auto &start : starts) {
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+        // Stochastic optimizers get a distinct, deterministic stream per
+        // restart (previously every restart replayed the same sequence).
+        optimize::OptOptions start_opts = opts.opt;
+        start_opts.seed = opts.opt.seed + 0x9E3779B97F4A7C15ull * i;
         optimize::OptResult res =
-            optimizer.minimize(objective, start, opts.opt);
+            optimizer.minimize(objective, starts[i], start_opts);
         total_evals += res.evaluations;
         total_iters += res.iterations;
         if (first || res.bestValue < best.bestValue) {
@@ -126,17 +194,23 @@ runQaoa(const std::vector<SubRun> &subruns,
         weight_total += r.weight;
     CHOCOQ_ASSERT(weight_total > 0.0, "subrun weights must be positive");
 
-    const auto optimizer = optimize::makeOptimizer(opts.optimizer);
+    // Construction-seeded optimizer: stochastic methods derive their
+    // stream from the engine seed alone, so concurrent jobs with equal
+    // seeds are bit-identical regardless of scheduling order.
+    const auto optimizer = optimize::makeOptimizer(opts.optimizer, opts.seed);
     double sim_seconds = 0.0;
     Timer total_timer;
 
-    // One scratch state shared by every objective evaluation below; its
-    // buffer is sized once and recycled, so the optimizer's thousands of
-    // evaluations perform zero statevector allocation.
+    // Scratch states shared by every objective evaluation below; buffers
+    // are sized once and recycled, so the optimizer's thousands of
+    // evaluations perform zero statevector allocation. A caller-provided
+    // pool (one per service worker) extends the reuse across jobs.
     int max_qubits = 1;
     for (const auto &r : subruns)
         max_qubits = std::max(max_qubits, r.numQubits);
-    StateVector scratch(max_qubits);
+    sim::ScratchPool local_pool;
+    sim::ScratchPool &pool = opts.scratchPool ? *opts.scratchPool : local_pool;
+    StateVector &scratch = pool.at(0, max_qubits);
 
     // One parameter vector per subrun (identical when shared).
     std::vector<std::vector<double>> theta_star(subruns.size());
@@ -154,8 +228,15 @@ runQaoa(const std::vector<SubRun> &subruns,
                 sim_seconds += t.seconds();
                 return v;
             };
-            const auto res =
-                optimizeMultiStart(*optimizer, objective, opts);
+            auto batch_objective =
+                [&](const std::vector<std::vector<double>> &thetas) {
+                    Timer t;
+                    auto v = batchSubrunCosts(pool, subruns[i], cost, thetas);
+                    sim_seconds += t.seconds();
+                    return v;
+                };
+            const auto res = optimizeMultiStart(*optimizer, objective,
+                                                batch_objective, opts);
             theta_star[i] = res.best;
             best_acc += subruns[i].weight / weight_total * res.bestValue;
             iters = std::max(iters, res.iterations);
@@ -190,7 +271,20 @@ runQaoa(const std::vector<SubRun> &subruns,
             sim_seconds += t.seconds();
             return acc;
         };
-        out.opt = optimizeMultiStart(*optimizer, objective, opts);
+        auto batch_objective =
+            [&](const std::vector<std::vector<double>> &thetas) {
+                Timer t;
+                std::vector<double> acc(thetas.size(), 0.0);
+                for (const auto &run : subruns) {
+                    const auto v = batchSubrunCosts(pool, run, cost, thetas);
+                    for (std::size_t b = 0; b < v.size(); ++b)
+                        acc[b] += run.weight / weight_total * v[b];
+                }
+                sim_seconds += t.seconds();
+                return acc;
+            };
+        out.opt = optimizeMultiStart(*optimizer, objective, batch_objective,
+                                     opts);
         for (auto &theta : theta_star)
             theta = out.opt.best;
     }

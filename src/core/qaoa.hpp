@@ -26,6 +26,7 @@
 #include "common/bitops.hpp"
 #include "optimize/optimizer.hpp"
 #include "sim/executor.hpp"
+#include "sim/scratch.hpp"
 
 namespace chocoq::core
 {
@@ -50,6 +51,18 @@ struct SubRun
      */
     std::function<void(sim::StateVector &, const std::vector<double> &)>
         evolve;
+    /**
+     * Optional lockstep batch evolution: states[b] becomes the output at
+     * thetas[b]. Must perform, per state, exactly the kernel sequence of
+     * evolve() — only interleaved across states layer by layer so shared
+     * read-only data (phase tables, commute terms) stays cache-hot across
+     * the batch — making the two paths bit-identical (tested property).
+     * Same per-state contract as evolve(): the caller fixes each state's
+     * dimension, the callee establishes the initial state.
+     */
+    std::function<void(const std::vector<sim::StateVector *> &,
+                       const std::vector<std::vector<double>> &)>
+        evolveBatch;
     /** Map a measured instance-space state to the full variable space. */
     std::function<Basis(Basis)> lift;
     /**
@@ -75,6 +88,22 @@ struct EngineOptions
      * periodic and multi-modal; wide-angle restarts are cheap insurance.
      */
     std::vector<std::vector<double>> extraStarts;
+    /**
+     * Batched multi-start screening: when > 0, every start is evaluated
+     * once in one batched sweep (SubRun::evolveBatch amortizes the
+     * phase-table loads across starts) and only the most promising
+     * multiStartKeep starts receive a full optimizer run. 0 (default)
+     * optimizes every start, the legacy behavior.
+     */
+    int multiStartKeep = 0;
+    /**
+     * Optional external scratch pool (one per worker thread). Slot 0 is
+     * the objective scratch, higher slots back the batched multi-start
+     * sweep; a service worker reuses the pool across jobs so steady-state
+     * solves allocate no state vectors. When null, the engine uses a
+     * call-local pool.
+     */
+    sim::ScratchPool *scratchPool = nullptr;
     /**
      * Optimize each subrun independently (its own parameters) instead of
      * sharing one parameter vector. This is how variable-eliminated

@@ -9,14 +9,14 @@ namespace chocoq::optimize
 {
 
 std::unique_ptr<Optimizer>
-makeOptimizer(const std::string &name)
+makeOptimizer(const std::string &name, std::uint64_t seed)
 {
     if (name == "cobyla")
         return std::make_unique<Cobyla>();
     if (name == "nelder-mead")
         return std::make_unique<NelderMead>();
     if (name == "spsa")
-        return std::make_unique<Spsa>();
+        return std::make_unique<Spsa>(seed);
     CHOCOQ_FATAL("unknown optimizer '" << name
                  << "' (expected cobyla, nelder-mead, or spsa)");
 }

@@ -70,8 +70,20 @@ class Optimizer
                                const OptOptions &opts) const = 0;
 };
 
-/** Factory by name: "cobyla", "nelder-mead", or "spsa". */
-std::unique_ptr<Optimizer> makeOptimizer(const std::string &name);
+/**
+ * Factory by name: "cobyla", "nelder-mead", or "spsa".
+ *
+ * @param seed Explicit construction seed for stochastic methods, so a
+ * caller running many jobs concurrently gets bit-identical results for
+ * identical (job, seed) pairs regardless of scheduling order. With 0
+ * (the default for direct construction) stochastic streams draw from
+ * OptOptions::seed alone; the engine always passes its
+ * EngineOptions::seed, so engine-driven SPSA streams are determined by
+ * (engine seed, options seed) jointly. Deterministic methods ignore it
+ * either way.
+ */
+std::unique_ptr<Optimizer> makeOptimizer(const std::string &name,
+                                         std::uint64_t seed = 0);
 
 } // namespace chocoq::optimize
 

@@ -16,7 +16,10 @@ Spsa::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
     CHOCOQ_ASSERT(m >= 1, "spsa needs at least one parameter");
 
     OptResult out;
-    Rng rng(opts.seed);
+    // Both seeds feed the stream: the per-call options seed (distinct per
+    // multi-start restart) and the construction seed (distinct per job).
+    Rng rng(seed_ == 0 ? opts.seed
+                       : opts.seed ^ (seed_ * 0x9E3779B97F4A7C15ull));
     auto eval = [&](const std::vector<double> &x) {
         ++out.evaluations;
         return f(x);

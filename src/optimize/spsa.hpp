@@ -15,10 +15,22 @@ namespace chocoq::optimize
 class Spsa : public Optimizer
 {
   public:
+    /**
+     * @param seed Construction-time stream seed. 0 (default) draws the
+     * perturbation stream from OptOptions::seed alone (legacy behavior);
+     * a non-zero value is mixed into every stream so independently
+     * constructed optimizers — e.g. one per concurrent solve job — have
+     * fully caller-determined randomness regardless of scheduling order.
+     */
+    explicit Spsa(std::uint64_t seed = 0) : seed_(seed) {}
+
     std::string name() const override { return "spsa"; }
 
     OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
                        const OptOptions &opts) const override;
+
+  private:
+    std::uint64_t seed_;
 };
 
 } // namespace chocoq::optimize

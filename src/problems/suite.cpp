@@ -1,5 +1,7 @@
 #include "problems/suite.hpp"
 
+#include <cctype>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "problems/flp.hpp"
@@ -62,6 +64,19 @@ std::string
 scaleName(Scale s)
 {
     return specOf(s).name;
+}
+
+std::optional<Scale>
+scaleByName(const std::string &name)
+{
+    if (name.size() == 2)
+        for (Scale s : allScales()) {
+            const char *sn = specOf(s).name;
+            if (std::toupper(static_cast<unsigned char>(name[0])) == sn[0]
+                && name[1] == sn[1])
+                return s;
+        }
+    return std::nullopt;
 }
 
 std::string

@@ -11,6 +11,7 @@
 #ifndef CHOCOQ_PROBLEMS_SUITE_HPP
 #define CHOCOQ_PROBLEMS_SUITE_HPP
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,14 @@ std::vector<Scale> allScales();
 
 /** Scale name as printed in the paper ("F1", "G3", ...). */
 std::string scaleName(Scale s);
+
+/**
+ * Parse a scale name ("F1" .. "K4", case-insensitive). Streaming entry
+ * point for the solve service: a JSONL job request names its case as
+ * (scale, index) and the registry regenerates it on demand, so a suite
+ * of thousands of jobs needs no materialized problem list.
+ */
+std::optional<Scale> scaleByName(const std::string &name);
 
 /** Configuration string ("2F-1D", "3V-1E-3C", ...). */
 std::string scaleConfig(Scale s);

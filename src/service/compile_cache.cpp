@@ -1,0 +1,142 @@
+#include "service/compile_cache.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace chocoq::service
+{
+
+namespace
+{
+
+void
+appendUint(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+void
+appendInt(std::string &out, long long v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld", v);
+    out += buf;
+}
+
+/** Exact double identity: the raw bit pattern, so keys never collide
+ * through decimal formatting. */
+void
+appendDoubleBits(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, bits);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+compileKey(const model::Problem &p, const core::ChocoQOptions &opts)
+{
+    std::string key;
+    key.reserve(256);
+    appendInt(key, p.numVars());
+    key += p.sense() == model::Sense::Minimize ? "|min" : "|max";
+
+    key += "|C:";
+    for (const auto &row : p.constraints()) {
+        for (const int c : row.coeffs) {
+            appendInt(key, c);
+            key.push_back(',');
+        }
+        key.push_back('=');
+        appendInt(key, row.rhs);
+        key.push_back(';');
+    }
+
+    key += "|f:";
+    for (const auto &[vars, coeff] : p.objective().terms()) {
+        for (const int v : vars) {
+            appendInt(key, v);
+            key.push_back('.');
+        }
+        key.push_back(':');
+        appendDoubleBits(key, coeff);
+        key.push_back(';');
+    }
+
+    // Compile-relevant options only: layers/engine/gateLevelLoop shape
+    // the run, not the artifacts.
+    key += "|e:";
+    appendInt(key, opts.eliminate);
+    key += "|m:";
+    appendUint(key, opts.moveSetFactor);
+    key += opts.genericSynthesisPadding ? "|pad" : "|nopad";
+    return key;
+}
+
+std::shared_ptr<const core::ChocoQArtifacts>
+CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
+                  bool *hit)
+{
+    const std::string key = compileKey(p, solver.options());
+
+    std::promise<std::shared_ptr<const core::ChocoQArtifacts>> promise;
+    Future future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            future = promise.get_future().share();
+            map_.emplace(key, future);
+            owner = true;
+            ++misses_;
+        } else {
+            future = it->second;
+            ++hits_;
+        }
+    }
+    if (hit)
+        *hit = !owner;
+    if (!owner)
+        return future.get(); // rethrows the owner's compile error, if any
+
+    try {
+        auto artifacts = solver.compile(p);
+        promise.set_value(artifacts);
+        return artifacts;
+    } catch (...) {
+        // Don't cache failures: drop the entry so a later (possibly
+        // fixed) request recompiles, then propagate to every waiter.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            map_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+CompileCache::Stats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return {hits_, misses_, map_.size()};
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace chocoq::service

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compilation cache for the Choco-Q pipeline.
+ *
+ * Choco-Q's compilation (elimination plan, per-assignment feasibility
+ * search, reduced move bases, commute terms, objective tables) depends
+ * only on the problem's constraint matrix, its objective polynomial, and
+ * the compile-relevant solver options — not on seeds, shots, iteration
+ * budgets, or noise. Benchmark suites and production traffic repeat the
+ * same structures with varied execution knobs, so the cache keys
+ * artifacts by exactly those inputs and serves the shared immutable
+ * ChocoQArtifacts to every matching job: compile once, solve many.
+ *
+ * Concurrency: lookups are single-flight. The first requester of a key
+ * inserts a future and compiles outside the lock; concurrent requesters
+ * of the same key block on that future instead of compiling twice.
+ */
+
+#ifndef CHOCOQ_SERVICE_COMPILE_CACHE_HPP
+#define CHOCOQ_SERVICE_COMPILE_CACHE_HPP
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/chocoq_solver.hpp"
+
+namespace chocoq::service
+{
+
+/**
+ * Structural cache key: constraint matrix, objective polynomial (exact
+ * coefficient bits), and the compile-relevant ChocoQOptions. Problem
+ * *names* are deliberately excluded — two differently named but
+ * structurally identical instances share one compilation.
+ */
+std::string compileKey(const model::Problem &p,
+                       const core::ChocoQOptions &opts);
+
+/** Thread-safe, single-flight cache of Choco-Q compilation artifacts. */
+class CompileCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            const std::uint64_t total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits)
+                             / static_cast<double>(total);
+        }
+    };
+
+    /**
+     * Artifacts for @p p compiled by @p solver, computing them on the
+     * first request for this structure. @p hit (optional) reports
+     * whether this call was served from the cache. Rethrows the
+     * compiler's FatalError (e.g. infeasible problem) to every waiter;
+     * a failed compilation is not cached.
+     */
+    std::shared_ptr<const core::ChocoQArtifacts>
+    get(const model::Problem &p, const core::ChocoQSolver &solver,
+        bool *hit = nullptr);
+
+    Stats stats() const;
+
+    void clear();
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const core::ChocoQArtifacts>>;
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Future> map_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace chocoq::service
+
+#endif // CHOCOQ_SERVICE_COMPILE_CACHE_HPP

@@ -1,0 +1,129 @@
+#include "service/job.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.hpp"
+#include "problems/suite.hpp"
+
+namespace chocoq::service
+{
+
+namespace
+{
+
+bool
+knownSolver(const std::string &name)
+{
+    return name == "choco-q" || name == "penalty" || name == "cyclic"
+           || name == "hea";
+}
+
+/**
+ * Range-checked integer field. Requests come from untrusted input, and
+ * a float-to-integer cast whose truncated value doesn't fit the
+ * destination type is undefined behavior — so reject out-of-range or
+ * non-integral values with a clean per-request error instead.
+ */
+long long
+checkedInt(const Json &v, const char *key, long long lo, long long hi,
+           long long fallback)
+{
+    const Json *field = v.find(key);
+    if (!field)
+        return fallback;
+    const double raw = field->asNumber(static_cast<double>(fallback));
+    if (!(raw >= static_cast<double>(lo) && raw <= static_cast<double>(hi))
+        || raw != std::floor(raw))
+        CHOCOQ_FATAL("field '" << key << "' must be an integer in ["
+                     << lo << ", " << hi << "], got " << raw);
+    return static_cast<long long>(raw);
+}
+
+} // namespace
+
+SolveJob
+jobFromJson(const Json &v)
+{
+    if (!v.isObject())
+        CHOCOQ_FATAL("job request must be a JSON object");
+    SolveJob job;
+    job.id = v.getString("id", "");
+    job.solver = v.getString("solver", job.solver);
+    if (!knownSolver(job.solver))
+        CHOCOQ_FATAL("unknown solver '" << job.solver
+                     << "' (expected choco-q, penalty, cyclic, or hea)");
+    job.scale = v.getString("scale", job.scale);
+    if (!problems::scaleByName(job.scale))
+        CHOCOQ_FATAL("unknown scale '" << job.scale << "' (expected F1..K4)");
+    job.caseIndex = static_cast<unsigned>(
+        checkedInt(v, "case", 0, 1u << 30, 0));
+    // Seeds may exceed 2^53; a string value carries the full 64 bits
+    // (JSON numbers are doubles and would round).
+    if (const Json *seed = v.find("seed")) {
+        if (seed->kind() == Json::Kind::String)
+            job.seed = std::strtoull(seed->asString().c_str(), nullptr, 10);
+        else
+            job.seed = static_cast<std::uint64_t>(checkedInt(
+                v, "seed", 0, (1ll << 53),
+                static_cast<long long>(job.seed)));
+    }
+    job.shots = static_cast<int>(
+        checkedInt(v, "shots", 0, 1 << 30, job.shots));
+    job.device = v.getString("device", "");
+    job.layers = static_cast<int>(checkedInt(v, "layers", 0, 1 << 20, 0));
+    job.maxIterations =
+        static_cast<int>(checkedInt(v, "iters", 0, 1 << 30, 0));
+    job.keepStarts =
+        static_cast<int>(checkedInt(v, "keep_starts", 0, 1 << 20, 0));
+    job.deadlineMs = v.getNumber("deadline_ms", 0.0);
+    if (job.deadlineMs < 0.0)
+        CHOCOQ_FATAL("field 'deadline_ms' must be non-negative");
+    return job;
+}
+
+SolveJob
+jobFromJsonLine(const std::string &line)
+{
+    return jobFromJson(Json::parse(line));
+}
+
+Json
+resultToJson(const SolveResult &r)
+{
+    Json out = Json::object();
+    out.set("id", r.id);
+    out.set("status", r.status);
+    if (!r.error.empty())
+        out.set("error", r.error);
+    if (r.status != "ok") {
+        out.set("queue_ms", r.queueMs);
+        return out;
+    }
+    out.set("problem", r.problem);
+    out.set("solver", r.solver);
+    out.set("best_cost", r.bestCost);
+    out.set("top_state", static_cast<double>(r.topState));
+    out.set("top_probability", r.topProbability);
+    out.set("top_feasible", r.topFeasible);
+    out.set("top_objective", r.topObjective);
+    out.set("feasible_mass", r.feasibleMass);
+    // 64-bit hash as hex text: JSON numbers are doubles and would round.
+    char hash[24];
+    std::snprintf(hash, sizeof hash, "%016" PRIx64, r.distHash);
+    out.set("dist_hash", std::string(hash));
+    out.set("iterations", r.iterations);
+    out.set("evaluations", r.evaluations);
+    out.set("cache_hit", r.cacheHit);
+    out.set("compile_s", r.compileSeconds);
+    out.set("sim_s", r.simSeconds);
+    out.set("classical_s", r.classicalSeconds);
+    out.set("queue_ms", r.queueMs);
+    out.set("solve_ms", r.solveMs);
+    out.set("worker", r.worker);
+    return out;
+}
+
+} // namespace chocoq::service

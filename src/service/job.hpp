@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Job model of the concurrent solve service.
+ *
+ * A SolveJob names one problem instance from the benchmark registry
+ * (scale + case index — the generator regenerates it on demand, so job
+ * streams need no materialized problem objects), one solver design, and
+ * the per-job execution knobs: RNG seed, shots, device noise, iteration
+ * budget, queueing deadline. A SolveResult carries the answer plus the
+ * observability fields the throughput benchmarks aggregate (latency
+ * split, cache-hit flag, worker id) and a bitwise distribution hash used
+ * by the determinism tests: identical (job, seed) pairs must produce
+ * identical hashes at any worker count.
+ */
+
+#ifndef CHOCOQ_SERVICE_JOB_HPP
+#define CHOCOQ_SERVICE_JOB_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "common/bitops.hpp"
+#include "service/json.hpp"
+
+namespace chocoq::service
+{
+
+/** One solve request. */
+struct SolveJob
+{
+    /** Caller-chosen identifier echoed into the result. */
+    std::string id;
+    /** Solver design: choco-q (default), penalty, cyclic, or hea. */
+    std::string solver = "choco-q";
+    /** Benchmark scale name ("F1" .. "K4"). */
+    std::string scale = "F1";
+    /** Seeded case index within the scale. */
+    unsigned caseIndex = 0;
+    /** Master seed for every stochastic component of this job. */
+    std::uint64_t seed = 7;
+    /** Measurement shots for the final distribution; 0 = exact. */
+    int shots = 0;
+    /** Device model for noisy sampling ("", "fez", "osaka", "sherbrooke"). */
+    std::string device;
+    /** Ansatz layers; 0 keeps the solver default. */
+    int layers = 0;
+    /** Optimizer iteration budget; 0 keeps the solver default. */
+    int maxIterations = 0;
+    /**
+     * Batched multi-start: number of starts that survive the screening
+     * sweep and receive a full optimizer run. 0 optimizes every start.
+     */
+    int keepStarts = 0;
+    /**
+     * Queueing deadline in milliseconds from submission; a job still
+     * waiting past its deadline is failed as "expired" without running.
+     * 0 = no deadline.
+     */
+    double deadlineMs = 0.0;
+};
+
+/** One solve answer. */
+struct SolveResult
+{
+    std::string id;
+    /** "ok", "expired", or "error" (see error for the message). */
+    std::string status = "ok";
+    std::string error;
+    /** Resolved problem name (scale:config#index). */
+    std::string problem;
+    std::string solver;
+
+    /** Best variational cost (minimization form). */
+    double bestCost = 0.0;
+    /** Most probable output state and its properties. */
+    Basis topState = 0;
+    double topProbability = 0.0;
+    bool topFeasible = false;
+    /** Objective value (problem sense) of the top state. */
+    double topObjective = 0.0;
+    /** Probability mass on feasible states. */
+    double feasibleMass = 0.0;
+    /** FNV-1a over the exact output distribution (bitwise). */
+    std::uint64_t distHash = 0;
+
+    int iterations = 0;
+    int evaluations = 0;
+    /** Whether compilation artifacts came from the cache. */
+    bool cacheHit = false;
+    double compileSeconds = 0.0;
+    double simSeconds = 0.0;
+    double classicalSeconds = 0.0;
+    /** Time between submission and execution start. */
+    double queueMs = 0.0;
+    /** Execution wall time on the worker. */
+    double solveMs = 0.0;
+    /** Worker that ran the job. */
+    int worker = -1;
+};
+
+/**
+ * Parse one JSONL request line. Recognized keys: id, solver, scale,
+ * case, seed, shots, device, layers, iters, keep_starts, deadline_ms.
+ * Missing keys take the SolveJob defaults. Throws FatalError on
+ * malformed JSON or an unknown scale/solver name.
+ */
+SolveJob jobFromJson(const Json &v);
+
+/** Convenience: parse a raw JSONL line. */
+SolveJob jobFromJsonLine(const std::string &line);
+
+/** Serialize a result to one JSONL object. */
+Json resultToJson(const SolveResult &r);
+
+} // namespace chocoq::service
+
+#endif // CHOCOQ_SERVICE_JOB_HPP

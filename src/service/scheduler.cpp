@@ -1,0 +1,128 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+
+namespace chocoq::service
+{
+
+Scheduler::Scheduler(int workers)
+{
+    const int n = std::max(workers, 1);
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->context.id = i;
+        workers_.push_back(std::move(w));
+    }
+    // Threads start only after every Worker exists: workerLoop scans all
+    // victims' deques.
+    for (auto &w : workers_)
+        w->thread = std::thread([this, worker = w.get()] {
+            workerLoop(*worker);
+        });
+}
+
+Scheduler::~Scheduler()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w->thread.join();
+}
+
+void
+Scheduler::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        workers_[next_]->queue.push_back(std::move(task));
+        next_ = (next_ + 1) % workers_.size();
+        ++inflight_;
+    }
+    work_cv_.notify_one();
+}
+
+void
+Scheduler::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+bool
+Scheduler::takeTask(Worker &self, Task &out)
+{
+    // Own deque first (front: oldest of my queue), then steal from the
+    // back of the next busy victim in ring order.
+    if (!self.queue.empty()) {
+        out = std::move(self.queue.front());
+        self.queue.pop_front();
+        return true;
+    }
+    const std::size_t n = workers_.size();
+    const std::size_t me = static_cast<std::size_t>(self.context.id);
+    for (std::size_t d = 1; d < n; ++d) {
+        Worker &victim = *workers_[(me + d) % n];
+        if (!victim.queue.empty()) {
+            out = std::move(victim.queue.back());
+            victim.queue.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Scheduler::workerLoop(Worker &self)
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                if (stop_)
+                    return true;
+                if (!self.queue.empty())
+                    return true;
+                for (const auto &w : workers_)
+                    if (!w->queue.empty())
+                        return true;
+                return false;
+            });
+            if (!takeTask(self, task)) {
+                if (stop_)
+                    return;
+                continue; // raced with another thief; wait again
+            }
+        }
+
+        // A throwing task (SolveService catches solver errors, but user
+        // result callbacks are arbitrary code) must not escape the
+        // thread body — that would std::terminate the whole pool — and
+        // must still count as finished or wait() would hang forever.
+        try {
+            task(self.context);
+        } catch (const std::exception &e) {
+            std::cerr << "scheduler: task on worker " << self.context.id
+                      << " threw: " << e.what() << "\n";
+        } catch (...) {
+            std::cerr << "scheduler: task on worker " << self.context.id
+                      << " threw a non-std exception\n";
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inflight_;
+            if (inflight_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+} // namespace chocoq::service

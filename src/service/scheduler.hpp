@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Work-stealing thread-pool scheduler for solve jobs.
+ *
+ * Each worker owns a deque and a WorkerContext holding its private
+ * scratch-state pool: submissions are spread round-robin across the
+ * deques, a worker pops from the front of its own deque (FIFO for
+ * fairness/latency), and an idle worker steals from the back of a
+ * victim's deque. Job granularity is milliseconds-to-seconds, so one
+ * mutex guarding the deques is nowhere near contended — the point of the
+ * per-worker structure is affinity (a worker's scratch buffers stay warm
+ * across its queue run) and starvation-freedom, not lock-free popping.
+ *
+ * Determinism contract: the scheduler decides only *where and when* a
+ * task runs, never its inputs. Tasks derive all randomness from their
+ * job seed and write only task-local state plus their own result slot,
+ * so outputs are independent of worker count and steal order (tested
+ * property).
+ */
+
+#ifndef CHOCOQ_SERVICE_SCHEDULER_HPP
+#define CHOCOQ_SERVICE_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/scratch.hpp"
+
+namespace chocoq::service
+{
+
+/** Per-worker execution state handed to every task the worker runs. */
+struct WorkerContext
+{
+    /** Worker index in [0, workers). */
+    int id = 0;
+    /** The worker's private scratch pool (reused across its jobs). */
+    sim::ScratchPool scratch;
+};
+
+/** Fixed-size work-stealing thread pool. */
+class Scheduler
+{
+  public:
+    using Task = std::function<void(WorkerContext &)>;
+
+    /** Start @p workers threads (clamped to >= 1). */
+    explicit Scheduler(int workers);
+
+    /** Drains nothing: joins after finishing all submitted tasks. */
+    ~Scheduler();
+
+    int workers() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a task (round-robin across worker deques). */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+  private:
+    struct Worker
+    {
+        std::deque<Task> queue;
+        std::thread thread;
+        WorkerContext context;
+    };
+
+    void workerLoop(Worker &self);
+    bool takeTask(Worker &self, Task &out);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    /** Tasks submitted but not yet finished. */
+    std::size_t inflight_ = 0;
+    /** Round-robin submission cursor. */
+    std::size_t next_ = 0;
+    bool stop_ = false;
+};
+
+} // namespace chocoq::service
+
+#endif // CHOCOQ_SERVICE_SCHEDULER_HPP

@@ -1,0 +1,197 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "device/device.hpp"
+#include "problems/suite.hpp"
+#include "solvers/cyclic.hpp"
+#include "solvers/hea.hpp"
+#include "solvers/penalty.hpp"
+
+namespace chocoq::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/**
+ * Per-job engine configuration: every stochastic stream (final
+ * sampling, optimizer restarts, SPSA perturbations) is derived from the
+ * job seed alone, so results depend only on (job, seed) — never on the
+ * worker that ran the job or on submission order.
+ */
+void
+configureEngine(core::EngineOptions &engine, const SolveJob &job,
+                int default_iterations, WorkerContext &ctx)
+{
+    engine.seed = job.seed;
+    engine.opt.seed = deriveSeed(job.seed, 1);
+    if (job.maxIterations > 0)
+        engine.opt.maxIterations = job.maxIterations;
+    else if (default_iterations > 0)
+        engine.opt.maxIterations = default_iterations;
+    engine.shots = job.shots;
+    if (!job.device.empty())
+        engine.noise = device::noiseOf(device::deviceByName(job.device));
+    engine.multiStartKeep = job.keepStarts;
+    engine.scratchPool = &ctx.scratch;
+}
+
+/** FNV-1a over the exact bits of the output distribution. */
+std::uint64_t
+hashDistribution(const std::map<Basis, double> &dist)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (v >> (8 * b)) & 0xFF;
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &[x, prob] : dist) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &prob, sizeof bits);
+        mix(x);
+        mix(bits);
+    }
+    return h;
+}
+
+} // namespace
+
+SolveService::SolveService(ServiceOptions opts)
+    : opts_(opts), scheduler_(opts.workers)
+{}
+
+SolveResult
+SolveService::execute(const SolveJob &job, WorkerContext &ctx)
+{
+    SolveResult r;
+    r.id = job.id;
+    r.solver = job.solver;
+    Timer timer;
+    try {
+        const auto scale = problems::scaleByName(job.scale);
+        if (!scale)
+            CHOCOQ_FATAL("unknown scale '" << job.scale
+                         << "' (expected F1..K4)");
+        const model::Problem p = problems::makeCase(*scale, job.caseIndex);
+        r.problem = p.name();
+
+        core::SolverOutcome outcome;
+        if (job.solver == "choco-q") {
+            core::ChocoQOptions o;
+            if (job.layers > 0)
+                o.layers = job.layers;
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            const core::ChocoQSolver solver(o);
+            std::shared_ptr<const core::ChocoQArtifacts> artifacts =
+                opts_.useCache ? cache_.get(p, solver, &r.cacheHit)
+                               : solver.compile(p);
+            outcome = solver.solveCompiled(p, *artifacts);
+        } else if (job.solver == "penalty") {
+            solvers::PenaltyOptions o;
+            if (job.layers > 0)
+                o.layers = job.layers;
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            outcome = solvers::PenaltyQaoaSolver(o).solve(p);
+        } else if (job.solver == "cyclic") {
+            solvers::CyclicOptions o;
+            if (job.layers > 0)
+                o.layers = job.layers;
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            outcome = solvers::CyclicQaoaSolver(o).solve(p);
+        } else if (job.solver == "hea") {
+            solvers::HeaOptions o;
+            if (job.layers > 0)
+                o.layers = job.layers;
+            o.seed = deriveSeed(job.seed, 2);
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            outcome = solvers::HeaSolver(o).solve(p);
+        } else {
+            CHOCOQ_FATAL("unknown solver '" << job.solver << "'");
+        }
+
+        r.bestCost = outcome.bestCost;
+        r.iterations = outcome.iterations;
+        r.evaluations = outcome.evaluations;
+        r.compileSeconds = outcome.compileSeconds;
+        r.simSeconds = outcome.simSeconds;
+        r.classicalSeconds = outcome.classicalSeconds;
+        for (const auto &[x, prob] : outcome.distribution) {
+            if (prob > r.topProbability) {
+                r.topProbability = prob;
+                r.topState = x;
+            }
+            if (p.isFeasible(x))
+                r.feasibleMass += prob;
+        }
+        r.topFeasible = p.isFeasible(r.topState);
+        r.topObjective = p.objectiveOf(r.topState);
+        r.distHash = hashDistribution(outcome.distribution);
+    } catch (const std::exception &e) {
+        r.status = "error";
+        r.error = e.what();
+    }
+    r.solveMs = timer.seconds() * 1e3;
+    r.worker = ctx.id;
+    return r;
+}
+
+void
+SolveService::submit(SolveJob job, Callback done)
+{
+    const auto submitted = Clock::now();
+    scheduler_.submit([this, job = std::move(job), done = std::move(done),
+                       submitted](WorkerContext &ctx) {
+        const double queue_ms = millisSince(submitted);
+        SolveResult result;
+        if (job.deadlineMs > 0.0 && queue_ms > job.deadlineMs) {
+            result.id = job.id;
+            result.solver = job.solver;
+            result.status = "expired";
+            result.error = "queueing deadline exceeded before execution";
+            result.worker = ctx.id;
+        } else {
+            result = execute(job, ctx);
+        }
+        result.queueMs = queue_ms;
+        if (done)
+            done(result);
+    });
+}
+
+void
+SolveService::drain()
+{
+    scheduler_.wait();
+}
+
+std::vector<SolveResult>
+SolveService::solveAll(const std::vector<SolveJob> &jobs)
+{
+    std::vector<SolveResult> results(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        // Each callback writes only its own pre-allocated slot: no lock.
+        submit(jobs[i], [&results, i](const SolveResult &r) {
+            results[i] = r;
+        });
+    }
+    drain();
+    return results;
+}
+
+} // namespace chocoq::service

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The concurrent solve service: the orchestration layer between job
+ * streams (JSONL requests, benchmark suites, library callers) and the
+ * solver/engine stack.
+ *
+ * Composition per job: the scheduler parks the job on a worker; the
+ * worker regenerates the problem instance from the registry, pulls
+ * compilation artifacts from the shared CompileCache (compile once,
+ * solve many), and runs the variational loop on its private scratch
+ * pool with every stochastic stream derived from the job seed — so a
+ * (job, seed) pair is bit-identical at any worker count and any
+ * submission order, while throughput scales with workers.
+ */
+
+#ifndef CHOCOQ_SERVICE_SERVICE_HPP
+#define CHOCOQ_SERVICE_SERVICE_HPP
+
+#include <functional>
+#include <vector>
+
+#include "service/compile_cache.hpp"
+#include "service/job.hpp"
+#include "service/scheduler.hpp"
+
+namespace chocoq::service
+{
+
+/** Service configuration. */
+struct ServiceOptions
+{
+    /** Concurrent solve workers. Composes with CHOCOQ_THREADS: total
+     * CPU demand is roughly workers x CHOCOQ_THREADS (see README). */
+    int workers = 1;
+    /** Share compilation artifacts across structurally equal jobs. */
+    bool useCache = true;
+    /** Optimizer iteration budget for jobs that don't set their own;
+     * 0 keeps each solver's default. */
+    int defaultIterations = 0;
+};
+
+/** Concurrent solve service over the registry problems. */
+class SolveService
+{
+  public:
+    /** Result sink; invoked on a worker thread as each job finishes. */
+    using Callback = std::function<void(const SolveResult &)>;
+
+    explicit SolveService(ServiceOptions opts = {});
+
+    int workers() const { return scheduler_.workers(); }
+
+    /**
+     * Enqueue one job. @p done (optional) fires on the worker thread
+     * that ran the job; it must be thread-safe against other callbacks.
+     */
+    void submit(SolveJob job, Callback done = nullptr);
+
+    /** Block until every submitted job has completed. */
+    void drain();
+
+    /** Submit all jobs and return results in submission order. */
+    std::vector<SolveResult> solveAll(const std::vector<SolveJob> &jobs);
+
+    CompileCache::Stats cacheStats() const { return cache_.stats(); }
+
+    /**
+     * Execute one job synchronously in @p ctx, bypassing the queue.
+     * Public for tests and single-shot tooling; submit() is the normal
+     * entry point.
+     */
+    SolveResult execute(const SolveJob &job, WorkerContext &ctx);
+
+  private:
+    ServiceOptions opts_;
+    CompileCache cache_;
+    Scheduler scheduler_;
+};
+
+} // namespace chocoq::service
+
+#endif // CHOCOQ_SERVICE_SERVICE_HPP

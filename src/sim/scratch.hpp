@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reusable state-vector scratch buffers for job-serving workers.
+ *
+ * A worker thread that solves many jobs in sequence keeps one pool and
+ * hands it to every engine invocation (EngineOptions::scratchPool): slot
+ * 0 backs the objective-evaluation scratch and slots 1..B-1 back the
+ * batched multi-start sweep. Slots keep their largest-ever allocation
+ * (StateVector::prepare / resizeScratch reuse capacity), so a worker in
+ * steady state performs no per-job state-vector allocation.
+ */
+
+#ifndef CHOCOQ_SIM_SCRATCH_HPP
+#define CHOCOQ_SIM_SCRATCH_HPP
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace chocoq::sim
+{
+
+/**
+ * Pool of lazily created StateVector scratch slots. Not thread-safe:
+ * one pool per worker by design (sharing would serialize the kernels
+ * anyway and break the zero-contention scaling story).
+ */
+class ScratchPool
+{
+  public:
+    /**
+     * Scratch slot @p i, created over @p num_qubits qubits on first use.
+     * Contents and dimension of an existing slot are whatever the last
+     * user left; callers re-dimension via prepare()/resizeScratch().
+     */
+    StateVector &
+    at(std::size_t i, int num_qubits)
+    {
+        // unique_ptr slots: growing the vector must not move live
+        // StateVectors (callers hold references across at() calls).
+        while (states_.size() <= i)
+            states_.push_back(std::make_unique<StateVector>(num_qubits));
+        return *states_[i];
+    }
+
+    /** Number of slots materialized so far. */
+    std::size_t size() const { return states_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<StateVector>> states_;
+};
+
+} // namespace chocoq::sim
+
+#endif // CHOCOQ_SIM_SCRATCH_HPP

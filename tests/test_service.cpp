@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Solve-service tests: the JSON codec, the compilation-cache key and
+ * hit/miss behavior, scheduler determinism (identical (job, seed) pairs
+ * must be bit-identical at any worker count and submission order), and
+ * the batched multi-start screening's bitwise equivalence with the
+ * sequential path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "core/chocoq_solver.hpp"
+#include "core/circuits.hpp"
+#include "core/commute.hpp"
+#include "core/qaoa.hpp"
+#include "problems/suite.hpp"
+#include "service/compile_cache.hpp"
+#include "service/job.hpp"
+#include "service/json.hpp"
+#include "service/scheduler.hpp"
+#include "service/service.hpp"
+
+using namespace chocoq;
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    const auto v = service::Json::parse(
+        R"({"a": 1.5, "b": "x\ny", "c": [true, null, -2], "d": {"e": 3}})");
+    EXPECT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.getNumber("a", 0.0), 1.5);
+    EXPECT_EQ(v.getString("b", ""), "x\ny");
+    ASSERT_NE(v.find("c"), nullptr);
+    const auto &arr = v.find("c")->items();
+    ASSERT_EQ(arr.size(), 3u);
+    EXPECT_TRUE(arr[0].asBool(false));
+    EXPECT_TRUE(arr[1].isNull());
+    EXPECT_DOUBLE_EQ(arr[2].asNumber(0.0), -2.0);
+    EXPECT_DOUBLE_EQ(v.find("d")->getNumber("e", 0.0), 3.0);
+}
+
+TEST(Json, RoundTripsThroughDump)
+{
+    service::Json obj = service::Json::object();
+    obj.set("name", "f\"1\"");
+    obj.set("value", 0.1); // not exactly representable: needs %.17g
+    obj.set("count", 42);
+    obj.set("flag", true);
+    const auto back = service::Json::parse(obj.dump());
+    EXPECT_EQ(back.getString("name", ""), "f\"1\"");
+    EXPECT_DOUBLE_EQ(back.getNumber("value", 0.0), 0.1);
+    EXPECT_DOUBLE_EQ(back.getNumber("count", 0.0), 42.0);
+    EXPECT_TRUE(back.getBool("flag", false));
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    EXPECT_THROW(service::Json::parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(service::Json::parse("[1, 2"), FatalError);
+    EXPECT_THROW(service::Json::parse("{} trailing"), FatalError);
+    EXPECT_THROW(service::Json::parse("\"unterminated"), FatalError);
+}
+
+TEST(Json, UnicodeEscape)
+{
+    const auto v = service::Json::parse(R"({"s": "Aé"})");
+    EXPECT_EQ(v.getString("s", ""), "A\xc3\xa9");
+    // Surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8.
+    const auto pair = service::Json::parse(R"({"s": "😀"})");
+    EXPECT_EQ(pair.getString("s", ""), "\xf0\x9f\x98\x80");
+    EXPECT_THROW(service::Json::parse(R"({"s": "\ud83d"})"), FatalError);
+    EXPECT_THROW(service::Json::parse(R"({"s": "\ude00"})"), FatalError);
+}
+
+TEST(Json, DeepNestingFailsInsteadOfOverflowing)
+{
+    // Untrusted stdin: a pathological request must fail the request,
+    // not blow the parser's stack.
+    const std::string deep(100000, '[');
+    EXPECT_THROW(service::Json::parse(deep), FatalError);
+    // Sane nesting still parses.
+    EXPECT_NO_THROW(service::Json::parse("[[[[[[[[[[1]]]]]]]]]]"));
+}
+
+// ----------------------------------------------------------- job model
+
+TEST(JobModel, ParsesRequestWithDefaults)
+{
+    const auto job = service::jobFromJsonLine(
+        R"({"id":"j1","scale":"G2","case":3,"seed":99,"iters":25})");
+    EXPECT_EQ(job.id, "j1");
+    EXPECT_EQ(job.solver, "choco-q");
+    EXPECT_EQ(job.scale, "G2");
+    EXPECT_EQ(job.caseIndex, 3u);
+    EXPECT_EQ(job.seed, 99u);
+    EXPECT_EQ(job.maxIterations, 25);
+    EXPECT_EQ(job.shots, 0);
+    EXPECT_EQ(job.deadlineMs, 0.0);
+}
+
+TEST(JobModel, StringSeedCarriesFull64Bits)
+{
+    // 2^53 + 1 is not representable as a double; the string form is.
+    const auto job = service::jobFromJsonLine(
+        R"({"scale":"F1","seed":"9007199254740993"})");
+    EXPECT_EQ(job.seed, 9007199254740993ull);
+}
+
+TEST(JobModel, RejectsUnknownScaleAndSolver)
+{
+    EXPECT_THROW(service::jobFromJsonLine(R"({"scale":"Z9"})"), FatalError);
+    EXPECT_THROW(service::jobFromJsonLine(R"({"solver":"adam"})"),
+                 FatalError);
+}
+
+TEST(JobModel, RejectsOutOfRangeNumericFields)
+{
+    // Untrusted input: out-of-range or fractional integers must fail
+    // the request cleanly, not hit a UB float->int cast.
+    EXPECT_THROW(service::jobFromJsonLine(R"({"scale":"F1","case":-1})"),
+                 FatalError);
+    EXPECT_THROW(service::jobFromJsonLine(R"({"scale":"F1","seed":-5})"),
+                 FatalError);
+    EXPECT_THROW(
+        service::jobFromJsonLine(R"({"scale":"F1","shots":1e19})"),
+        FatalError);
+    EXPECT_THROW(
+        service::jobFromJsonLine(R"({"scale":"F1","iters":2.5})"),
+        FatalError);
+    EXPECT_THROW(
+        service::jobFromJsonLine(R"({"scale":"F1","deadline_ms":-1})"),
+        FatalError);
+}
+
+TEST(Suite, ScaleByName)
+{
+    ASSERT_TRUE(problems::scaleByName("F1").has_value());
+    EXPECT_EQ(*problems::scaleByName("F1"), problems::Scale::F1);
+    EXPECT_EQ(*problems::scaleByName("k4"), problems::Scale::K4);
+    EXPECT_FALSE(problems::scaleByName("F9").has_value());
+    EXPECT_FALSE(problems::scaleByName("").has_value());
+}
+
+// ------------------------------------------------------- compile cache
+
+TEST(CompileCache, KeyIgnoresNameButSeesStructure)
+{
+    const core::ChocoQOptions opts;
+    auto a = problems::makeCase(problems::Scale::F1, 0);
+    auto b = problems::makeCase(problems::Scale::F1, 0);
+    b.setName("renamed-but-identical");
+    EXPECT_EQ(service::compileKey(a, opts), service::compileKey(b, opts));
+
+    // Different case: same constraint shape, different objective
+    // coefficients -> different key.
+    const auto c = problems::makeCase(problems::Scale::F1, 1);
+    EXPECT_NE(service::compileKey(a, opts), service::compileKey(c, opts));
+
+    // Compile-relevant options are part of the key...
+    core::ChocoQOptions other = opts;
+    other.eliminate = 0;
+    EXPECT_NE(service::compileKey(a, opts), service::compileKey(a, other));
+
+    // ...run-only options are not.
+    core::ChocoQOptions run_only = opts;
+    run_only.layers = 3;
+    run_only.engine.seed = 123;
+    EXPECT_EQ(service::compileKey(a, opts),
+              service::compileKey(a, run_only));
+}
+
+TEST(CompileCache, HitOnEqualStructureMissOnDistinct)
+{
+    service::CompileCache cache;
+    const core::ChocoQSolver solver;
+    const auto p0 = problems::makeCase(problems::Scale::F1, 0);
+    const auto p1 = problems::makeCase(problems::Scale::F1, 1);
+
+    bool hit = true;
+    const auto a0 = cache.get(p0, solver, &hit);
+    EXPECT_FALSE(hit);
+    const auto a0_again = cache.get(p0, solver, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(a0.get(), a0_again.get()) << "hit must share the artifacts";
+
+    cache.get(p1, solver, &hit);
+    EXPECT_FALSE(hit) << "structurally distinct problem must recompile";
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 1.0 / 3.0);
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(CompileCache, FailedCompilationIsNotCached)
+{
+    service::CompileCache cache;
+    const core::ChocoQSolver solver;
+    model::Problem infeasible(2, model::Sense::Minimize, "infeasible");
+    infeasible.addEquality({1, 1}, 3);
+
+    EXPECT_THROW(cache.get(infeasible, solver), FatalError);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_THROW(cache.get(infeasible, solver), FatalError);
+    EXPECT_EQ(cache.stats().misses, 2u) << "failures must not be cached";
+}
+
+TEST(CompileCache, SharedArtifactsSolveIdentically)
+{
+    const core::ChocoQSolver solver;
+    const auto p = problems::makeCase(problems::Scale::K1, 0);
+    const auto fresh = solver.compile(p);
+
+    service::CompileCache cache;
+    const auto cached_a = cache.get(p, solver);
+    const auto cached_b = cache.get(p, solver);
+
+    const auto out_fresh = solver.solveCompiled(p, *fresh);
+    const auto out_cached = solver.solveCompiled(p, *cached_b);
+    (void)cached_a;
+    ASSERT_EQ(out_fresh.distribution.size(), out_cached.distribution.size());
+    EXPECT_EQ(0, std::memcmp(&out_fresh.bestCost, &out_cached.bestCost,
+                             sizeof(double)));
+    for (auto it_f = out_fresh.distribution.begin(),
+              it_c = out_cached.distribution.begin();
+         it_f != out_fresh.distribution.end(); ++it_f, ++it_c) {
+        EXPECT_EQ(it_f->first, it_c->first);
+        EXPECT_EQ(0, std::memcmp(&it_f->second, &it_c->second,
+                                 sizeof(double)));
+    }
+}
+
+// ----------------------------------------------------------- scheduler
+
+TEST(Scheduler, RunsEveryTaskOnSomeWorker)
+{
+    service::Scheduler scheduler(4);
+    std::atomic<int> count{0};
+    std::atomic<bool> id_ok{true};
+    for (int i = 0; i < 64; ++i)
+        scheduler.submit([&](service::WorkerContext &ctx) {
+            if (ctx.id < 0 || ctx.id >= 4)
+                id_ok = false;
+            ++count;
+        });
+    scheduler.wait();
+    EXPECT_EQ(count.load(), 64);
+    EXPECT_TRUE(id_ok.load());
+}
+
+TEST(Scheduler, WaitWithNoTasksReturnsImmediately)
+{
+    service::Scheduler scheduler(2);
+    scheduler.wait();
+    SUCCEED();
+}
+
+TEST(Scheduler, ThrowingTaskDoesNotKillThePoolOrHangWait)
+{
+    service::Scheduler scheduler(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        scheduler.submit([&](service::WorkerContext &) {
+            ++ran;
+            throw std::runtime_error("callback failure");
+        });
+    scheduler.submit([&](service::WorkerContext &) { ++ran; });
+    scheduler.wait(); // must return: throwing tasks still count as done
+    EXPECT_EQ(ran.load(), 9);
+}
+
+// ----------------------------------------- service determinism & jobs
+
+namespace
+{
+
+std::vector<service::SolveJob>
+determinismSuite()
+{
+    std::vector<service::SolveJob> jobs;
+    const char *scales[] = {"F1", "F1", "K1"};
+    const unsigned cases[] = {0, 1, 0};
+    for (int s = 0; s < 3; ++s)
+        for (std::uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+            service::SolveJob job;
+            job.id = std::string(scales[s]) + "#"
+                     + std::to_string(cases[s]) + "@"
+                     + std::to_string(seed);
+            job.scale = scales[s];
+            job.caseIndex = cases[s];
+            job.seed = seed;
+            job.maxIterations = 10;
+            job.keepStarts = 2;
+            jobs.push_back(std::move(job));
+        }
+    return jobs;
+}
+
+} // namespace
+
+TEST(SolveService, DeterministicAcrossWorkersAndSubmissionOrder)
+{
+    auto jobs = determinismSuite();
+
+    service::ServiceOptions serial;
+    serial.workers = 1;
+    auto base = service::SolveService(serial).solveAll(jobs);
+
+    // Same jobs, reversed submission, four workers sharing one cache.
+    std::reverse(jobs.begin(), jobs.end());
+    service::ServiceOptions parallel;
+    parallel.workers = 4;
+    auto shuffled = service::SolveService(parallel).solveAll(jobs);
+
+    ASSERT_EQ(base.size(), shuffled.size());
+    for (const auto &expect : base) {
+        const auto it = std::find_if(
+            shuffled.begin(), shuffled.end(),
+            [&](const auto &r) { return r.id == expect.id; });
+        ASSERT_NE(it, shuffled.end()) << expect.id;
+        EXPECT_EQ(expect.status, "ok");
+        EXPECT_EQ(it->status, "ok");
+        EXPECT_EQ(expect.distHash, it->distHash)
+            << expect.id << ": distribution must be bit-identical";
+        EXPECT_EQ(0,
+                  std::memcmp(&expect.bestCost, &it->bestCost,
+                              sizeof(double)))
+            << expect.id;
+        EXPECT_EQ(expect.evaluations, it->evaluations) << expect.id;
+    }
+}
+
+TEST(SolveService, CacheDoesNotChangeResults)
+{
+    const auto jobs = determinismSuite();
+    service::ServiceOptions with_cache;
+    with_cache.workers = 2;
+    service::ServiceOptions no_cache;
+    no_cache.workers = 2;
+    no_cache.useCache = false;
+
+    service::SolveService cached(with_cache);
+    const auto a = cached.solveAll(jobs);
+    const auto b = service::SolveService(no_cache).solveAll(jobs);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].distHash, b[i].distHash) << a[i].id;
+    }
+    // 12 choco-q jobs over 3 distinct structures: 3 misses, 9 hits.
+    EXPECT_EQ(cached.cacheStats().misses, 3u);
+    EXPECT_EQ(cached.cacheStats().hits, 9u);
+}
+
+TEST(SolveService, ErrorAndExpiredJobs)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::WorkerContext ctx;
+
+    service::SolveJob bad;
+    bad.id = "bad";
+    bad.scale = "F1";
+    bad.solver = "choco-q";
+    bad.device = "not-a-device";
+    const auto r = svc.execute(bad, ctx);
+    EXPECT_EQ(r.status, "error");
+    EXPECT_NE(r.error.find("unknown device"), std::string::npos);
+
+    // A deadline far in the past must expire without running.
+    service::SolveJob late;
+    late.id = "late";
+    late.scale = "F1";
+    late.deadlineMs = 1e-9;
+    service::SolveResult out;
+    svc.submit(late, [&](const service::SolveResult &res) { out = res; });
+    svc.drain();
+    EXPECT_EQ(out.status, "expired");
+    EXPECT_EQ(out.id, "late");
+}
+
+TEST(SolveService, ResultJsonRoundTrip)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::WorkerContext ctx;
+    service::SolveJob job;
+    job.id = "rt";
+    job.scale = "F1";
+    job.maxIterations = 8;
+    const auto r = svc.execute(job, ctx);
+    ASSERT_EQ(r.status, "ok");
+    const auto v = service::Json::parse(service::resultToJson(r).dump());
+    EXPECT_EQ(v.getString("id", ""), "rt");
+    EXPECT_EQ(v.getString("status", ""), "ok");
+    EXPECT_EQ(v.getString("problem", ""), r.problem);
+    EXPECT_EQ(v.getNumber("evaluations", -1.0),
+              static_cast<double>(r.evaluations));
+    EXPECT_EQ(v.getString("dist_hash", "").size(), 16u);
+}
+
+// -------------------------------------------- batched multi-start path
+
+TEST(BatchedMultiStart, LockstepScreeningMatchesSequentialBitwise)
+{
+    // A subrun shaped like the Choco-Q fast path: phase table + commute
+    // layer per ansatz layer. `batched` also provides the lockstep batch
+    // evolution; `sequential` forces the screening sweep through the
+    // one-state fallback. Both must pick the same starts and produce
+    // bit-identical results.
+    const int n = 3;
+    auto table = std::make_shared<std::vector<double>>(
+        std::vector<double>{0.3, -1.2, 0.7, 2.1, -0.4, 1.9, -2.2, 0.05});
+    auto terms = std::make_shared<std::vector<core::CommuteTerm>>(
+        std::vector<core::CommuteTerm>{
+            core::makeCommuteTerm({1, -1, 0}),
+            core::makeCommuteTerm({0, 1, 1}),
+        });
+    const Basis x0 = 0b001;
+
+    core::SubRun sequential;
+    sequential.numQubits = n;
+    sequential.init = x0;
+    sequential.costTable = table;
+    sequential.build = [n, x0](const std::vector<double> &) {
+        circuit::Circuit c(n); // build path unused in this test
+        core::appendBasisPreparation(c, x0);
+        return c;
+    };
+    sequential.evolve = [x0, table, terms](sim::StateVector &state,
+                                           const std::vector<double> &theta) {
+        state.reset(x0);
+        for (std::size_t l = 0; l < theta.size() / 2; ++l) {
+            state.applyPhaseTable(*table, theta[2 * l]);
+            core::applyCommuteLayer(state, *terms, theta[2 * l + 1]);
+        }
+    };
+    sequential.lift = [](Basis x) { return x; };
+
+    core::SubRun batched = sequential;
+    batched.evolveBatch =
+        [x0, table, terms](const std::vector<sim::StateVector *> &states,
+                           const std::vector<std::vector<double>> &thetas) {
+            for (auto *s : states)
+                s->reset(x0);
+            for (std::size_t l = 0; l < thetas[0].size() / 2; ++l) {
+                for (std::size_t b = 0; b < states.size(); ++b)
+                    states[b]->applyPhaseTable(*table, thetas[b][2 * l]);
+                for (std::size_t b = 0; b < states.size(); ++b)
+                    core::applyCommuteLayer(*states[b], *terms,
+                                            thetas[b][2 * l + 1]);
+            }
+        };
+
+    core::EngineOptions opts;
+    opts.theta0 = {0.4, 0.7};
+    opts.extraStarts = {{0.8, 2.2}, {2.4, 1.2}, {1.2, 3.0}};
+    opts.multiStartKeep = 2;
+    opts.opt.maxIterations = 12;
+    const auto cost = [table](Basis x) { return (*table)[x]; };
+
+    const auto res_seq = core::runQaoa({sequential}, cost, opts);
+    const auto res_batch = core::runQaoa({batched}, cost, opts);
+
+    EXPECT_EQ(0, std::memcmp(&res_seq.opt.bestValue,
+                             &res_batch.opt.bestValue, sizeof(double)));
+    EXPECT_EQ(res_seq.opt.evaluations, res_batch.opt.evaluations);
+    ASSERT_EQ(res_seq.distribution.size(), res_batch.distribution.size());
+    for (auto it_s = res_seq.distribution.begin(),
+              it_b = res_batch.distribution.begin();
+         it_s != res_seq.distribution.end(); ++it_s, ++it_b) {
+        EXPECT_EQ(it_s->first, it_b->first);
+        EXPECT_EQ(0, std::memcmp(&it_s->second, &it_b->second,
+                                 sizeof(double)));
+    }
+}
+
+TEST(BatchedMultiStart, ScreeningPrunesOptimizerWork)
+{
+    // keepStarts = 1 must spend fewer objective evaluations than
+    // optimizing all four default starts, and stay a valid solve.
+    service::SolveService svc{service::ServiceOptions{}};
+    service::WorkerContext ctx;
+
+    service::SolveJob all;
+    all.id = "all";
+    all.scale = "F1";
+    all.maxIterations = 20;
+    const auto res_all = svc.execute(all, ctx);
+
+    service::SolveJob pruned = all;
+    pruned.id = "pruned";
+    pruned.keepStarts = 1;
+    const auto res_pruned = svc.execute(pruned, ctx);
+
+    ASSERT_EQ(res_all.status, "ok");
+    ASSERT_EQ(res_pruned.status, "ok");
+    EXPECT_LT(res_pruned.evaluations, res_all.evaluations);
+    EXPECT_GT(res_pruned.feasibleMass, 0.99);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * chocoq_serve: JSONL solve server.
+ *
+ * Reads one JSON job request per line from a file or stdin, solves them
+ * on a concurrent worker pool with a shared compilation cache, and
+ * streams one JSON result per line to stdout as jobs complete
+ * (completion order; every line echoes the request id). A summary with
+ * throughput and cache statistics goes to stderr.
+ *
+ * Request keys (all optional except scale): id, solver (choco-q |
+ * penalty | cyclic | hea), scale (F1..K4), case, seed, shots, device
+ * (fez | osaka | sherbrooke), layers, iters, keep_starts, deadline_ms.
+ *
+ *   $ printf '%s\n' \
+ *       '{"id":"a","scale":"F1","case":0,"seed":11}' \
+ *       '{"id":"b","scale":"K1","case":1,"solver":"penalty"}' \
+ *     | chocoq_serve --workers 4
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "service/service.hpp"
+
+namespace
+{
+
+void
+usage(const char *argv0)
+{
+    std::cout
+        << "usage: " << argv0 << " [options]\n"
+        << "  --input FILE   read JSONL job requests from FILE (default: "
+           "stdin)\n"
+        << "  --workers N    concurrent solve workers (default: 1)\n"
+        << "  --iters N      default optimizer iteration budget for jobs "
+           "that\n"
+        << "                 don't set \"iters\" (default: solver "
+           "defaults)\n"
+        << "  --no-cache     disable the compilation cache\n"
+        << "  --quiet        suppress the stderr summary\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string input_path;
+    chocoq::service::ServiceOptions options;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--input") {
+            input_path = next();
+        } else if (arg == "--workers") {
+            options.workers = std::atoi(next());
+        } else if (arg == "--iters") {
+            options.defaultIterations = std::atoi(next());
+        } else if (arg == "--no-cache") {
+            options.useCache = false;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::cerr << "unknown argument: " << arg << "\n";
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    std::ifstream file;
+    if (!input_path.empty()) {
+        file.open(input_path);
+        if (!file) {
+            std::cerr << "cannot open " << input_path << "\n";
+            return 2;
+        }
+    }
+    std::istream &in = input_path.empty() ? std::cin : file;
+
+    chocoq::service::SolveService service(options);
+    std::mutex out_mu;
+    long submitted = 0;
+    long failed = 0;
+    chocoq::Timer wall;
+
+    std::string line;
+    long lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Skip blank lines and # comments so fixtures can be annotated.
+        std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        chocoq::service::SolveJob job;
+        try {
+            job = chocoq::service::jobFromJsonLine(line);
+        } catch (const std::exception &e) {
+            // A malformed request fails that request, not the stream.
+            chocoq::service::SolveResult bad;
+            bad.id = "line-" + std::to_string(lineno);
+            bad.status = "error";
+            bad.error = e.what();
+            std::lock_guard<std::mutex> lock(out_mu);
+            std::cout << chocoq::service::resultToJson(bad).dump() << "\n";
+            ++failed;
+            continue;
+        }
+        if (job.id.empty())
+            job.id = "job-" + std::to_string(lineno);
+        ++submitted;
+        service.submit(std::move(job),
+                       [&](const chocoq::service::SolveResult &r) {
+                           std::lock_guard<std::mutex> lock(out_mu);
+                           std::cout
+                               << chocoq::service::resultToJson(r).dump()
+                               << "\n";
+                           std::cout.flush();
+                           if (r.status != "ok")
+                               ++failed;
+                       });
+    }
+    service.drain();
+
+    if (!quiet) {
+        const auto cache = service.cacheStats();
+        const double seconds = wall.seconds();
+        std::cerr << "chocoq_serve: " << submitted << " jobs on "
+                  << service.workers() << " workers in " << seconds
+                  << " s ("
+                  << (seconds > 0 ? static_cast<double>(submitted) / seconds
+                                  : 0.0)
+                  << " jobs/s), cache " << cache.hits << " hits / "
+                  << cache.misses << " misses, " << failed
+                  << " failed\n";
+    }
+    return failed == 0 ? 0 : 1;
+}
