@@ -100,6 +100,7 @@ struct RunReport
     double p99Ms = 0.0;
     double execP50Ms = 0.0;
     double cacheHitRate = 0.0;
+    service::CompileCache::Stats cache;
     std::vector<service::SolveResult> results;
 };
 
@@ -129,7 +130,8 @@ runSuite(const std::vector<service::SolveJob> &jobs, int workers)
     report.p50Ms = percentile(end_to_end, 0.50);
     report.p99Ms = percentile(end_to_end, 0.99);
     report.execP50Ms = percentile(exec, 0.50);
-    report.cacheHitRate = svc.cacheStats().hitRate();
+    report.cache = svc.cacheStats();
+    report.cacheHitRate = report.cache.hitRate();
     return report;
 }
 
@@ -189,7 +191,11 @@ main(int argc, char **argv)
                   << report.jobsPerSec << " jobs/s, p50 " << report.p50Ms
                   << " ms, p99 " << report.p99Ms << " ms, exec p50 "
                   << report.execP50Ms << " ms, cache hit rate "
-                  << report.cacheHitRate << "\n";
+                  << report.cacheHitRate << " ("
+                  << report.cache.entries << " entries, "
+                  << report.cache.bytes << " bytes, "
+                  << report.cache.evictions << " evictions, budget "
+                  << report.cache.maxBytes << ")\n";
         runs.push_back(std::move(report));
     }
 
@@ -222,6 +228,12 @@ main(int argc, char **argv)
         entry.set("latency_p99_ms", r.p99Ms);
         entry.set("exec_p50_ms", r.execP50Ms);
         entry.set("cache_hit_rate", r.cacheHitRate);
+        entry.set("cache_entries", static_cast<double>(r.cache.entries));
+        entry.set("cache_bytes", static_cast<double>(r.cache.bytes));
+        entry.set("cache_evictions",
+                  static_cast<double>(r.cache.evictions));
+        entry.set("cache_max_bytes",
+                  static_cast<double>(r.cache.maxBytes));
         run_array.push(std::move(entry));
     }
     doc.set("runs", std::move(run_array));

@@ -27,6 +27,31 @@ tabulate(const model::Polynomial &f, int k)
 
 } // namespace
 
+std::size_t
+ChocoQArtifacts::memoryBytes() const
+{
+    std::size_t bytes = sizeof(ChocoQArtifacts);
+    bytes += (plan.eliminated.capacity() + plan.kept.capacity())
+             * sizeof(int);
+    for (const auto &sub : subs) {
+        bytes += sizeof(CompiledSub);
+        if (sub.costTable)
+            bytes += sub.costTable->capacity() * sizeof(double);
+        if (sub.terms)
+            for (const auto &t : *sub.terms)
+                bytes += sizeof(CommuteTerm)
+                         + (t.u.capacity() + t.support.capacity())
+                               * sizeof(int);
+        if (sub.objective)
+            for (const auto &[vars, coeff] : sub.objective->terms())
+                bytes += sizeof(double) + vars.capacity() * sizeof(int)
+                         + 48; // map-node overhead estimate
+        if (sub.fusedPlan)
+            bytes += sub.fusedPlan->memoryBytes();
+    }
+    return bytes;
+}
+
 ChocoQSolver::ChocoQSolver(ChocoQOptions opts) : opts_(std::move(opts))
 {
     CHOCOQ_ASSERT(opts_.layers >= 1, "Choco-Q needs at least one layer");
@@ -88,6 +113,13 @@ ChocoQSolver::compile(const model::Problem &p) const
         cs.objective = std::make_shared<const model::Polynomial>(
             sub.reduced.minimizedObjective());
         cs.costTable = tabulate(*cs.objective, k);
+        // Layer fusion is compile-relevant (the plan ships with the
+        // artifacts and the cache key carries the flag); with fusion
+        // off the artifacts stay plan-free and the run uses the
+        // per-term/uncompressed kernels.
+        if (opts_.engine.fusion)
+            cs.fusedPlan = std::make_shared<const FusedLayerPlan>(
+                buildFusedLayerPlan(*cs.costTable, *cs.terms));
 
         // Fig. 14 ablation: extra basic gates a generic two-level
         // synthesis of each local unitary would cost over Lemma 2.
@@ -142,35 +174,76 @@ ChocoQSolver::solveCompiled(const model::Problem &p,
             return c;
         };
         if (!opts_.gateLevelLoop) {
-            run.evolve = [x0, table,
-                          terms](sim::StateVector &state,
-                                 const std::vector<double> &theta) {
-                state.reset(x0);
-                const std::size_t layers = theta.size() / 2;
-                for (std::size_t l = 0; l < layers; ++l) {
-                    state.applyPhaseTable(*table, theta[2 * l]);
-                    applyCommuteLayer(state, *terms, theta[2 * l + 1]);
-                }
-            };
-            // Lockstep multi-start: per state this is exactly evolve()'s
-            // kernel sequence, only interleaved layer by layer so the
-            // phase table and terms stay cache-hot across the batch.
-            run.evolveBatch =
-                [x0, table, terms](
-                    const std::vector<sim::StateVector *> &states,
-                    const std::vector<std::vector<double>> &thetas) {
-                    for (auto *s : states)
-                        s->reset(x0);
-                    const std::size_t layers = thetas[0].size() / 2;
+            const auto plan = opts_.engine.fusion ? cs.fusedPlan : nullptr;
+            if (plan) {
+                // Fused layers: value-compressed objective phase plus
+                // grouped commute sweeps — bit-identical to the unfused
+                // closures below (tested property). The phase scratch is
+                // shared across evaluations of this run (one engine run
+                // is single-threaded over its SubRuns), so the hot loop
+                // stays allocation-free in steady state.
+                auto scratch = std::make_shared<std::vector<sim::Cplx>>();
+                run.evolve = [x0, table, plan,
+                              scratch](sim::StateVector &state,
+                                       const std::vector<double> &theta) {
+                    state.reset(x0);
+                    const std::size_t layers = theta.size() / 2;
                     for (std::size_t l = 0; l < layers; ++l) {
-                        for (std::size_t b = 0; b < states.size(); ++b)
-                            states[b]->applyPhaseTable(*table,
-                                                       thetas[b][2 * l]);
-                        for (std::size_t b = 0; b < states.size(); ++b)
-                            applyCommuteLayer(*states[b], *terms,
-                                              thetas[b][2 * l + 1]);
+                        applyFusedObjectivePhase(state, *plan, *table,
+                                                 theta[2 * l], *scratch);
+                        applyFusedCommuteLayer(state, *plan,
+                                               theta[2 * l + 1]);
                     }
                 };
+                run.evolveBatch =
+                    [x0, table, plan, scratch](
+                        const std::vector<sim::StateVector *> &states,
+                        const std::vector<std::vector<double>> &thetas) {
+                        for (auto *s : states)
+                            s->reset(x0);
+                        const std::size_t layers = thetas[0].size() / 2;
+                        for (std::size_t l = 0; l < layers; ++l) {
+                            for (std::size_t b = 0; b < states.size(); ++b)
+                                applyFusedObjectivePhase(
+                                    *states[b], *plan, *table,
+                                    thetas[b][2 * l], *scratch);
+                            for (std::size_t b = 0; b < states.size(); ++b)
+                                applyFusedCommuteLayer(
+                                    *states[b], *plan, thetas[b][2 * l + 1]);
+                        }
+                    };
+            } else {
+                run.evolve = [x0, table,
+                              terms](sim::StateVector &state,
+                                     const std::vector<double> &theta) {
+                    state.reset(x0);
+                    const std::size_t layers = theta.size() / 2;
+                    for (std::size_t l = 0; l < layers; ++l) {
+                        state.applyPhaseTable(*table, theta[2 * l]);
+                        applyCommuteLayer(state, *terms, theta[2 * l + 1]);
+                    }
+                };
+                // Lockstep multi-start: per state this is exactly
+                // evolve()'s kernel sequence, only interleaved layer by
+                // layer so the phase table and terms stay cache-hot
+                // across the batch.
+                run.evolveBatch =
+                    [x0, table, terms](
+                        const std::vector<sim::StateVector *> &states,
+                        const std::vector<std::vector<double>> &thetas) {
+                        for (auto *s : states)
+                            s->reset(x0);
+                        const std::size_t layers = thetas[0].size() / 2;
+                        for (std::size_t l = 0; l < layers; ++l) {
+                            for (std::size_t b = 0; b < states.size(); ++b)
+                                states[b]->applyPhaseTable(*table,
+                                                           thetas[b][2 * l]);
+                            for (std::size_t b = 0; b < states.size(); ++b)
+                                applyCommuteLayer(*states[b], *terms,
+                                                  thetas[b][2 * l + 1]);
+                        }
+                    };
+            }
         }
         run.lift = [plan, assignment](Basis x) {
             return liftToFull(x, plan, assignment);

@@ -11,6 +11,7 @@
 
 #include "core/commute.hpp"
 #include "core/eliminate.hpp"
+#include "core/layer_fusion.hpp"
 #include "core/movebasis.hpp"
 #include "core/solver.hpp"
 #include "model/polynomial.hpp"
@@ -65,6 +66,13 @@ struct CompiledSub
     std::shared_ptr<const std::vector<CommuteTerm>> terms;
     /** Objective eigenvalue per reduced basis state. */
     std::shared_ptr<const std::vector<double>> costTable;
+    /**
+     * Layer fusion plan (compressed objective phase + grouped commute
+     * sweeps); null when the solver compiled with engine.fusion off.
+     * Structure-derived like every other artifact piece, so it is built
+     * once in compile() and shared read-only across jobs.
+     */
+    std::shared_ptr<const FusedLayerPlan> fusedPlan;
     /** Fig. 14 ablation: identity-CX pairs padded per ansatz layer. */
     std::size_t padPairs = 0;
 };
@@ -84,6 +92,13 @@ struct ChocoQArtifacts
     std::vector<CompiledSub> subs;
     /** Compilation wall time. */
     double seconds = 0.0;
+
+    /**
+     * Approximate heap footprint of the artifacts (tables, terms, fusion
+     * plans, reduced objectives). Used by the compilation cache's LRU
+     * byte budget; an estimate, not an allocator-exact count.
+     */
+    std::size_t memoryBytes() const;
 };
 
 /** Compilation artifacts exposed for analysis benches (Fig. 12/13). */

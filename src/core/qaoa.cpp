@@ -24,7 +24,7 @@ using sim::StateVector;
  */
 void
 evolveInto(StateVector &state, const SubRun &run,
-           const std::vector<double> &theta)
+           const std::vector<double> &theta, bool fuse_gates)
 {
     if (run.evolve) {
         // evolve() establishes its own initial state (see the SubRun
@@ -36,7 +36,10 @@ evolveInto(StateVector &state, const SubRun &run,
     } else {
         state.prepare(run.numQubits);
         circuit::Circuit c = run.build(theta);
-        sim::execute(state, c);
+        if (fuse_gates)
+            sim::execute(state, circuit::fuseDiagonals(c));
+        else
+            sim::execute(state, c);
     }
 }
 
@@ -44,9 +47,9 @@ evolveInto(StateVector &state, const SubRun &run,
 double
 subrunCost(StateVector &scratch, const SubRun &run,
            const std::function<double(Basis)> &cost,
-           const std::vector<double> &theta)
+           const std::vector<double> &theta, bool fuse_gates)
 {
-    evolveInto(scratch, run, theta);
+    evolveInto(scratch, run, theta, fuse_gates);
     if (run.costTable)
         return scratch.expectationTable(*run.costTable);
     return scratch.expectationDiagonal(
@@ -62,7 +65,8 @@ subrunCost(StateVector &scratch, const SubRun &run,
 std::vector<double>
 batchSubrunCosts(sim::ScratchPool &pool, const SubRun &run,
                  const std::function<double(Basis)> &cost,
-                 const std::vector<std::vector<double>> &thetas)
+                 const std::vector<std::vector<double>> &thetas,
+                 bool fuse_gates)
 {
     std::vector<double> out(thetas.size());
     if (run.evolveBatch && thetas.size() > 1) {
@@ -83,7 +87,7 @@ batchSubrunCosts(sim::ScratchPool &pool, const SubRun &run,
     } else {
         StateVector &scratch = pool.at(0, run.numQubits);
         for (std::size_t b = 0; b < thetas.size(); ++b)
-            out[b] = subrunCost(scratch, run, cost, thetas[b]);
+            out[b] = subrunCost(scratch, run, cost, thetas[b], fuse_gates);
     }
     return out;
 }
@@ -224,14 +228,16 @@ runQaoa(const std::vector<SubRun> &subruns,
         for (std::size_t i = 0; i < subruns.size(); ++i) {
             auto objective = [&](const std::vector<double> &theta) {
                 Timer t;
-                const double v = subrunCost(scratch, subruns[i], cost, theta);
+                const double v = subrunCost(scratch, subruns[i], cost, theta,
+                                            opts.fusion);
                 sim_seconds += t.seconds();
                 return v;
             };
             auto batch_objective =
                 [&](const std::vector<std::vector<double>> &thetas) {
                     Timer t;
-                    auto v = batchSubrunCosts(pool, subruns[i], cost, thetas);
+                    auto v = batchSubrunCosts(pool, subruns[i], cost, thetas,
+                                              opts.fusion);
                     sim_seconds += t.seconds();
                     return v;
                 };
@@ -267,7 +273,7 @@ runQaoa(const std::vector<SubRun> &subruns,
             double acc = 0.0;
             for (const auto &run : subruns)
                 acc += run.weight / weight_total
-                       * subrunCost(scratch, run, cost, theta);
+                       * subrunCost(scratch, run, cost, theta, opts.fusion);
             sim_seconds += t.seconds();
             return acc;
         };
@@ -276,7 +282,8 @@ runQaoa(const std::vector<SubRun> &subruns,
                 Timer t;
                 std::vector<double> acc(thetas.size(), 0.0);
                 for (const auto &run : subruns) {
-                    const auto v = batchSubrunCosts(pool, run, cost, thetas);
+                    const auto v = batchSubrunCosts(pool, run, cost, thetas,
+                                                    opts.fusion);
                     for (std::size_t b = 0; b < v.size(); ++b)
                         acc[b] += run.weight / weight_total * v[b];
                 }
@@ -320,14 +327,14 @@ runQaoa(const std::vector<SubRun> &subruns,
             accumulateNoisy(out.distribution, scratch, subruns[i],
                             finals[i], opts, w, rng);
         } else if (opts.shots > 0) {
-            evolveInto(scratch, subruns[i], theta_star[i]);
+            evolveInto(scratch, subruns[i], theta_star[i], opts.fusion);
             const auto hist = scratch.sample(rng, opts.shots);
             for (const auto &[x, cnt] : hist)
                 out.distribution[subruns[i].lift(x)] +=
                     w * static_cast<double>(cnt)
                     / static_cast<double>(opts.shots);
         } else {
-            evolveInto(scratch, subruns[i], theta_star[i]);
+            evolveInto(scratch, subruns[i], theta_star[i], opts.fusion);
             for (const auto &[x, p] : scratch.distribution())
                 out.distribution[subruns[i].lift(x)] += w * p;
         }

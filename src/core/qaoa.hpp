@@ -110,6 +110,19 @@ struct EngineOptions
      * circuits are handled: "execute the circuit individually" (IV-C).
      */
     bool independentSubruns = true;
+    /**
+     * Gate fusion. On the functional fast path the solver applies each
+     * layer through its compile-time FusedLayerPlan (value-compressed
+     * objective phase + grouped commute sweeps — bit-identical to the
+     * unfused kernels, see core/layer_fusion.hpp); on the circuit path
+     * built circuits run through circuit::fuseDiagonals so adjacent
+     * diagonal gates apply as one sweep (equivalent within fp
+     * reassociation). Off switches every evaluation back to the
+     * per-gate/per-term kernels — kept as the cross-checked fallback.
+     * Compile-relevant: the service hashes this into the compile-cache
+     * key because artifacts carry the fused plan.
+     */
+    bool fusion = true;
     /** Shots for the final sampling; 0 keeps the exact distribution. */
     int shots = 0;
     /** Gate noise for the final sampling (optimization is noiseless). */

@@ -77,7 +77,38 @@ compileKey(const model::Problem &p, const core::ChocoQOptions &opts)
     key += "|m:";
     appendUint(key, opts.moveSetFactor);
     key += opts.genericSynthesisPadding ? "|pad" : "|nopad";
+    // Fusion is the one engine option that shapes the artifacts (they
+    // carry the FusedLayerPlan), so it is part of the key.
+    key += opts.engine.fusion ? "|fz" : "|nofz";
     return key;
+}
+
+void
+CompileCache::touchLocked(Entry &entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lruPos);
+}
+
+void
+CompileCache::evictLocked()
+{
+    if (opts_.maxBytes == 0)
+        return;
+    // Walk the cold end of the LRU list, skipping in-flight entries
+    // (their waiters hold the future; eviction would break the
+    // single-flight guarantee and re-run a compilation already paid
+    // for).
+    auto it = lru_.end();
+    while (bytes_ > opts_.maxBytes && it != lru_.begin()) {
+        --it;
+        auto map_it = map_.find(*it);
+        if (!map_it->second.ready)
+            continue;
+        bytes_ -= map_it->second.bytes;
+        ++evictions_;
+        map_.erase(map_it);
+        it = lru_.erase(it);
+    }
 }
 
 std::shared_ptr<const core::ChocoQArtifacts>
@@ -89,16 +120,24 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
     std::promise<std::shared_ptr<const core::ChocoQArtifacts>> promise;
     Future future;
     bool owner = false;
+    std::uint64_t generation = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = map_.find(key);
         if (it == map_.end()) {
             future = promise.get_future().share();
-            map_.emplace(key, future);
+            lru_.push_front(key);
+            Entry entry;
+            entry.future = future;
+            entry.generation = nextGeneration_++;
+            entry.lruPos = lru_.begin();
+            generation = entry.generation;
+            map_.emplace(key, std::move(entry));
             owner = true;
             ++misses_;
         } else {
-            future = it->second;
+            future = it->second.future;
+            touchLocked(it->second);
             ++hits_;
         }
     }
@@ -110,13 +149,30 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
     try {
         auto artifacts = solver.compile(p);
         promise.set_value(artifacts);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = map_.find(key);
+            // Touch only our own insertion: clear() may have dropped it
+            // mid-compile and a later request re-inserted the key with
+            // a fresh in-flight entry that must stay unevictable.
+            if (it != map_.end() && it->second.generation == generation) {
+                it->second.bytes = artifacts->memoryBytes();
+                it->second.ready = true;
+                bytes_ += it->second.bytes;
+                evictLocked();
+            }
+        }
         return artifacts;
     } catch (...) {
         // Don't cache failures: drop the entry so a later (possibly
         // fixed) request recompiles, then propagate to every waiter.
         {
             std::lock_guard<std::mutex> lock(mu_);
-            map_.erase(key);
+            auto it = map_.find(key);
+            if (it != map_.end() && it->second.generation == generation) {
+                lru_.erase(it->second.lruPos);
+                map_.erase(it);
+            }
         }
         promise.set_exception(std::current_exception());
         throw;
@@ -127,7 +183,14 @@ CompileCache::Stats
 CompileCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return {hits_, misses_, map_.size()};
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.entries = map_.size();
+    s.bytes = bytes_;
+    s.maxBytes = opts_.maxBytes;
+    return s;
 }
 
 void
@@ -135,8 +198,11 @@ CompileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
+    lru_.clear();
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
+    bytes_ = 0;
 }
 
 } // namespace chocoq::service

@@ -3,17 +3,26 @@
  * Compilation cache for the Choco-Q pipeline.
  *
  * Choco-Q's compilation (elimination plan, per-assignment feasibility
- * search, reduced move bases, commute terms, objective tables) depends
- * only on the problem's constraint matrix, its objective polynomial, and
- * the compile-relevant solver options — not on seeds, shots, iteration
- * budgets, or noise. Benchmark suites and production traffic repeat the
- * same structures with varied execution knobs, so the cache keys
- * artifacts by exactly those inputs and serves the shared immutable
- * ChocoQArtifacts to every matching job: compile once, solve many.
+ * search, reduced move bases, commute terms, objective tables, layer
+ * fusion plans) depends only on the problem's constraint matrix, its
+ * objective polynomial, and the compile-relevant solver options — not
+ * on seeds, shots, iteration budgets, or noise. Benchmark suites and
+ * production traffic repeat the same structures with varied execution
+ * knobs, so the cache keys artifacts by exactly those inputs and serves
+ * the shared immutable ChocoQArtifacts to every matching job: compile
+ * once, solve many.
  *
  * Concurrency: lookups are single-flight. The first requester of a key
  * inserts a future and compiles outside the lock; concurrent requesters
  * of the same key block on that future instead of compiling twice.
+ *
+ * Retention: completed entries are kept in LRU order under a byte
+ * budget (CompileCacheOptions::maxBytes, measured with
+ * ChocoQArtifacts::memoryBytes). When an insertion pushes the total
+ * over budget, least-recently-used completed entries are dropped;
+ * in-flight compilations are never evicted (waiters hold their future).
+ * An evicted structure simply recompiles on its next request — results
+ * are unaffected, only the hit rate is (tested property).
  */
 
 #ifndef CHOCOQ_SERVICE_COMPILE_CACHE_HPP
@@ -21,6 +30,7 @@
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -33,14 +43,27 @@ namespace chocoq::service
 
 /**
  * Structural cache key: constraint matrix, objective polynomial (exact
- * coefficient bits), and the compile-relevant ChocoQOptions. Problem
+ * coefficient bits), and the compile-relevant ChocoQOptions (including
+ * the fusion flag — fused artifacts carry their layer plans). Problem
  * *names* are deliberately excluded — two differently named but
  * structurally identical instances share one compilation.
  */
 std::string compileKey(const model::Problem &p,
                        const core::ChocoQOptions &opts);
 
-/** Thread-safe, single-flight cache of Choco-Q compilation artifacts. */
+/** Cache retention configuration. */
+struct CompileCacheOptions
+{
+    /**
+     * Byte budget for retained artifacts (0 = unbounded). The default
+     * comfortably holds thousands of benchmark-suite structures while
+     * bounding a long-lived service against unbounded structure churn.
+     */
+    std::size_t maxBytes = std::size_t{256} << 20;
+};
+
+/** Thread-safe, single-flight, LRU-bounded cache of compilation
+ * artifacts. */
 class CompileCache
 {
   public:
@@ -48,7 +71,13 @@ class CompileCache
     {
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        /** Completed entries dropped by the byte budget. */
+        std::uint64_t evictions = 0;
         std::size_t entries = 0;
+        /** Bytes held by completed entries (memoryBytes estimates). */
+        std::size_t bytes = 0;
+        /** Configured budget (0 = unbounded). */
+        std::size_t maxBytes = 0;
 
         double
         hitRate() const
@@ -60,6 +89,8 @@ class CompileCache
                              / static_cast<double>(total);
         }
     };
+
+    explicit CompileCache(CompileCacheOptions opts = {}) : opts_(opts) {}
 
     /**
      * Artifacts for @p p compiled by @p solver, computing them on the
@@ -80,10 +111,38 @@ class CompileCache
     using Future =
         std::shared_future<std::shared_ptr<const core::ChocoQArtifacts>>;
 
+    struct Entry
+    {
+        Future future;
+        /** memoryBytes estimate; meaningful once ready. */
+        std::size_t bytes = 0;
+        /** Set when the owner's compilation completed successfully. */
+        bool ready = false;
+        /**
+         * Insertion identity. An owner finishing a compile may find the
+         * map slot re-populated (clear() ran mid-compile and another
+         * thread re-requested the key); the generation check keeps its
+         * bookkeeping off that newer in-flight entry.
+         */
+        std::uint64_t generation = 0;
+        /** Position in lru_ (front = most recently used). */
+        std::list<std::string>::iterator lruPos;
+    };
+
+    /** Move @p it's entry to the front of the LRU list. Lock held. */
+    void touchLocked(Entry &entry);
+    /** Drop ready LRU-tail entries until the budget holds. Lock held. */
+    void evictLocked();
+
+    CompileCacheOptions opts_;
     mutable std::mutex mu_;
-    std::unordered_map<std::string, Future> map_;
+    std::unordered_map<std::string, Entry> map_;
+    std::list<std::string> lru_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t nextGeneration_ = 1;
+    std::size_t bytes_ = 0;
 };
 
 } // namespace chocoq::service

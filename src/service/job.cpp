@@ -78,6 +78,11 @@ jobFromJson(const Json &v)
         static_cast<int>(checkedInt(v, "iters", 0, 1 << 30, 0));
     job.keepStarts =
         static_cast<int>(checkedInt(v, "keep_starts", 0, 1 << 20, 0));
+    if (const Json *fusion = v.find("fusion")) {
+        if (fusion->kind() != Json::Kind::Bool)
+            CHOCOQ_FATAL("field 'fusion' must be a boolean");
+        job.fusion = fusion->asBool(true);
+    }
     job.deadlineMs = v.getNumber("deadline_ms", 0.0);
     if (job.deadlineMs < 0.0)
         CHOCOQ_FATAL("field 'deadline_ms' must be non-negative");

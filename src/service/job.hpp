@@ -52,6 +52,13 @@ struct SolveJob
      */
     int keepStarts = 0;
     /**
+     * Gate fusion (EngineOptions::fusion): fused layer application in
+     * the variational loop. On by default; the off switch keeps the
+     * cross-checked per-term kernels reachable from the wire. Part of
+     * the compile-cache key (fused artifacts carry the fusion plan).
+     */
+    bool fusion = true;
+    /**
      * Queueing deadline in milliseconds from submission; a job still
      * waiting past its deadline is failed as "expired" without running.
      * 0 = no deadline.
@@ -100,7 +107,8 @@ struct SolveResult
 
 /**
  * Parse one JSONL request line. Recognized keys: id, solver, scale,
- * case, seed, shots, device, layers, iters, keep_starts, deadline_ms.
+ * case, seed, shots, device, layers, iters, keep_starts, fusion,
+ * deadline_ms.
  * Missing keys take the SolveJob defaults. Throws FatalError on
  * malformed JSON or an unknown scale/solver name.
  */

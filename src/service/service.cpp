@@ -47,6 +47,7 @@ configureEngine(core::EngineOptions &engine, const SolveJob &job,
     if (!job.device.empty())
         engine.noise = device::noiseOf(device::deviceByName(job.device));
     engine.multiStartKeep = job.keepStarts;
+    engine.fusion = job.fusion;
     engine.scratchPool = &ctx.scratch;
 }
 
@@ -73,7 +74,8 @@ hashDistribution(const std::map<Basis, double> &dist)
 } // namespace
 
 SolveService::SolveService(ServiceOptions opts)
-    : opts_(opts), scheduler_(opts.workers)
+    : opts_(opts), cache_(CompileCacheOptions{opts.cacheMaxBytes}),
+      scheduler_(opts.workers)
 {}
 
 SolveResult

@@ -34,6 +34,9 @@ struct ServiceOptions
     int workers = 1;
     /** Share compilation artifacts across structurally equal jobs. */
     bool useCache = true;
+    /** Artifact-retention byte budget for the compilation cache
+     * (CompileCacheOptions::maxBytes; 0 = unbounded). */
+    std::size_t cacheMaxBytes = CompileCacheOptions{}.maxBytes;
     /** Optimizer iteration budget for jobs that don't set their own;
      * 0 keeps each solver's default. */
     int defaultIterations = 0;

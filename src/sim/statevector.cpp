@@ -172,6 +172,38 @@ StateVector::applyPairRotation(Basis support_mask, Basis v_bits, double c,
 }
 
 void
+StateVector::applyPairRotationGroup(Basis support_mask, const Basis *vbits,
+                                    std::size_t count, double c, double s)
+{
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-group support");
+    for (std::size_t g = 0; g < count; ++g)
+        CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
+                      "v pattern outside group support");
+    Cplx *amp = amp_.data();
+    // One enumeration of the free-bit runs (support bits fixed to 0 in
+    // the base) serves every term of the group: term g's |v> run starts
+    // at base | vbits[g] and its partner run at the same offset XOR the
+    // support mask. Per term the arithmetic and visit order match
+    // applyPairRotation exactly; terms interleave per run, which is
+    // float-exact because group pair sets are disjoint.
+    forEachSubspaceRun(
+        freeMask(support_mask), 0, [=](Basis base, std::size_t len) {
+            for (std::size_t g = 0; g < count; ++g) {
+                Cplx *__restrict pv = amp + (base | vbits[g]);
+                Cplx *__restrict pw = amp + ((base | vbits[g]) ^ support_mask);
+                for (std::size_t t = 0; t < len; ++t) {
+                    const Cplx a = pv[t];
+                    const Cplx b = pw[t];
+                    pv[t] = Cplx{c * a.real() + s * b.imag(),
+                                 c * a.imag() - s * b.real()};
+                    pw[t] = Cplx{s * a.imag() + c * b.real(),
+                                 c * b.imag() - s * a.real()};
+                }
+            }
+        });
+}
+
+void
 StateVector::applyXY(int a, int b, double beta)
 {
     CHOCOQ_ASSERT(a != b, "XY on identical qubits");
@@ -223,6 +255,91 @@ StateVector::applyPhaseTable(const std::vector<double> &table, double gamma)
     parallelFor(amp_.size(), [=](std::size_t i) {
         const double phi = -gamma * tab[i];
         amp[i] *= Cplx{std::cos(phi), std::sin(phi)};
+    });
+}
+
+void
+StateVector::applyPhaseTableCompressed(const std::vector<double> &distinct,
+                                       const std::vector<std::uint16_t> &index,
+                                       double gamma,
+                                       std::vector<Cplx> &phase_scratch)
+{
+    CHOCOQ_ASSERT(index.size() == amp_.size(),
+                  "compressed phase index size mismatch");
+    // |distinct| sincos evaluations; phi matches applyPhaseTable's
+    // -gamma * value expression exactly, so expanding the table and
+    // calling applyPhaseTable gives the same bits.
+    phase_scratch.resize(distinct.size());
+    for (std::size_t d = 0; d < distinct.size(); ++d) {
+        const double phi = -gamma * distinct[d];
+        phase_scratch[d] = Cplx{std::cos(phi), std::sin(phi)};
+    }
+    Cplx *amp = amp_.data();
+    const Cplx *phases = phase_scratch.data();
+    const std::uint16_t *idx = index.data();
+    parallelFor(amp_.size(),
+                [=](std::size_t i) { amp[i] *= phases[idx[i]]; });
+}
+
+void
+StateVector::applyMaskPhaseProduct(const Basis *masks, const Cplx *phases,
+                                   std::size_t count, Cplx global)
+{
+    // Byte-blocked evaluation: a term whose mask lies inside one 8-bit
+    // slice of the index folds into that slice's 256-entry factor table
+    // (built in 256 x count_in_block operations, amortized over the 2^n
+    // sweep); only masks spanning slices stay as per-amplitude tests.
+    // The per-amplitude cost is ceil(n/8) table multiplies plus the few
+    // residual terms — independent of how many gates were fused —
+    // instead of one test-and-multiply per source gate.
+    const int blocks = (n_ + 7) / 8;
+    std::vector<std::vector<Cplx>> tables(
+        static_cast<std::size_t>(blocks),
+        std::vector<Cplx>(256, Cplx{1.0, 0.0}));
+    std::vector<Basis> res_masks;
+    std::vector<Cplx> res_phases;
+    for (std::size_t t = 0; t < count; ++t) {
+        bool folded = false;
+        for (int b = 0; b < blocks; ++b) {
+            const Basis block_mask = Basis{0xFF} << (8 * b);
+            if ((masks[t] & ~block_mask) != 0)
+                continue;
+            const unsigned local =
+                static_cast<unsigned>(masks[t] >> (8 * b));
+            for (unsigned v = 0; v < 256; ++v)
+                if ((v & local) == local)
+                    tables[b][v] *= phases[t];
+            folded = true;
+            break;
+        }
+        if (!folded) {
+            res_masks.push_back(masks[t]);
+            res_phases.push_back(phases[t]);
+        }
+    }
+    // Fold the global phase into the slice every index passes through.
+    for (auto &f : tables[0])
+        f *= global;
+
+    Cplx *amp = amp_.data();
+    const std::size_t res_count = res_masks.size();
+    const Basis *rm = res_masks.data();
+    const Cplx *rp = res_phases.data();
+    if (blocks == 1 && res_count == 0) {
+        const Cplx *t0 = tables[0].data();
+        parallelFor(amp_.size(),
+                    [=](std::size_t i) { amp[i] *= t0[i & 0xFF]; });
+        return;
+    }
+    const std::vector<Cplx> *tabs = tables.data();
+    parallelFor(amp_.size(), [=](std::size_t i) {
+        Cplx f = tabs[0][i & 0xFF];
+        for (int b = 1; b < blocks; ++b)
+            f *= tabs[b][(i >> (8 * b)) & 0xFF];
+        for (std::size_t t = 0; t < res_count; ++t)
+            if ((static_cast<Basis>(i) & rm[t]) == rm[t])
+                f *= rp[t];
+        amp[i] *= f;
     });
 }
 

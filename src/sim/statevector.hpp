@@ -21,6 +21,7 @@
 #define CHOCOQ_SIM_STATEVECTOR_HPP
 
 #include <complex>
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -121,6 +122,42 @@ class StateVector
     void applyPhaseTable(const std::vector<double> &table, double gamma);
 
     /**
+     * Value-compressed variant of applyPhaseTable: the eigenvalue table
+     * is stored as its distinct values plus a per-basis-state index, so
+     * the sweep performs |distinct| sincos evaluations instead of 2^n
+     * (objective tables typically hold few distinct eigenvalues). The
+     * per-amplitude arithmetic is exp(-i gamma distinct[index[i]]) with
+     * the identical phi = -gamma * value expression, so the result is
+     * bit-identical to applyPhaseTable on the expanded table.
+     *
+     * @param distinct Distinct eigenvalues (exact doubles).
+     * @param index Per-basis-state index into @p distinct (dim entries).
+     * @param gamma Evolution angle.
+     * @param phase_scratch Caller-owned buffer for the per-value phases;
+     *        resized to distinct.size() and reusable across calls so the
+     *        hot loop performs no steady-state allocation.
+     */
+    void applyPhaseTableCompressed(const std::vector<double> &distinct,
+                                   const std::vector<std::uint16_t> &index,
+                                   double gamma,
+                                   std::vector<Cplx> &phase_scratch);
+
+    /**
+     * One-pass product of mask-phase factors (the FusedDiagonal kernel):
+     * every amplitude is multiplied by @p global times the product of
+     * phases[t] over the terms whose mask is fully set in the index,
+     * i.e. (idx & masks[t]) == masks[t]. Terms whose mask fits in one
+     * 8-bit slice of the index are pre-folded into per-slice 256-entry
+     * factor tables, so the sweep costs ceil(n/8) table multiplies per
+     * amplitude regardless of how many gates were fused; masks spanning
+     * slices fall back to per-amplitude tests. Factor association
+     * differs from gate-at-a-time application, so equivalence is within
+     * fp reassociation (see circuit::fuseDiagonals).
+     */
+    void applyMaskPhaseProduct(const Basis *masks, const Cplx *phases,
+                               std::size_t count, Cplx global);
+
+    /**
      * Exact evolution exp(-i beta Hc(u)) of one commute-Hamiltonian term.
      *
      * @param support_mask Bits where u is non-zero.
@@ -143,6 +180,20 @@ class StateVector
      */
     void applyPairRotation(Basis support_mask, Basis v_bits, double c,
                            double s);
+
+    /**
+     * Apply @p count pair rotations sharing one support mask in a single
+     * subspace sweep (fused commute-layer groups): the free-bit runs are
+     * enumerated once and every term's pair is rotated while the run's
+     * cache lines are hot. The terms' pair sets must be pairwise
+     * disjoint — no vbits[a] equal to vbits[b] or to vbits[b] XOR
+     * support_mask — which makes the result bit-identical to applying
+     * the rotations one term at a time (disjoint-memory operations
+     * commute exactly); core::buildFusedLayerPlan enforces this when
+     * forming groups.
+     */
+    void applyPairRotationGroup(Basis support_mask, const Basis *vbits,
+                                std::size_t count, double c, double s);
 
     /** exp(-i beta (X_a X_b + Y_a Y_b)) on the {01, 10} block. */
     void applyXY(int a, int b, double beta);

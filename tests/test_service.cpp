@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <fstream>
 
 #include "common/error.hpp"
 #include "core/chocoq_solver.hpp"
@@ -238,6 +239,73 @@ TEST(CompileCache, SharedArtifactsSolveIdentically)
         EXPECT_EQ(0, std::memcmp(&it_f->second, &it_c->second,
                                  sizeof(double)));
     }
+}
+
+TEST(CompileCache, LruEvictsUnderByteBudget)
+{
+    const core::ChocoQSolver solver;
+    const auto p0 = problems::makeCase(problems::Scale::F1, 0);
+    const auto p1 = problems::makeCase(problems::Scale::F1, 1);
+    const auto p2 = problems::makeCase(problems::Scale::K1, 0);
+
+    // Budget one byte short of all three structures: inserting the
+    // third must evict exactly the coldest entry.
+    const std::size_t b0 = solver.compile(p0)->memoryBytes();
+    const std::size_t b1 = solver.compile(p1)->memoryBytes();
+    const std::size_t b2 = solver.compile(p2)->memoryBytes();
+    service::CompileCache cache(
+        service::CompileCacheOptions{b0 + b1 + b2 - 1});
+
+    bool hit = false;
+    cache.get(p0, solver, &hit);
+    cache.get(p1, solver, &hit);
+    cache.get(p0, solver, &hit); // touch p0: p1 becomes coldest
+    EXPECT_TRUE(hit);
+    cache.get(p2, solver, &hit); // over budget -> evict LRU tail
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.bytes, stats.maxBytes);
+    EXPECT_EQ(stats.entries, 2u);
+
+    // The recently touched structure survived; the coldest did not.
+    cache.get(p0, solver, &hit);
+    EXPECT_TRUE(hit) << "recently used entry must survive eviction";
+    cache.get(p1, solver, &hit);
+    EXPECT_FALSE(hit) << "evicted structure must recompile";
+}
+
+TEST(CompileCache, EvictionDoesNotChangeResults)
+{
+    const core::ChocoQSolver solver;
+    const auto p = problems::makeCase(problems::Scale::F1, 0);
+
+    // A 1-byte budget evicts every completed entry immediately: all
+    // misses, yet the recompiled artifacts must solve identically.
+    service::CompileCache cache(service::CompileCacheOptions{1});
+    bool hit = true;
+    const auto a = cache.get(p, solver, &hit);
+    EXPECT_FALSE(hit);
+    const auto out_a = solver.solveCompiled(p, *a);
+    const auto b = cache.get(p, solver, &hit);
+    EXPECT_FALSE(hit) << "budget of 1 byte keeps nothing";
+    const auto out_b = solver.solveCompiled(p, *b);
+    EXPECT_GE(cache.stats().evictions, 2u);
+    EXPECT_EQ(0, std::memcmp(&out_a.bestCost, &out_b.bestCost,
+                             sizeof(double)));
+}
+
+TEST(CompileCache, UnboundedBudgetNeverEvicts)
+{
+    const core::ChocoQSolver solver;
+    service::CompileCache cache(service::CompileCacheOptions{0});
+    cache.get(problems::makeCase(problems::Scale::F1, 0), solver);
+    cache.get(problems::makeCase(problems::Scale::F1, 1), solver);
+    cache.get(problems::makeCase(problems::Scale::K1, 0), solver);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.entries, 3u);
+    EXPECT_GT(stats.bytes, 0u);
 }
 
 // ----------------------------------------------------------- scheduler
@@ -504,4 +572,62 @@ TEST(BatchedMultiStart, ScreeningPrunesOptimizerWork)
     ASSERT_EQ(res_pruned.status, "ok");
     EXPECT_LT(res_pruned.evaluations, res_all.evaluations);
     EXPECT_GT(res_pruned.feasibleMass, 0.99);
+}
+
+// --------------------------------------------- fusion on/off (service)
+
+namespace
+{
+
+/** The 8-job CI fixture, parsed from the source tree. */
+std::vector<service::SolveJob>
+fixtureJobs()
+{
+    std::ifstream in(std::string(CHOCOQ_SOURCE_DIR)
+                     + "/tests/data/service_jobs.jsonl");
+    EXPECT_TRUE(in.is_open()) << "fixture missing";
+    std::vector<service::SolveJob> jobs;
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::size_t start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        jobs.push_back(service::jobFromJsonLine(line));
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(SolveService, FixtureIdenticalWithFusionOnAndOff)
+{
+    // Fusion reshapes the kernel schedule, never the arithmetic: the
+    // functional path is bit-identical by construction, and the noisy
+    // sampling job always executes the unfused per-gate circuit. Every
+    // result of the 8-job CI fixture must therefore match bitwise.
+    auto jobs = fixtureJobs();
+    ASSERT_EQ(jobs.size(), 8u);
+    for (const auto &job : jobs)
+        EXPECT_TRUE(job.fusion) << "fixture jobs default to fusion on";
+
+    service::ServiceOptions options;
+    options.workers = 2;
+    auto fused = service::SolveService(options).solveAll(jobs);
+
+    for (auto &job : jobs)
+        job.fusion = false;
+    auto plain = service::SolveService(options).solveAll(jobs);
+
+    ASSERT_EQ(fused.size(), plain.size());
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+        ASSERT_EQ(fused[i].status, "ok") << fused[i].id << ": "
+                                         << fused[i].error;
+        ASSERT_EQ(plain[i].status, "ok") << plain[i].id;
+        EXPECT_EQ(fused[i].distHash, plain[i].distHash) << fused[i].id;
+        EXPECT_EQ(0, std::memcmp(&fused[i].bestCost, &plain[i].bestCost,
+                                 sizeof(double)))
+            << fused[i].id;
+        EXPECT_EQ(fused[i].evaluations, plain[i].evaluations)
+            << fused[i].id;
+    }
 }

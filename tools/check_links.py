@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs tree (stdlib only).
+
+Checks every inline link/image in the given markdown files:
+  - relative file targets must exist on disk (resolved against the
+    linking file's directory);
+  - fragment targets (#anchor, in-file or cross-file) must match a
+    heading's GitHub-style slug in the target file;
+  - external schemes (http/https/mailto) are skipped — CI must not
+    depend on network reachability.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+reported as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — code spans are stripped first.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markup, lowercase, keep word chars,
+    spaces and hyphens, then hyphenate the spaces."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    # Emphasis asterisks/tildes are markup; underscores in identifiers
+    # (CHOCOQ_THREADS, chocoq_serve) are literal and stay in the slug.
+    text = re.sub(r"[*~]", "", text)
+    # Drop inline link targets, keep the text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set:
+    anchors = set()
+    in_code = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        # Duplicate headings get -1, -2, ... suffixes on GitHub.
+        candidate = slug
+        n = 0
+        while candidate in anchors:
+            n += 1
+            candidate = f"{slug}-{n}"
+        anchors.add(candidate)
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    failures = []
+    in_code = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code = not in_code
+            continue
+        if in_code:
+            continue
+        for match in LINK_RE.finditer(CODE_SPAN_RE.sub("", line)):
+            target = match.group(1)
+            if EXTERNAL_RE.match(target):
+                continue  # external scheme: out of scope
+            file_part, _, fragment = target.partition("#")
+            dest = (
+                path
+                if not file_part
+                else (path.parent / file_part).resolve()
+            )
+            if not dest.exists():
+                failures.append(
+                    f"{path}:{lineno}: broken link '{target}' "
+                    f"(no such file {dest})"
+                )
+                continue
+            if fragment:
+                if dest.suffix.lower() not in (".md", ".markdown"):
+                    continue
+                if dest not in anchor_cache:
+                    anchor_cache[dest] = anchors_of(dest)
+                if fragment not in anchor_cache[dest]:
+                    failures.append(
+                        f"{path}:{lineno}: broken anchor '{target}' "
+                        f"(no heading '#{fragment}' in {dest.name})"
+                    )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    anchor_cache = {}
+    checked = 0
+    for name in argv[1:]:
+        path = Path(name).resolve()
+        if not path.exists():
+            failures.append(f"{name}: file not found")
+            continue
+        failures.extend(check_file(path, anchor_cache))
+        checked += 1
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(
+        f"check_links: {checked} files, "
+        f"{len(failures)} broken link(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -32,6 +32,10 @@
 namespace
 {
 
+#ifndef CHOCOQ_VERSION_STRING
+#define CHOCOQ_VERSION_STRING "unknown"
+#endif
+
 void
 usage(const char *argv0)
 {
@@ -45,7 +49,14 @@ usage(const char *argv0)
         << "                 don't set \"iters\" (default: solver "
            "defaults)\n"
         << "  --no-cache     disable the compilation cache\n"
-        << "  --quiet        suppress the stderr summary\n";
+        << "  --cache-mb N   compilation-cache byte budget in MiB "
+           "(default: 256,\n"
+        << "                 0 = unbounded); coldest artifacts are "
+           "evicted first\n"
+        << "  --quiet        suppress the stderr summary\n"
+        << "  --help, -h     show this help and exit\n"
+        << "  --version      print the version and exit\n"
+        << "\nUnknown options are rejected with exit status 2.\n";
 }
 
 } // namespace
@@ -74,10 +85,27 @@ main(int argc, char **argv)
             options.defaultIterations = std::atoi(next());
         } else if (arg == "--no-cache") {
             options.useCache = false;
+        } else if (arg == "--cache-mb") {
+            // Untrusted CLI input: a typo or negative value must not
+            // silently wrap into a near-unbounded budget.
+            const char *raw = next();
+            char *end = nullptr;
+            const long long mb = std::strtoll(raw, &end, 10);
+            if (end == raw || *end != '\0' || mb < 0
+                || mb > (1ll << 40)) {
+                std::cerr << "--cache-mb expects a non-negative integer "
+                             "(MiB), got '"
+                          << raw << "'\n";
+                return 2;
+            }
+            options.cacheMaxBytes = static_cast<std::size_t>(mb) << 20;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (arg == "--version") {
+            std::cout << "chocoq_serve " << CHOCOQ_VERSION_STRING << "\n";
             return 0;
         } else {
             std::cerr << "unknown argument: " << arg << "\n";
@@ -149,8 +177,9 @@ main(int argc, char **argv)
                   << (seconds > 0 ? static_cast<double>(submitted) / seconds
                                   : 0.0)
                   << " jobs/s), cache " << cache.hits << " hits / "
-                  << cache.misses << " misses, " << failed
-                  << " failed\n";
+                  << cache.misses << " misses / " << cache.evictions
+                  << " evictions (" << cache.bytes << " bytes held), "
+                  << failed << " failed\n";
     }
     return failed == 0 ? 0 : 1;
 }
