@@ -382,15 +382,16 @@ BM_QaoaDeepLayersFused(benchmark::State &state)
 BENCHMARK(BM_QaoaDeepLayersFused);
 
 /** Objective-phase-shaped diagonal gate chain (the circuit-path fusion
- * target): one RZ per qubit plus a CP chain. */
+ * target): one RZ per qubit plus a CP chain. @p shift varies the angles
+ * only (the shape the variational loop re-executes every evaluation). */
 circuit::Circuit
-diagonalChainCircuit(int n)
+diagonalChainCircuit(int n, double shift = 0.0)
 {
     circuit::Circuit c(n);
     for (int q = 0; q < n; ++q)
-        c.rz(q, 0.1 + 0.01 * q);
+        c.rz(q, 0.1 + 0.01 * q + shift);
     for (int q = 0; q + 1 < n; ++q)
-        c.cp(q, q + 1, 0.2 + 0.01 * q);
+        c.cp(q, q + 1, 0.2 + 0.01 * q + shift);
     return c;
 }
 
@@ -414,6 +415,25 @@ BM_DiagonalCircuitFused(benchmark::State &state)
     const int n = static_cast<int>(state.range(0));
     sim::StateVector sv(n);
     const auto fused = circuit::fuseDiagonals(diagonalChainCircuit(n));
+    // Angle-only variant of the same chain: the shape the variational
+    // loop re-executes every objective evaluation.
+    const auto refit = circuit::fuseDiagonals(diagonalChainCircuit(n, 0.3));
+
+    // Regression check: the FusedDiagonal kernel's 256-entry factor
+    // tables are scratch-owned — after the first execution sized them,
+    // angle-only re-executions must reuse the allocation (the rebuild
+    // of table *contents* is amortized; the allocation was not, once).
+    sim::execute(sv, fused);
+    const std::size_t growths = sv.maskPhaseScratchGrowths();
+    for (int r = 0; r < 4; ++r)
+        sim::execute(sv, r % 2 == 0 ? refit : fused);
+    if (sv.maskPhaseScratchGrowths() != growths) {
+        state.SkipWithError(
+            "FusedDiagonal factor tables reallocated on an angle-only "
+            "change (scratch reuse regression)");
+        return;
+    }
+
     for (auto _ : state) {
         sim::execute(sv, fused);
         benchmark::DoNotOptimize(sv.amplitudes().data());

@@ -14,15 +14,20 @@
  */
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 
 using namespace chocoq;
@@ -149,6 +154,128 @@ sameResults(const RunReport &a, const RunReport &b)
     return true;
 }
 
+// ------------------------------------------------- socket-mode probe
+
+struct SocketReport
+{
+    int workers = 0;
+    int connections = 0;
+    /** Mean TCP connect+teardown cost on loopback (amortization: how
+     * many jobs a connection must carry before setup cost vanishes). */
+    double connSetupMsAvg = 0.0;
+    double wallSeconds = 0.0;
+    double jobsPerSec = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    /** Socket results bitwise-match the in-process reference run. */
+    bool matchesInProcess = true;
+};
+
+/**
+ * The same suite through the TCP front-end: a fresh service behind a
+ * loopback Server, jobs spread over @p connections concurrent client
+ * connections, per-job latency measured from the client side (send to
+ * result line). The wire and framing overhead relative to the
+ * in-process numbers is the cost of the network front-end.
+ */
+SocketReport
+runSocketSuite(const std::vector<service::SolveJob> &jobs, int workers,
+               int connections, const RunReport &reference)
+{
+    using Clock = std::chrono::steady_clock;
+
+    SocketReport report;
+    report.workers = workers;
+    report.connections = connections;
+
+    service::ServiceOptions options;
+    options.workers = workers;
+    service::SolveService svc(options); // fresh service: cold cache
+    service::ServerOptions server_options;
+    // Clients pipeline their whole share before reading, so the probe
+    // must not trip the default backpressure bound on large suites —
+    // this measures the wire, not the overload response.
+    server_options.maxInflight = 0;
+    service::Server server(svc, server_options);
+    server.start();
+
+    // Connection setup amortization: connect/teardown with no traffic.
+    constexpr int kSetupProbes = 32;
+    {
+        Timer t;
+        for (int i = 0; i < kSetupProbes; ++i)
+            service::JsonlClient probe(server.port());
+        report.connSetupMsAvg = t.seconds() * 1e3 / kSetupProbes;
+    }
+
+    std::mutex mu;
+    std::map<std::string, double> latency_ms;           // id -> ms
+    std::map<std::string, std::string> result_lines;    // id -> line
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < connections; ++c) {
+        clients.emplace_back([&, c] {
+            service::JsonlClient client(server.port());
+            std::map<std::string, Clock::time_point> sent;
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < jobs.size(); i += static_cast<std::size_t>(connections)) {
+                sent.emplace(jobs[i].id, Clock::now());
+                client.sendLine(service::jobToJsonRequest(jobs[i]).dump());
+            }
+            client.shutdownWrite();
+            for (std::size_t i = 0; i < sent.size(); ++i) {
+                std::string line;
+                if (!client.readLine(line, 600000))
+                    return; // missing results fail the match check below
+                const auto v = service::Json::parse(line);
+                const std::string id = v.getString("id", "");
+                const auto it = sent.find(id);
+                const double ms =
+                    it == sent.end()
+                        ? 0.0
+                        : std::chrono::duration<double, std::milli>(
+                              Clock::now() - it->second)
+                              .count();
+                std::lock_guard<std::mutex> lock(mu);
+                latency_ms[id] = ms;
+                result_lines[id] = line;
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    report.wallSeconds = wall.seconds();
+    server.drain();
+
+    report.jobsPerSec =
+        static_cast<double>(result_lines.size()) / report.wallSeconds;
+    std::vector<double> sorted;
+    for (const auto &[id, ms] : latency_ms)
+        sorted.push_back(ms);
+    std::sort(sorted.begin(), sorted.end());
+    report.p50Ms = percentile(sorted, 0.50);
+    report.p99Ms = percentile(sorted, 0.99);
+
+    // Bitwise cross-check against the in-process reference: the wire
+    // must change transport, never results.
+    report.matchesInProcess = result_lines.size() == jobs.size();
+    for (const auto &r : reference.results) {
+        const auto it = result_lines.find(r.id);
+        if (it == result_lines.end()) {
+            report.matchesInProcess = false;
+            break;
+        }
+        const auto v = service::Json::parse(it->second);
+        const double cost = v.getNumber("best_cost", 0.0);
+        if (v.getString("dist_hash", "") != service::distHashHex(r.distHash)
+            || std::memcmp(&cost, &r.bestCost, sizeof(double)) != 0) {
+            report.matchesInProcess = false;
+            break;
+        }
+    }
+    return report;
+}
+
 } // namespace
 
 int
@@ -210,6 +337,20 @@ main(int argc, char **argv)
               << "x; deterministic across worker counts: "
               << (deterministic ? "yes" : "NO") << "\n";
 
+    // The TCP front-end over loopback: same suite, same worker count as
+    // the middle in-process run, 4 concurrent connections. The spread
+    // vs the in-process jobs/sec is the wire + framing cost.
+    const int socket_workers = runs.size() >= 2 ? runs[1].workers : 1;
+    const SocketReport socket =
+        runSocketSuite(jobs, socket_workers, 4, runs[0]);
+    std::cout << "socket (workers=" << socket.workers << ", "
+              << socket.connections << " conns): " << socket.jobsPerSec
+              << " jobs/s, p50 " << socket.p50Ms << " ms, p99 "
+              << socket.p99Ms << " ms, conn setup "
+              << socket.connSetupMsAvg
+              << " ms avg; bitwise matches in-process: "
+              << (socket.matchesInProcess ? "yes" : "NO") << "\n";
+
     service::Json doc = service::Json::object();
     doc.set("bench", "service");
     doc.set("mode", cfg.full ? "full" : "quick");
@@ -238,8 +379,19 @@ main(int argc, char **argv)
     }
     doc.set("runs", std::move(run_array));
 
+    service::Json socket_doc = service::Json::object();
+    socket_doc.set("workers", socket.workers);
+    socket_doc.set("connections", socket.connections);
+    socket_doc.set("conn_setup_ms_avg", socket.connSetupMsAvg);
+    socket_doc.set("wall_seconds", socket.wallSeconds);
+    socket_doc.set("jobs_per_sec", socket.jobsPerSec);
+    socket_doc.set("latency_p50_ms", socket.p50Ms);
+    socket_doc.set("latency_p99_ms", socket.p99Ms);
+    socket_doc.set("matches_in_process", socket.matchesInProcess);
+    doc.set("socket", std::move(socket_doc));
+
     std::ofstream out(cfg.outPath);
     out << doc.pretty() << "\n";
     std::cout << "wrote " << cfg.outPath << "\n";
-    return deterministic ? 0 : 1;
+    return deterministic && socket.matchesInProcess ? 0 : 1;
 }

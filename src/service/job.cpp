@@ -95,6 +95,40 @@ jobFromJsonLine(const std::string &line)
     return jobFromJson(Json::parse(line));
 }
 
+std::string
+distHashHex(std::uint64_t hash)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016" PRIx64, hash);
+    return std::string(buf);
+}
+
+Json
+jobToJsonRequest(const SolveJob &job)
+{
+    Json out = Json::object();
+    out.set("id", job.id);
+    out.set("solver", job.solver);
+    out.set("scale", job.scale);
+    out.set("case", static_cast<double>(job.caseIndex));
+    if (job.seed <= (1ull << 53)) {
+        out.set("seed", static_cast<double>(job.seed));
+    } else {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, job.seed);
+        out.set("seed", std::string(buf));
+    }
+    out.set("shots", job.shots);
+    if (!job.device.empty())
+        out.set("device", job.device);
+    out.set("layers", job.layers);
+    out.set("iters", job.maxIterations);
+    out.set("keep_starts", job.keepStarts);
+    out.set("fusion", job.fusion);
+    out.set("deadline_ms", job.deadlineMs);
+    return out;
+}
+
 Json
 resultToJson(const SolveResult &r)
 {
@@ -115,10 +149,7 @@ resultToJson(const SolveResult &r)
     out.set("top_feasible", r.topFeasible);
     out.set("top_objective", r.topObjective);
     out.set("feasible_mass", r.feasibleMass);
-    // 64-bit hash as hex text: JSON numbers are doubles and would round.
-    char hash[24];
-    std::snprintf(hash, sizeof hash, "%016" PRIx64, r.distHash);
-    out.set("dist_hash", std::string(hash));
+    out.set("dist_hash", distHashHex(r.distHash));
     out.set("iterations", r.iterations);
     out.set("evaluations", r.evaluations);
     out.set("cache_hit", r.cacheHit);

@@ -70,7 +70,9 @@ struct SolveJob
 struct SolveResult
 {
     std::string id;
-    /** "ok", "expired", or "error" (see error for the message). */
+    /** "ok", "expired", "error", or — socket front-end only —
+     * "rejected" (backpressure; see error for the message and
+     * docs/protocol.md for the contract). */
     std::string status = "ok";
     std::string error;
     /** Resolved problem name (scale:config#index). */
@@ -119,6 +121,20 @@ SolveJob jobFromJsonLine(const std::string &line);
 
 /** Serialize a result to one JSONL object. */
 Json resultToJson(const SolveResult &r);
+
+/** The wire encoding of dist_hash: 16 lowercase hex chars (JSON
+ * numbers are doubles and would round a 64-bit hash). One definition,
+ * shared by the serializer and every bitwise cross-check. */
+std::string distHashHex(std::uint64_t hash);
+
+/**
+ * Serialize a job to one JSONL request object (the inverse of
+ * jobFromJson: every field is emitted, seeds above 2^53 as decimal
+ * strings, so the request round-trips exactly). Used by the socket
+ * tests and bench_service's socket probe — one serializer, so both
+ * exercise the same wire fields.
+ */
+Json jobToJsonRequest(const SolveJob &job);
 
 } // namespace chocoq::service
 

@@ -1,0 +1,794 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace chocoq::service
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+}
+
+/** Whether @p line is blank or a # comment (the JSONL skip rule). */
+bool
+isSkippableLine(const std::string &line)
+{
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    return start == std::string::npos || line[start] == '#';
+}
+
+SolveResult
+lineError(long lineno, const std::string &message)
+{
+    SolveResult r;
+    r.id = "line-" + std::to_string(lineno);
+    r.status = "error";
+    r.error = message;
+    return r;
+}
+
+/** send(2) the whole buffer; MSG_NOSIGNAL so a client that disappeared
+ * mid-result costs a dropped line, not a SIGPIPE'd process. Returns
+ * false once the peer is gone. */
+bool
+sendAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Graceful close: half-close the write side, then discard inbound
+ * bytes until the peer closes (bounded by @p max_wait_ms). close(2) on
+ * a socket with unread receive-queue data sends an RST, and an RST
+ * makes the peer's stack discard delivered-but-unread data — i.e. the
+ * very result/rejection lines just flushed. Reading to EOF first makes
+ * the close clean; a stale peer costs at most the bound.
+ */
+void
+drainAndClose(int fd, int max_wait_ms)
+{
+    ::shutdown(fd, SHUT_WR);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(max_wait_ms);
+    char sink[4096];
+    while (true) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - Clock::now())
+                .count();
+        if (left <= 0)
+            break;
+        pollfd p{fd, POLLIN, 0};
+        const int pr = ::poll(&p, 1, static_cast<int>(left));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            break;
+        if (::recv(fd, sink, sizeof sink, 0) <= 0)
+            break; // EOF or error: the peer is done
+    }
+    ::close(fd);
+}
+
+/** Bound on waiting for a peer to acknowledge a close (see
+ * drainAndClose). */
+constexpr int kCloseLingerMs = 1000;
+
+} // namespace
+
+bool
+utf8Valid(const std::string &s)
+{
+    const auto *p = reinterpret_cast<const unsigned char *>(s.data());
+    const std::size_t n = s.size();
+    for (std::size_t i = 0; i < n;) {
+        const unsigned char c = p[i];
+        std::size_t len;
+        unsigned cp;
+        if (c < 0x80) {
+            ++i;
+            continue;
+        } else if ((c & 0xE0) == 0xC0) {
+            len = 2;
+            cp = c & 0x1Fu;
+        } else if ((c & 0xF0) == 0xE0) {
+            len = 3;
+            cp = c & 0x0Fu;
+        } else if ((c & 0xF8) == 0xF0) {
+            len = 4;
+            cp = c & 0x07u;
+        } else {
+            return false; // stray continuation or 0xF8+ lead byte
+        }
+        if (i + len > n)
+            return false; // truncated sequence
+        for (std::size_t k = 1; k < len; ++k) {
+            if ((p[i + k] & 0xC0) != 0x80)
+                return false;
+            cp = (cp << 6) | (p[i + k] & 0x3Fu);
+        }
+        // Shortest form, no UTF-16 surrogates, <= U+10FFFF.
+        static constexpr unsigned kMin[5] = {0, 0, 0x80, 0x800, 0x10000};
+        if (cp < kMin[len] || cp > 0x10FFFF
+            || (cp >= 0xD800 && cp <= 0xDFFF))
+            return false;
+        i += len;
+    }
+    return true;
+}
+
+ParsedLine
+parseRequestLine(const std::string &line, long lineno, bool oversized)
+{
+    ParsedLine out;
+    if (oversized) {
+        out.error = lineError(
+            lineno, "request line exceeds the size limit and was discarded");
+        return out;
+    }
+    if (isSkippableLine(line)) {
+        out.skip = true;
+        return out;
+    }
+    if (!utf8Valid(line)) {
+        out.error = lineError(lineno, "request line is not valid UTF-8");
+        return out;
+    }
+    try {
+        out.job = jobFromJsonLine(line);
+    } catch (const std::exception &e) {
+        // A malformed request fails that request, not the stream.
+        out.error = lineError(lineno, e.what());
+        return out;
+    }
+    if (out.job.id.empty())
+        out.job.id = "job-" + std::to_string(lineno);
+    out.ok = true;
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Bounded line reader over an istream: like std::getline but a line
+ * longer than @p max_bytes is reported oversized and skipped to its
+ * newline without ever buffering more than max_bytes of it. Returns
+ * false at EOF with nothing read. A truncated final line (EOF, no
+ * newline) is returned like any other — it is still a request.
+ */
+bool
+getBoundedLine(std::istream &in, std::string &line, std::size_t max_bytes,
+               bool &oversized)
+{
+    line.clear();
+    oversized = false;
+    bool read_any = false;
+    std::streambuf *sb = in.rdbuf();
+    for (int ch = sb->sbumpc();; ch = sb->sbumpc()) {
+        if (ch == std::streambuf::traits_type::eof()) {
+            if (!read_any)
+                in.setstate(std::ios::eofbit | std::ios::failbit);
+            return read_any;
+        }
+        read_any = true;
+        if (ch == '\n')
+            return true;
+        if (max_bytes > 0 && line.size() >= max_bytes) {
+            oversized = true;
+            line.clear(); // keep only the bound, drop the rest
+            // Discard through the newline (or EOF) without buffering.
+            for (int c = sb->sbumpc();
+                 c != std::streambuf::traits_type::eof(); c = sb->sbumpc())
+                if (c == '\n')
+                    break;
+            return true;
+        }
+        line.push_back(static_cast<char>(ch));
+    }
+}
+
+} // namespace
+
+StreamStats
+runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
+               const StreamLimits &limits)
+{
+    StreamStats stats;
+    std::mutex out_mu;
+    std::string line;
+    long lineno = 0;
+    bool oversized = false;
+    while (getBoundedLine(in, line, limits.maxLineBytes, oversized)) {
+        ++lineno;
+        ParsedLine parsed = parseRequestLine(line, lineno, oversized);
+        if (parsed.skip)
+            continue;
+        if (!parsed.ok) {
+            std::lock_guard<std::mutex> lock(out_mu);
+            out << resultToJson(parsed.error).dump() << "\n";
+            out.flush();
+            ++stats.failed;
+            continue;
+        }
+        ++stats.submitted;
+        service.submit(std::move(parsed.job),
+                       [&](const SolveResult &r) {
+                           std::lock_guard<std::mutex> lock(out_mu);
+                           out << resultToJson(r).dump() << "\n";
+                           out.flush();
+                           if (r.status != "ok")
+                               ++stats.failed;
+                       });
+    }
+    service.drain();
+    return stats;
+}
+
+// --------------------------------------------------------------- Server
+
+/** Per-connection state shared between the read loop and the result
+ * callbacks still in flight on worker threads. */
+struct Server::Connection
+{
+    int fd = -1;
+    /** Serializes result lines (callbacks fire on worker threads). */
+    std::mutex writeMu;
+    /** This connection's jobs accepted but not yet written back. */
+    std::atomic<long> inflight{0};
+    /** Set when a write hit a dead peer; stops further writes early. */
+    std::atomic<bool> broken{false};
+};
+
+Server::Server(SolveService &service, ServerOptions opts)
+    : service_(service), opts_(opts)
+{}
+
+Server::~Server()
+{
+    drain();
+}
+
+void
+Server::start()
+{
+    CHOCOQ_ASSERT(!started_, "Server::start called twice");
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        CHOCOQ_FATAL("socket(): " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+    if (::inet_pton(AF_INET, opts_.bindAddress.c_str(), &addr.sin_addr)
+        != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        CHOCOQ_FATAL("invalid bind address '" << opts_.bindAddress << "'");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
+        != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        CHOCOQ_FATAL("cannot bind " << opts_.bindAddress << ":"
+                     << opts_.port << ": " << std::strerror(err));
+    }
+    if (::listen(listenFd_, opts_.backlog) != 0) {
+        const int err = errno;
+        ::close(listenFd_);
+        listenFd_ = -1;
+        CHOCOQ_FATAL("listen(): " << std::strerror(err));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+
+    started_ = true;
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::reapFinishedConnections()
+{
+    std::vector<std::list<std::thread>::iterator> done;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        done.swap(finishedConns_);
+    }
+    for (const auto it : done) {
+        it->join();
+        std::lock_guard<std::mutex> lock(mu_);
+        connThreads_.erase(it);
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        // Reap completed connection threads so a long-lived server does
+        // not hold one exited-but-unjoined thread per connection served.
+        reapFinishedConnections();
+
+        pollfd p{listenFd_, POLLIN, 0};
+        const int pr = ::poll(&p, 1, opts_.pollTickMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            // Only a dead listener ends the loop. Resource pressure
+            // (EMFILE/ENFILE/ENOBUFS/...) is transient: the next poll
+            // tick retries once connections close and free fds —
+            // breaking here would leave a live server that silently
+            // never accepts again.
+            if (errno == EBADF || errno == EINVAL)
+                break;
+            continue;
+        }
+        // Result lines are small and latency-sensitive; don't batch them.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        // Bound result writes: a client that stops reading must cost a
+        // broken connection, not a solver worker blocked in send().
+        if (opts_.sendTimeoutMs > 0) {
+            timeval tv{};
+            tv.tv_sec = opts_.sendTimeoutMs / 1000;
+            tv.tv_usec = (opts_.sendTimeoutMs % 1000) * 1000;
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+        }
+
+        // Thread-per-connection means the connection bound is also the
+        // thread bound; past it, answer with one rejection and close.
+        if (opts_.maxConnections > 0
+            && connectionsOpen_.load(std::memory_order_relaxed)
+                   >= static_cast<long>(opts_.maxConnections)) {
+            SolveResult r;
+            r.status = "rejected";
+            r.error = "server at connection capacity ("
+                      + std::to_string(opts_.maxConnections)
+                      + " open); retry later";
+            const std::string line = resultToJson(r).dump() + "\n";
+            sendAll(fd, line.data(), line.size());
+            // Non-blocking discard of whatever arrived with the
+            // connect, so close() doesn't RST the rejection line away
+            // (must not stall the accept loop; a peer still mid-write
+            // can race this, which costs it only this line).
+            char sink[4096];
+            while (::recv(fd, sink, sizeof sink, MSG_DONTWAIT) > 0) {}
+            ::close(fd);
+            connectionsRejected_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+        connectionsOpen_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        connThreads_.emplace_back();
+        const auto self = std::prev(connThreads_.end());
+        try {
+            *self = std::thread([this, conn, self] {
+                serveConnection(conn);
+                // Hand the thread object back for reaping (last action:
+                // the reaper's join() still waits for this function to
+                // return).
+                std::lock_guard<std::mutex> lock(mu_);
+                finishedConns_.push_back(self);
+            });
+        } catch (const std::system_error &) {
+            // Thread exhaustion is transient like EMFILE: answer like
+            // the connection cap (no silent drop), undo the accept
+            // accounting, keep the server alive.
+            connThreads_.erase(self);
+            SolveResult r;
+            r.status = "rejected";
+            r.error = "server cannot spawn a connection handler; "
+                      "retry later";
+            const std::string line = resultToJson(r).dump() + "\n";
+            sendAll(fd, line.data(), line.size());
+            ::close(fd);
+            connectionsAccepted_.fetch_sub(1, std::memory_order_relaxed);
+            connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+            connectionsRejected_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+Server::writeLine(const std::shared_ptr<Connection> &conn,
+                  const std::string &line)
+{
+    if (conn->broken.load(std::memory_order_relaxed))
+        return;
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    std::string framed = line;
+    framed.push_back('\n');
+    if (!sendAll(conn->fd, framed.data(), framed.size())) {
+        conn->broken.store(true, std::memory_order_relaxed);
+        return;
+    }
+    resultsWritten_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+Server::handleLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line, long lineno)
+{
+    ParsedLine parsed = parseRequestLine(line, lineno);
+    if (parsed.skip)
+        return false;
+    if (!parsed.ok) {
+        lineErrors_.fetch_add(1, std::memory_order_relaxed);
+        writeLine(conn, resultToJson(parsed.error).dump());
+        return false;
+    }
+    // Backpressure: a request over the server-wide in-flight bound is
+    // answered immediately instead of queueing without bound. Reserve
+    // the slot first (fetch_add, not load-then-add): concurrent reader
+    // threads racing a plain check could all pass it and overshoot the
+    // bound by connections-1 jobs.
+    const long reserved = inflight_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.maxInflight > 0
+        && reserved >= static_cast<long>(opts_.maxInflight)) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        SolveResult r;
+        r.id = parsed.job.id;
+        r.status = "rejected";
+        r.error = "server at capacity (" + std::to_string(opts_.maxInflight)
+                  + " jobs in flight); retry later";
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        writeLine(conn, resultToJson(r).dump());
+        return false;
+    }
+    requestsAccepted_.fetch_add(1, std::memory_order_relaxed);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    service_.submit(std::move(parsed.job),
+                    [this, conn](const SolveResult &r) {
+                        if (r.status != "ok")
+                            jobsFailed_.fetch_add(
+                                1, std::memory_order_relaxed);
+                        writeLine(conn, resultToJson(r).dump());
+                        conn->inflight.fetch_sub(1,
+                                                 std::memory_order_release);
+                        inflight_.fetch_sub(1, std::memory_order_relaxed);
+                    });
+    return true;
+}
+
+void
+Server::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    std::string buf;
+    long lineno = 0;
+    long served = 0;
+    bool discarding = false; // inside the tail of an oversized line
+    /** A buffered partial line must still be answered when the read
+     * loop ends without its newline (EOF half-close or idle close) —
+     * never silence for received bytes. */
+    bool answer_tail = false;
+    auto last_activity = Clock::now();
+    // The socket path always bounds request lines (a peer that never
+    // sends a newline must not grow the buffer without limit).
+    const std::size_t max_line =
+        opts_.maxLineBytes > 0 ? opts_.maxLineBytes : (std::size_t{1} << 20);
+
+    const auto atConnLimit = [&] {
+        return opts_.maxRequestsPerConn > 0
+               && served >= opts_.maxRequestsPerConn;
+    };
+    // Echo the request id when the over-limit line parses, so the
+    // client can correlate the rejection.
+    const auto rejectAtLimit = [&](const std::string &line, long n) {
+        const ParsedLine peek = parseRequestLine(line, n, false);
+        SolveResult r;
+        r.id = peek.ok ? peek.job.id : peek.error.id;
+        r.status = "rejected";
+        r.error = "per-connection request limit ("
+                  + std::to_string(opts_.maxRequestsPerConn)
+                  + ") reached; open a new connection";
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        writeLine(conn, resultToJson(r).dump());
+    };
+
+    while (!stop_.load(std::memory_order_relaxed)) {
+        pollfd p{conn->fd, POLLIN, 0};
+        const int pr = ::poll(&p, 1, opts_.pollTickMs);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (pr == 0) {
+            // A running job counts as activity: the idle window starts
+            // from (at most one tick before) its last result, so a
+            // long job's client keeps the full grace period to follow
+            // up, not zero.
+            if (conn->inflight.load(std::memory_order_acquire) > 0) {
+                last_activity = Clock::now();
+            } else if (opts_.idleTimeoutMs > 0
+                       && millisSince(last_activity)
+                              > opts_.idleTimeoutMs) {
+                idleCloses_.fetch_add(1, std::memory_order_relaxed);
+                answer_tail = true;
+                break;
+            }
+            continue;
+        }
+        char chunk[65536];
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+        if (n == 0) {
+            answer_tail = true;
+            break;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        last_activity = Clock::now();
+        buf.append(chunk, static_cast<std::size_t>(n));
+
+        // Frame complete lines with an offset walk (one erase per recv,
+        // not one per line — a pipelined burst would otherwise memmove
+        // the buffer tail quadratically).
+        bool close_now = false;
+        std::size_t start = 0;
+        std::size_t pos;
+        while ((pos = buf.find('\n', start)) != std::string::npos) {
+            std::string line = buf.substr(start, pos - start);
+            start = pos + 1;
+            if (discarding) { // remainder of an oversized line
+                discarding = false;
+                continue;
+            }
+            ++lineno;
+            if (line.size() > max_line) {
+                // The whole line arrived in one read burst before the
+                // partial-buffer bound could trip: same oversize error.
+                lineErrors_.fetch_add(1, std::memory_order_relaxed);
+                writeLine(conn,
+                          resultToJson(parseRequestLine("", lineno,
+                                                        /*oversized=*/true)
+                                           .error)
+                              .dump());
+                continue;
+            }
+            if (isSkippableLine(line))
+                continue;
+            if (close_now || atConnLimit()) {
+                // Never silence: every pipelined request at or behind
+                // the limit gets its own rejection before the close (a
+                // partial tail died unreceived — the close itself is
+                // its answer).
+                rejectAtLimit(line, lineno);
+                close_now = true;
+                continue;
+            }
+            // Only accepted jobs consume the per-connection budget
+            // (malformed and capacity-rejected lines do not).
+            if (handleLine(conn, line, lineno))
+                ++served;
+        }
+        buf.erase(0, start);
+        if (close_now)
+            break;
+        if (!discarding && buf.size() > max_line) {
+            // Oversized line still missing its newline: fail it now and
+            // drop bytes until the newline arrives.
+            ++lineno;
+            lineErrors_.fetch_add(1, std::memory_order_relaxed);
+            writeLine(
+                conn,
+                resultToJson(
+                    parseRequestLine("", lineno, /*oversized=*/true).error)
+                    .dump());
+            buf.clear();
+            discarding = true;
+        } else if (discarding) {
+            buf.clear(); // still inside the oversized line's tail
+        }
+    }
+
+    // Truncated final line (EOF or idle close without a newline) is
+    // still a request: a half-written job must produce a response — an
+    // error, or the limit rejection — never silence.
+    if (answer_tail && !discarding && !buf.empty()) {
+        ++lineno;
+        if (!isSkippableLine(buf)) {
+            if (atConnLimit())
+                rejectAtLimit(buf, lineno);
+            else
+                handleLine(conn, buf, lineno);
+        }
+    }
+
+    // Flush before close: every accepted job's result reaches the wire
+    // (drain and idle-close both wait here).
+    while (conn->inflight.load(std::memory_order_acquire) > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    drainAndClose(conn->fd, kCloseLingerMs);
+    conn->fd = -1;
+    connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Server::drain()
+{
+    if (!started_ || drained_)
+        return;
+    requestStop();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // Close the listener immediately: clients connecting mid-drain get
+    // connection-refused rather than a backlog slot that never answers.
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    // No new connections past this point; join the readers (each waits
+    // for its own in-flight results to flush). Joining everything left
+    // in the list covers reaped-pending and live threads alike, so the
+    // finished-iterator queue is simply dropped.
+    std::list<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        readers.swap(connThreads_);
+        finishedConns_.clear();
+    }
+    for (auto &t : readers)
+        if (t.joinable())
+            t.join();
+    {
+        // A reader that finished mid-drain pushed its (now stale)
+        // iterator after the clear above; drop those too. Nothing
+        // dereferences them — the accept loop is gone — this just
+        // leaves no dangling state behind.
+        std::lock_guard<std::mutex> lock(mu_);
+        finishedConns_.clear();
+    }
+    service_.drain();
+    drained_ = true;
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats s;
+    s.connectionsAccepted =
+        connectionsAccepted_.load(std::memory_order_relaxed);
+    s.connectionsOpen = connectionsOpen_.load(std::memory_order_relaxed);
+    s.requestsAccepted = requestsAccepted_.load(std::memory_order_relaxed);
+    s.jobsFailed = jobsFailed_.load(std::memory_order_relaxed);
+    s.resultsWritten = resultsWritten_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.connectionsRejected =
+        connectionsRejected_.load(std::memory_order_relaxed);
+    s.lineErrors = lineErrors_.load(std::memory_order_relaxed);
+    s.idleCloses = idleCloses_.load(std::memory_order_relaxed);
+    return s;
+}
+
+// ---------------------------------------------------------- JsonlClient
+
+JsonlClient::JsonlClient(int port)
+{
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        CHOCOQ_FATAL("socket(): " << std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
+        != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        CHOCOQ_FATAL("cannot connect to 127.0.0.1:" << port << ": "
+                     << std::strerror(err));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+JsonlClient::~JsonlClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+JsonlClient::sendLine(const std::string &line)
+{
+    sendRaw(line + "\n");
+}
+
+void
+JsonlClient::sendRaw(const std::string &bytes)
+{
+    if (!sendAll(fd_, bytes.data(), bytes.size()))
+        CHOCOQ_FATAL("send(): " << std::strerror(errno));
+}
+
+void
+JsonlClient::shutdownWrite()
+{
+    ::shutdown(fd_, SHUT_WR);
+}
+
+bool
+JsonlClient::readLine(std::string &out, int timeout_ms)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (true) {
+        const std::size_t pos = buf_.find('\n');
+        if (pos != std::string::npos) {
+            out = buf_.substr(0, pos);
+            buf_.erase(0, pos + 1);
+            return true;
+        }
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline - Clock::now());
+        if (left.count() <= 0)
+            return false;
+        pollfd p{fd_, POLLIN, 0};
+        const int pr = ::poll(&p, 1, static_cast<int>(left.count()));
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (pr == 0)
+            return false;
+        char chunk[65536];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            return false;
+        buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace chocoq::service

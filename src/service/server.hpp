@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Network front-end of the solve service: a long-lived TCP accept loop
+ * speaking the JSONL protocol (docs/protocol.md) per connection, plus
+ * the shared request-stream plumbing the stdin batch mode is built on.
+ *
+ * Design: one lightweight thread per connection (job granularity is
+ * milliseconds-to-seconds, so connection counts are small compared to
+ * job counts and the thread-per-connection model keeps the read loop,
+ * idle-timeout bookkeeping, and per-connection write ordering trivial).
+ * Requests are parsed off the socket and fed into the shared
+ * SolveService scheduler; each result is serialized back on the
+ * connection that submitted it, in completion order, under a
+ * per-connection write lock. Overload protection is explicit: when the
+ * server-wide in-flight bound is reached, a request is answered
+ * immediately with a "rejected" line instead of queueing without bound
+ * (the client owns the retry policy; see docs/protocol.md).
+ *
+ * Shutdown contract (graceful drain): requestStop() — or the SIGINT /
+ * SIGTERM handler in chocoq_serve that calls it — closes the listener,
+ * stops reading new requests, lets every accepted job finish and its
+ * result flush to its connection, then closes the connections. drain()
+ * blocks until that has happened.
+ */
+
+#ifndef CHOCOQ_SERVICE_SERVER_HPP
+#define CHOCOQ_SERVICE_SERVER_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <istream>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace chocoq::service
+{
+
+/** True when @p s is well-formed UTF-8 (shortest-form, no surrogates,
+ * <= U+10FFFF). Request lines are rejected up front when this fails so
+ * result streams never echo invalid byte sequences back out. */
+bool utf8Valid(const std::string &s);
+
+/** Limits shared by every JSONL request front-end (stdin and socket). */
+struct StreamLimits
+{
+    /**
+     * Longest accepted request line in bytes (excluding the newline).
+     * A longer line is failed with a per-line error response and
+     * discarded without buffering more than this many bytes of it.
+     * 0 disables the check (batch fixtures only; the socket path always
+     * enforces a bound).
+     */
+    std::size_t maxLineBytes = 1 << 20;
+};
+
+/** What became of one raw request line. */
+struct ParsedLine
+{
+    /** Blank line or # comment: produce no response at all. */
+    bool skip = false;
+    /** Parse outcome when not skipped. */
+    bool ok = false;
+    /** Valid when ok. */
+    SolveJob job;
+    /** Error response when !ok (status "error", id "line-N"). */
+    SolveResult error;
+};
+
+/**
+ * Classify one raw request line: blank/comment lines are skipped,
+ * oversized (@p oversized, decided by the caller's line reader),
+ * non-UTF-8, malformed-JSON, and invalid-field lines become per-line
+ * error results named "line-@p lineno", and everything else parses into
+ * a SolveJob (with an empty id defaulted to "job-@p lineno"). Never
+ * throws on hostile input — that is the point.
+ */
+ParsedLine parseRequestLine(const std::string &line, long lineno,
+                            bool oversized = false);
+
+/** Counters of one batch-stream run. */
+struct StreamStats
+{
+    long submitted = 0;
+    /** Failed results: per-line errors plus jobs whose status != ok. */
+    long failed = 0;
+};
+
+/**
+ * The stdin/file batch front-end: read JSONL requests from @p in until
+ * EOF (with a bounded line reader — oversized lines fail per-line, a
+ * truncated final line without a newline is still processed), submit
+ * them to @p service, and stream one JSON result per line to @p out in
+ * completion order. Blocks until every job has completed. Used by
+ * `chocoq_serve` without --listen and exercised directly by the
+ * hostile-input tests.
+ */
+StreamStats runJsonlStream(std::istream &in, std::ostream &out,
+                           SolveService &service,
+                           const StreamLimits &limits = {});
+
+/** Server configuration (see docs/protocol.md for the wire contract). */
+struct ServerOptions
+{
+    /** TCP port to listen on; 0 picks an ephemeral port (see port()). */
+    int port = 0;
+    /** Bind address. Loopback by default: chocoq_serve is an operator
+     * tool, exposing it beyond the host is an explicit decision. */
+    std::string bindAddress = "127.0.0.1";
+    /** listen(2) backlog. */
+    int backlog = 16;
+    /**
+     * Server-wide bound on jobs accepted but not yet completed. A
+     * request arriving at the bound is answered immediately with a
+     * status "rejected" line (never silently dropped, never queued
+     * without bound). 0 = unbounded.
+     */
+    int maxInflight = 256;
+    /**
+     * Close a connection after this long with no bytes received and no
+     * job of its own in flight. 0 = never. Results of in-flight jobs
+     * always flush before an idle close.
+     */
+    int idleTimeoutMs = 0;
+    /**
+     * Requests accepted per connection before the server answers with a
+     * "rejected" line and closes it (after flushing in-flight results).
+     * 0 = unlimited.
+     */
+    int maxRequestsPerConn = 0;
+    /**
+     * Concurrently open connections (one reader thread each). A
+     * connection accepted past the bound is answered with a single
+     * "rejected" line and closed immediately. 0 = unbounded.
+     */
+    int maxConnections = 64;
+    /** Longest accepted request line on a connection, in bytes
+     * (0 falls back to the 1 MiB default — the socket path always
+     * enforces a bound). */
+    std::size_t maxLineBytes = 1 << 20;
+    /**
+     * Kernel send timeout per result write. A client that stops
+     * reading fills its socket buffer; without a bound the blocked
+     * write would pin a solver worker (and wedge drain) forever.
+     * After the timeout the connection is marked broken and its
+     * remaining results are dropped. 0 = block forever.
+     */
+    int sendTimeoutMs = 10000;
+    /** Poll granularity of the accept/read loops; bounds how stale the
+     * stop flag and idle clocks can get. */
+    int pollTickMs = 20;
+};
+
+/** Monotonic counters over the server's lifetime. */
+struct ServerStats
+{
+    long connectionsAccepted = 0;
+    long connectionsOpen = 0;
+    /** Requests accepted into the scheduler (not skips or rejects). */
+    long requestsAccepted = 0;
+    /** Accepted jobs that completed with a non-ok status
+     * (error/expired), mirroring batch mode's failed count. */
+    long jobsFailed = 0;
+    /** Results written back (includes per-line error responses). */
+    long resultsWritten = 0;
+    /** Requests answered with status "rejected" (overload or
+     * per-connection limit). */
+    long rejected = 0;
+    /** Connections refused at the maxConnections bound. */
+    long connectionsRejected = 0;
+    /** Per-line error responses (malformed input). */
+    long lineErrors = 0;
+    long idleCloses = 0;
+};
+
+/**
+ * The TCP front-end. Owns the listening socket, the accept thread, and
+ * one thread per live connection; jobs run on the SolveService passed
+ * in (shared compile cache and worker pool across connections).
+ */
+class Server
+{
+  public:
+    /** @p service must outlive the server. */
+    Server(SolveService &service, ServerOptions opts = {});
+
+    /** Drains (stop + join) if still running. */
+    ~Server();
+
+    /** Bind, listen, and start accepting. Throws FatalError when the
+     * port cannot be bound. */
+    void start();
+
+    /** Port actually bound (resolves port 0 to the ephemeral choice). */
+    int port() const { return port_; }
+
+    /**
+     * Flip the drain flag: stop accepting connections and reading new
+     * requests. Safe to call from a signal handler's forwarding thread
+     * or any other thread; returns immediately. drain() completes the
+     * shutdown.
+     */
+    void requestStop() { stop_.store(true, std::memory_order_relaxed); }
+
+    /**
+     * Graceful drain: requestStop(), then wait for every accepted job
+     * to finish and its result to flush, close all connections and the
+     * listener, and join the threads. Idempotent.
+     */
+    void drain();
+
+    ServerStats stats() const;
+
+  private:
+    struct Connection;
+
+    void acceptLoop();
+    void serveConnection(const std::shared_ptr<Connection> &conn);
+    /** Parse one complete request line and either submit it, answer
+     * with a per-line error, or answer with a backpressure rejection.
+     * Returns true only when a job was accepted into the scheduler
+     * (the per-connection request budget counts exactly those). */
+    bool handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line, long lineno);
+    void writeLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line);
+
+    SolveService &service_;
+    ServerOptions opts_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stop_{false};
+    bool started_ = false;
+    bool drained_ = false;
+    /** Jobs accepted into the scheduler, not yet completed. */
+    std::atomic<long> inflight_{0};
+
+    std::thread acceptThread_;
+    std::mutex mu_; // guards connThreads_ and finishedConns_
+    /** Live + not-yet-reaped connection reader threads (std::list:
+     * stable iterators let a thread mark itself finished). */
+    std::list<std::thread> connThreads_;
+    /** Threads that have run to completion, ready to join: the accept
+     * loop reaps these every tick so a long-lived server does not
+     * accumulate one zombie thread per connection ever served. */
+    std::vector<std::list<std::thread>::iterator> finishedConns_;
+
+    void reapFinishedConnections();
+
+    // Stats counters (relaxed: observability only).
+    std::atomic<long> connectionsAccepted_{0};
+    std::atomic<long> connectionsOpen_{0};
+    std::atomic<long> requestsAccepted_{0};
+    std::atomic<long> jobsFailed_{0};
+    std::atomic<long> resultsWritten_{0};
+    std::atomic<long> rejected_{0};
+    std::atomic<long> connectionsRejected_{0};
+    std::atomic<long> lineErrors_{0};
+    std::atomic<long> idleCloses_{0};
+};
+
+/**
+ * Minimal blocking JSONL client over loopback, for the socket tests,
+ * bench_service's socket-mode measurement, and ad-hoc tooling. Not part
+ * of the serving data path.
+ */
+class JsonlClient
+{
+  public:
+    /** Connect to 127.0.0.1:@p port. Throws FatalError on failure. */
+    explicit JsonlClient(int port);
+    ~JsonlClient();
+
+    JsonlClient(const JsonlClient &) = delete;
+    JsonlClient &operator=(const JsonlClient &) = delete;
+
+    /** Send @p line plus a trailing newline. */
+    void sendLine(const std::string &line);
+    /** Send exact bytes (hostile-input tests build partial lines). */
+    void sendRaw(const std::string &bytes);
+    /** Half-close the write side: the server sees EOF and finishes the
+     * connection after flushing in-flight results. */
+    void shutdownWrite();
+
+    /**
+     * Read one newline-terminated line (the newline is stripped).
+     * Returns false on EOF or after @p timeout_ms without a complete
+     * line.
+     */
+    bool readLine(std::string &out, int timeout_ms = 10000);
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+};
+
+} // namespace chocoq::service
+
+#endif // CHOCOQ_SERVICE_SERVER_HPP

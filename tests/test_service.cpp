@@ -11,8 +11,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "core/chocoq_solver.hpp"
@@ -24,6 +30,7 @@
 #include "service/job.hpp"
 #include "service/json.hpp"
 #include "service/scheduler.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 
 using namespace chocoq;
@@ -630,4 +637,411 @@ TEST(SolveService, FixtureIdenticalWithFusionOnAndOff)
         EXPECT_EQ(fused[i].evaluations, plain[i].evaluations)
             << fused[i].id;
     }
+}
+
+// ------------------------------------------- request-line front end
+
+TEST(RequestLine, Utf8Validation)
+{
+    EXPECT_TRUE(service::utf8Valid("plain ascii"));
+    EXPECT_TRUE(service::utf8Valid("caf\xc3\xa9 \xf0\x9f\x98\x80"));
+    EXPECT_TRUE(service::utf8Valid(""));
+    EXPECT_FALSE(service::utf8Valid("\xff\xfe"));         // invalid lead
+    EXPECT_FALSE(service::utf8Valid("\xc3"));             // truncated
+    EXPECT_FALSE(service::utf8Valid("\xc0\xaf"));         // overlong
+    EXPECT_FALSE(service::utf8Valid("\xed\xa0\x80"));     // surrogate
+    EXPECT_FALSE(service::utf8Valid("a\x80z"));           // stray cont.
+}
+
+TEST(RequestLine, ClassifiesSkipsJobsAndErrors)
+{
+    EXPECT_TRUE(service::parseRequestLine("", 1).skip);
+    EXPECT_TRUE(service::parseRequestLine("  # comment", 2).skip);
+
+    const auto ok =
+        service::parseRequestLine(R"({"scale":"F1","seed":3})", 7);
+    ASSERT_TRUE(ok.ok);
+    EXPECT_EQ(ok.job.id, "job-7") << "empty id defaults per line";
+    EXPECT_EQ(ok.job.seed, 3u);
+
+    const auto bad = service::parseRequestLine("not json", 9);
+    ASSERT_FALSE(bad.ok);
+    EXPECT_FALSE(bad.skip);
+    EXPECT_EQ(bad.error.id, "line-9");
+    EXPECT_EQ(bad.error.status, "error");
+
+    const auto utf8 = service::parseRequestLine("{\"id\":\"\xff\"}", 4);
+    ASSERT_FALSE(utf8.ok);
+    EXPECT_NE(utf8.error.error.find("UTF-8"), std::string::npos);
+
+    const auto big = service::parseRequestLine("", 5, /*oversized=*/true);
+    ASSERT_FALSE(big.ok);
+    EXPECT_NE(big.error.error.find("size limit"), std::string::npos);
+}
+
+TEST(BatchStream, HostileInputFailsPerLineNeverTheStream)
+{
+    // Oversized line, binary garbage, malformed UTF-8, a valid job, and
+    // a truncated final line (no newline): every bad line must produce
+    // its own error response, the good job must still run, and the
+    // stream must finish cleanly.
+    std::string input;
+    input += std::string(5000, 'x') + "\n";              // line 1: oversized
+    input += "\x01\x02\x03 binary garbage\n";            // line 2: bad JSON
+    input += "{\"id\":\"\xff\xfe\"}\n";                  // line 3: bad UTF-8
+    input += "# annotated fixture comment\n";            // line 4: skip
+    input += R"({"id":"good","scale":"F1","iters":5})" "\n"; // line 5: ok
+    input += R"({"id":"trunc","scale":"F1")";            // line 6: truncated
+
+    std::istringstream in(input);
+    std::ostringstream out;
+    service::SolveService svc{service::ServiceOptions{}};
+    service::StreamLimits limits;
+    limits.maxLineBytes = 4096;
+    const auto stats = service::runJsonlStream(in, out, svc, limits);
+
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.failed, 4);
+
+    std::map<std::string, service::Json> by_id;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line))
+        by_id.emplace(service::Json::parse(line).getString("id", ""),
+                      service::Json::parse(line));
+    ASSERT_EQ(by_id.size(), 5u);
+    EXPECT_NE(by_id.at("line-1").getString("error", "").find("size limit"),
+              std::string::npos);
+    EXPECT_EQ(by_id.at("line-2").getString("status", ""), "error");
+    EXPECT_NE(by_id.at("line-3").getString("error", "").find("UTF-8"),
+              std::string::npos);
+    EXPECT_EQ(by_id.at("good").getString("status", ""), "ok");
+    EXPECT_EQ(by_id.at("line-6").getString("status", ""), "error")
+        << "a truncated final line is a request, not silence";
+}
+
+// -------------------------------------------------- socket front end
+
+namespace
+{
+
+/** The stable (non-timing) result fields must match the batch-mode
+ * result bit for bit; %.17g serialization round-trips doubles. */
+void
+expectMatchesBatch(const service::Json &line,
+                   const service::SolveResult &r)
+{
+    EXPECT_EQ(line.getString("status", ""), r.status) << r.id;
+    EXPECT_EQ(line.getString("problem", ""), r.problem) << r.id;
+    EXPECT_EQ(line.getString("solver", ""), r.solver) << r.id;
+    EXPECT_EQ(line.getString("dist_hash", ""),
+              service::distHashHex(r.distHash))
+        << r.id << ": distribution must be bit-identical";
+    const double cost = line.getNumber("best_cost", 0.0);
+    EXPECT_EQ(0, std::memcmp(&cost, &r.bestCost, sizeof(double))) << r.id;
+    const double top = line.getNumber("top_probability", -1.0);
+    EXPECT_EQ(0, std::memcmp(&top, &r.topProbability, sizeof(double)))
+        << r.id;
+    EXPECT_EQ(line.getNumber("evaluations", -1.0),
+              static_cast<double>(r.evaluations))
+        << r.id;
+    EXPECT_EQ(line.getNumber("iterations", -1.0),
+              static_cast<double>(r.iterations))
+        << r.id;
+}
+
+} // namespace
+
+TEST(SocketServer, BitIdenticalToBatchUnderConcurrentConnections)
+{
+    const auto jobs = determinismSuite(); // 12 jobs, 3 structures
+
+    // Batch-mode reference: the cross-checked ground truth.
+    service::ServiceOptions so;
+    so.workers = 2;
+    const auto batch = service::SolveService(so).solveAll(jobs);
+
+    // Socket mode: a fresh service behind the TCP front-end, the same
+    // jobs spread over 4 concurrent client connections.
+    service::SolveService svc(so);
+    service::Server server(svc, service::ServerOptions{});
+    server.start();
+
+    constexpr int kConns = 4;
+    std::mutex mu;
+    std::map<std::string, std::string> lines; // id -> raw result line
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kConns; ++c) {
+        clients.emplace_back([&, c] {
+            service::JsonlClient client(server.port());
+            int sent = 0;
+            for (std::size_t i = static_cast<std::size_t>(c);
+                 i < jobs.size(); i += kConns) {
+                client.sendLine(service::jobToJsonRequest(jobs[i]).dump());
+                ++sent;
+            }
+            client.shutdownWrite();
+            for (int i = 0; i < sent; ++i) {
+                std::string line;
+                ASSERT_TRUE(client.readLine(line, 60000))
+                    << "conn " << c << " result " << i;
+                const auto v = service::Json::parse(line);
+                std::lock_guard<std::mutex> lock(mu);
+                lines.emplace(v.getString("id", ""), line);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+    server.drain();
+
+    ASSERT_EQ(lines.size(), jobs.size());
+    for (const auto &expect : batch) {
+        ASSERT_EQ(expect.status, "ok") << expect.id;
+        const auto it = lines.find(expect.id);
+        ASSERT_NE(it, lines.end()) << expect.id;
+        expectMatchesBatch(service::Json::parse(it->second), expect);
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.connectionsAccepted, kConns);
+    EXPECT_EQ(stats.requestsAccepted, static_cast<long>(jobs.size()));
+    EXPECT_EQ(stats.resultsWritten, static_cast<long>(jobs.size()));
+    EXPECT_EQ(stats.rejected, 0);
+}
+
+TEST(SocketServer, HostileInputFailsPerLineAndKeepsTheConnection)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::ServerOptions opts;
+    opts.maxLineBytes = 4096;
+    service::Server server(svc, opts);
+    server.start();
+
+    service::JsonlClient client(server.port());
+    client.sendLine("\x01\x02 binary garbage");          // line 1
+    client.sendLine("{\"id\":\"\xff\xfe\"}");            // line 2: UTF-8
+    client.sendLine(std::string(9000, 'x'));             // line 3: oversized
+    client.sendLine(R"({"id":"good","scale":"F1","iters":5})"); // line 4
+    client.sendRaw(R"({"id":"trunc","scale":"F1")");     // line 5: truncated
+    client.shutdownWrite();
+
+    std::map<std::string, service::Json> by_id;
+    for (int i = 0; i < 5; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.readLine(line, 60000)) << "response " << i;
+        auto v = service::Json::parse(line);
+        by_id.emplace(v.getString("id", ""), std::move(v));
+    }
+    ASSERT_EQ(by_id.size(), 5u);
+    EXPECT_EQ(by_id.at("line-1").getString("status", ""), "error");
+    EXPECT_NE(by_id.at("line-2").getString("error", "").find("UTF-8"),
+              std::string::npos);
+    EXPECT_NE(by_id.at("line-3").getString("error", "").find("size limit"),
+              std::string::npos);
+    EXPECT_EQ(by_id.at("good").getString("status", ""), "ok")
+        << "a valid job after garbage must still run";
+    EXPECT_EQ(by_id.at("line-5").getString("status", ""), "error")
+        << "truncated final line must be answered, not dropped";
+
+    server.drain();
+    EXPECT_EQ(server.stats().lineErrors, 4);
+    EXPECT_EQ(server.stats().requestsAccepted, 1);
+}
+
+TEST(SocketServer, OverloadAnswersRejectedInsteadOfQueueing)
+{
+    // One worker, in-flight bound 1: while the slow job occupies the
+    // worker, every further request on the burst must be answered with
+    // a status "rejected" line (the documented backpressure response).
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    service::ServerOptions opts;
+    opts.maxInflight = 1;
+    service::Server server(svc, opts);
+    server.start();
+
+    service::JsonlClient client(server.port());
+    std::string burst;
+    burst += R"({"id":"slow","scale":"K3","iters":200})" "\n";
+    burst += R"({"id":"q1","scale":"F1","iters":5})" "\n";
+    burst += R"({"id":"q2","scale":"F1","iters":5})" "\n";
+    client.sendRaw(burst);
+
+    int ok = 0, rejected = 0;
+    for (int i = 0; i < 3; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.readLine(line, 60000)) << "response " << i;
+        const auto v = service::Json::parse(line);
+        const auto status = v.getString("status", "");
+        if (status == "ok") {
+            ++ok;
+            EXPECT_EQ(v.getString("id", ""), "slow");
+        } else {
+            ++rejected;
+            EXPECT_EQ(status, "rejected");
+            EXPECT_NE(v.getString("error", "").find("capacity"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(ok, 1);
+    EXPECT_EQ(rejected, 2);
+    server.drain();
+    EXPECT_EQ(server.stats().rejected, 2);
+}
+
+TEST(SocketServer, PerConnectionRequestLimit)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::ServerOptions opts;
+    opts.maxRequestsPerConn = 2;
+    service::Server server(svc, opts);
+    server.start();
+
+    service::JsonlClient client(server.port());
+    std::string burst;
+    burst += R"({"id":"a","scale":"F1","iters":5})" "\n";
+    burst += R"({"id":"b","scale":"F1","iters":5})" "\n";
+    burst += R"({"id":"c","scale":"F1","iters":5})" "\n";
+    client.sendRaw(burst);
+
+    int ok = 0, rejected = 0;
+    for (int i = 0; i < 3; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.readLine(line, 60000)) << "response " << i;
+        const auto v = service::Json::parse(line);
+        if (v.getString("status", "") == "rejected") {
+            ++rejected;
+            EXPECT_EQ(v.getString("id", ""), "c");
+            EXPECT_NE(v.getString("error", "").find("request limit"),
+                      std::string::npos);
+        } else {
+            ++ok;
+            EXPECT_EQ(v.getString("status", ""), "ok");
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(rejected, 1);
+    // The limited connection is closed after its results flushed.
+    std::string line;
+    EXPECT_FALSE(client.readLine(line, 5000));
+
+    // A truncated final line arriving at the limit must still be
+    // answered (with the rejection), never silently dropped.
+    service::JsonlClient trunc(server.port());
+    trunc.sendLine(R"({"id":"t1","scale":"F1","iters":5})");
+    trunc.sendLine(R"({"id":"t2","scale":"F1","iters":5})");
+    trunc.sendRaw(R"({"id":"t3","scale":"F1")"); // no newline
+    trunc.shutdownWrite();
+    int answers = 0, trunc_rejected = 0;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(trunc.readLine(line, 60000)) << "response " << i;
+        ++answers;
+        const auto v = service::Json::parse(line);
+        if (v.getString("status", "") == "rejected") {
+            ++trunc_rejected;
+            // The truncated JSON cannot yield its id; the synthesized
+            // line id still correlates the rejection.
+            EXPECT_EQ(v.getString("id", ""), "line-3");
+        }
+    }
+    EXPECT_EQ(answers, 3);
+    EXPECT_EQ(trunc_rejected, 1);
+    server.drain();
+}
+
+TEST(SocketServer, ConnectionCapRefusesWithARejectedLine)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::ServerOptions opts;
+    opts.maxConnections = 1;
+    service::Server server(svc, opts);
+    server.start();
+
+    service::JsonlClient first(server.port()); // holds the only slot
+    // Give the accept loop a tick to register the first connection.
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(10);
+    while (server.stats().connectionsOpen < 1
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_EQ(server.stats().connectionsOpen, 1);
+
+    service::JsonlClient second(server.port());
+    std::string line;
+    ASSERT_TRUE(second.readLine(line, 60000));
+    const auto v = service::Json::parse(line);
+    EXPECT_EQ(v.getString("status", ""), "rejected");
+    EXPECT_NE(v.getString("error", "").find("connection capacity"),
+              std::string::npos);
+    EXPECT_FALSE(second.readLine(line, 5000)) << "refused conn must close";
+
+    // The surviving connection still works.
+    first.sendLine(R"({"id":"a","scale":"F1","iters":5})");
+    ASSERT_TRUE(first.readLine(line, 60000));
+    EXPECT_EQ(service::Json::parse(line).getString("status", ""), "ok");
+    server.drain();
+    EXPECT_EQ(server.stats().connectionsRejected, 1);
+}
+
+TEST(SocketServer, IdleTimeoutClosesQuietConnections)
+{
+    service::SolveService svc{service::ServiceOptions{}};
+    service::ServerOptions opts;
+    opts.idleTimeoutMs = 150;
+    service::Server server(svc, opts);
+    server.start();
+
+    service::JsonlClient client(server.port());
+    client.sendLine(R"({"id":"a","scale":"F1","iters":5})");
+    std::string line;
+    ASSERT_TRUE(client.readLine(line, 60000));
+    EXPECT_EQ(service::Json::parse(line).getString("status", ""), "ok");
+
+    // No further traffic: the server must close the connection (EOF on
+    // our side), not hold it forever.
+    EXPECT_FALSE(client.readLine(line, 10000));
+    server.drain();
+    EXPECT_EQ(server.stats().idleCloses, 1);
+    EXPECT_EQ(server.stats().connectionsOpen, 0);
+}
+
+TEST(SocketServer, GracefulDrainCompletesAcceptedJobs)
+{
+    service::ServiceOptions so;
+    so.workers = 2;
+    service::SolveService svc(so);
+    service::Server server(svc, service::ServerOptions{});
+    server.start();
+
+    service::JsonlClient client(server.port());
+    std::string burst;
+    burst += R"({"id":"d1","scale":"F1","case":0,"seed":5,"iters":10})" "\n";
+    burst += R"({"id":"d2","scale":"F1","case":1,"seed":6,"iters":10})" "\n";
+    burst += R"({"id":"d3","scale":"K1","case":0,"seed":7,"iters":10})" "\n";
+    client.sendRaw(burst);
+
+    // Wait until all three are accepted, then drain mid-flight: every
+    // accepted job must finish and its result reach the wire.
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::seconds(30);
+    while (server.stats().requestsAccepted < 3
+           && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ASSERT_EQ(server.stats().requestsAccepted, 3);
+    server.requestStop();
+    server.drain();
+
+    int ok = 0;
+    for (int i = 0; i < 3; ++i) {
+        std::string line;
+        ASSERT_TRUE(client.readLine(line, 10000)) << "result " << i;
+        if (service::Json::parse(line).getString("status", "") == "ok")
+            ++ok;
+    }
+    EXPECT_EQ(ok, 3);
+    EXPECT_EQ(server.stats().resultsWritten, 3);
+
+    // The listener is gone: new connections must be refused.
+    EXPECT_THROW(service::JsonlClient{server.port()}, FatalError);
 }

@@ -2,31 +2,42 @@
  * @file
  * chocoq_serve: JSONL solve server.
  *
- * Reads one JSON job request per line from a file or stdin, solves them
- * on a concurrent worker pool with a shared compilation cache, and
- * streams one JSON result per line to stdout as jobs complete
- * (completion order; every line echoes the request id). A summary with
- * throughput and cache statistics goes to stderr.
+ * Two front-ends over the same concurrent solve service:
  *
- * Request keys (all optional except scale): id, solver (choco-q |
- * penalty | cyclic | hea), scale (F1..K4), case, seed, shots, device
- * (fez | osaka | sherbrooke), layers, iters, keep_starts, deadline_ms.
+ * - Batch (default): read one JSON job request per line from a file or
+ *   stdin, solve on the worker pool, stream one JSON result per line to
+ *   stdout as jobs complete, exit when the stream is drained.
+ * - Long-lived (--listen PORT): accept TCP connections on loopback and
+ *   speak the same JSONL protocol per connection, with backpressure,
+ *   idle timeouts, and graceful drain on SIGINT/SIGTERM (in-flight jobs
+ *   finish, results flush, then the process exits 0).
+ *
+ * The wire contract — request/response fields, error-line shape,
+ * overload responses, connection lifecycle — lives in docs/protocol.md;
+ * both modes are cross-checked against each other in CI.
  *
  *   $ printf '%s\n' \
  *       '{"id":"a","scale":"F1","case":0,"seed":11}' \
  *       '{"id":"b","scale":"K1","case":1,"solver":"penalty"}' \
  *     | chocoq_serve --workers 4
+ *
+ *   $ chocoq_serve --listen 7077 --workers 4 &
+ *   $ printf '{"id":"a","scale":"F1","seed":11}\n' | nc 127.0.0.1 7077
  */
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "service/server.hpp"
 #include "service/service.hpp"
 
 namespace
@@ -53,10 +64,74 @@ usage(const char *argv0)
            "(default: 256,\n"
         << "                 0 = unbounded); coldest artifacts are "
            "evicted first\n"
+        << "  --max-line-bytes N  longest accepted request line "
+           "(default: 1 MiB;\n"
+        << "                 0 = unbounded in batch mode, 1 MiB on the "
+           "socket)\n"
         << "  --quiet        suppress the stderr summary\n"
         << "  --help, -h     show this help and exit\n"
         << "  --version      print the version and exit\n"
+        << "\nLong-lived server mode (see docs/protocol.md):\n"
+        << "  --listen PORT       accept JSONL connections on "
+           "127.0.0.1:PORT\n"
+        << "                      (0 picks an ephemeral port); SIGINT/"
+           "SIGTERM\n"
+        << "                      drain gracefully and exit 0\n"
+        << "  --max-inflight N    reject requests over N jobs in flight "
+           "with a\n"
+        << "                      status \"rejected\" line (default: 256, "
+           "0 = off)\n"
+        << "  --idle-timeout-ms N close a connection idle for N ms with "
+           "no job\n"
+        << "                      in flight (default: 0 = never)\n"
+        << "  --max-conn-requests N  per-connection request limit "
+           "(default: 0 = off)\n"
+        << "  --max-conns N       concurrently open connections; over "
+           "the bound a\n"
+        << "                      connection gets one rejected line and "
+           "closes\n"
+        << "                      (default: 64, 0 = unbounded)\n"
+        << "  --port-file FILE    write the bound port to FILE once "
+           "listening\n"
         << "\nUnknown options are rejected with exit status 2.\n";
+}
+
+/** Signal flag: handlers only set it; the main loop does the work. */
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+/** Parse a bounded non-negative integer CLI value or exit 2. */
+long long
+parsedNonNegative(const char *raw, const char *flag, long long hi)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(raw, &end, 10);
+    if (end == raw || *end != '\0' || v < 0 || v > hi) {
+        std::cerr << flag << " expects a non-negative integer, got '" << raw
+                  << "'\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+void
+printSummary(const chocoq::service::SolveService &service, long submitted,
+             long failed, double seconds)
+{
+    const auto cache = service.cacheStats();
+    std::cerr << "chocoq_serve: " << submitted << " jobs on "
+              << service.workers() << " workers in " << seconds << " s ("
+              << (seconds > 0 ? static_cast<double>(submitted) / seconds
+                              : 0.0)
+              << " jobs/s), cache " << cache.hits << " hits / "
+              << cache.misses << " misses / " << cache.evictions
+              << " evictions (" << cache.bytes << " bytes held), " << failed
+              << " failed\n";
 }
 
 } // namespace
@@ -65,8 +140,15 @@ int
 main(int argc, char **argv)
 {
     std::string input_path;
+    std::string port_file;
     chocoq::service::ServiceOptions options;
+    chocoq::service::ServerOptions server_options;
     bool quiet = false;
+    bool listen = false;
+    chocoq::service::StreamLimits stream_limits;
+    // Server-only flags are meaningless in batch mode; accepting them
+    // silently would let an operator believe a bound is in effect.
+    std::string server_only_flag;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -88,17 +170,39 @@ main(int argc, char **argv)
         } else if (arg == "--cache-mb") {
             // Untrusted CLI input: a typo or negative value must not
             // silently wrap into a near-unbounded budget.
-            const char *raw = next();
-            char *end = nullptr;
-            const long long mb = std::strtoll(raw, &end, 10);
-            if (end == raw || *end != '\0' || mb < 0
-                || mb > (1ll << 40)) {
-                std::cerr << "--cache-mb expects a non-negative integer "
-                             "(MiB), got '"
-                          << raw << "'\n";
-                return 2;
-            }
+            const long long mb =
+                parsedNonNegative(next(), "--cache-mb", 1ll << 40);
             options.cacheMaxBytes = static_cast<std::size_t>(mb) << 20;
+        } else if (arg == "--listen") {
+            listen = true;
+            server_options.port = static_cast<int>(
+                parsedNonNegative(next(), "--listen", 65535));
+        } else if (arg == "--max-inflight") {
+            server_only_flag = arg;
+            server_options.maxInflight = static_cast<int>(
+                parsedNonNegative(next(), "--max-inflight", 1 << 30));
+        } else if (arg == "--idle-timeout-ms") {
+            server_only_flag = arg;
+            server_options.idleTimeoutMs = static_cast<int>(
+                parsedNonNegative(next(), "--idle-timeout-ms", 1 << 30));
+        } else if (arg == "--max-conn-requests") {
+            server_only_flag = arg;
+            server_options.maxRequestsPerConn = static_cast<int>(
+                parsedNonNegative(next(), "--max-conn-requests", 1 << 30));
+        } else if (arg == "--max-conns") {
+            server_only_flag = arg;
+            server_options.maxConnections = static_cast<int>(
+                parsedNonNegative(next(), "--max-conns", 1 << 30));
+        } else if (arg == "--max-line-bytes") {
+            // Applies to both modes (0 = unbounded batch; the socket
+            // path clamps 0 to its 1 MiB default).
+            const long long bytes =
+                parsedNonNegative(next(), "--max-line-bytes", 1ll << 40);
+            stream_limits.maxLineBytes = static_cast<std::size_t>(bytes);
+            server_options.maxLineBytes = static_cast<std::size_t>(bytes);
+        } else if (arg == "--port-file") {
+            server_only_flag = arg;
+            port_file = next();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -114,6 +218,71 @@ main(int argc, char **argv)
         }
     }
 
+    if (listen && !input_path.empty()) {
+        std::cerr << "--listen and --input are mutually exclusive\n";
+        return 2;
+    }
+    if (!listen && !server_only_flag.empty()) {
+        std::cerr << server_only_flag << " requires --listen\n";
+        return 2;
+    }
+
+    chocoq::service::SolveService service(options);
+    chocoq::Timer wall;
+
+    if (listen) {
+        // Handlers go in before anything is externally observable: a
+        // supervisor that reacts to the port file (or the banner) may
+        // SIGTERM immediately, and that must already mean "drain", not
+        // the default kill.
+        struct sigaction sa {};
+        sa.sa_handler = onSignal;
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
+
+        chocoq::service::Server server(service, server_options);
+        try {
+            server.start();
+        } catch (const std::exception &e) {
+            std::cerr << "chocoq_serve: " << e.what() << "\n";
+            return 2;
+        }
+        if (!port_file.empty()) {
+            std::ofstream pf(port_file);
+            pf << server.port() << "\n";
+        }
+        std::cerr << "chocoq_serve: listening on "
+                  << server_options.bindAddress << ":" << server.port()
+                  << " (" << service.workers() << " workers)\n";
+
+        while (!g_stop)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        // Graceful drain: finish accepted jobs, flush results, close.
+        server.drain();
+        const auto stats = server.stats();
+        if (!quiet) {
+            // No jobs/s here: lifetime-averaged throughput of a
+            // long-lived (mostly idle) server would only mislead.
+            const auto cache = service.cacheStats();
+            std::cerr << "chocoq_serve: " << stats.requestsAccepted
+                      << " jobs on " << service.workers()
+                      << " workers over " << wall.seconds()
+                      << " s lifetime, cache " << cache.hits << " hits / "
+                      << cache.misses << " misses / " << cache.evictions
+                      << " evictions (" << cache.bytes << " bytes held), "
+                      << stats.jobsFailed << " failed\n";
+            std::cerr << "chocoq_serve: " << stats.connectionsAccepted
+                      << " connections (" << stats.connectionsRejected
+                      << " refused), " << stats.resultsWritten
+                      << " results written, " << stats.rejected
+                      << " rejected, " << stats.lineErrors
+                      << " malformed lines, " << stats.idleCloses
+                      << " idle closes; drained\n";
+        }
+        return 0;
+    }
+
     std::ifstream file;
     if (!input_path.empty()) {
         file.open(input_path);
@@ -124,62 +293,10 @@ main(int argc, char **argv)
     }
     std::istream &in = input_path.empty() ? std::cin : file;
 
-    chocoq::service::SolveService service(options);
-    std::mutex out_mu;
-    long submitted = 0;
-    long failed = 0;
-    chocoq::Timer wall;
-
-    std::string line;
-    long lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        // Skip blank lines and # comments so fixtures can be annotated.
-        std::size_t start = line.find_first_not_of(" \t\r");
-        if (start == std::string::npos || line[start] == '#')
-            continue;
-        chocoq::service::SolveJob job;
-        try {
-            job = chocoq::service::jobFromJsonLine(line);
-        } catch (const std::exception &e) {
-            // A malformed request fails that request, not the stream.
-            chocoq::service::SolveResult bad;
-            bad.id = "line-" + std::to_string(lineno);
-            bad.status = "error";
-            bad.error = e.what();
-            std::lock_guard<std::mutex> lock(out_mu);
-            std::cout << chocoq::service::resultToJson(bad).dump() << "\n";
-            ++failed;
-            continue;
-        }
-        if (job.id.empty())
-            job.id = "job-" + std::to_string(lineno);
-        ++submitted;
-        service.submit(std::move(job),
-                       [&](const chocoq::service::SolveResult &r) {
-                           std::lock_guard<std::mutex> lock(out_mu);
-                           std::cout
-                               << chocoq::service::resultToJson(r).dump()
-                               << "\n";
-                           std::cout.flush();
-                           if (r.status != "ok")
-                               ++failed;
-                       });
-    }
-    service.drain();
-
-    if (!quiet) {
-        const auto cache = service.cacheStats();
-        const double seconds = wall.seconds();
-        std::cerr << "chocoq_serve: " << submitted << " jobs on "
-                  << service.workers() << " workers in " << seconds
-                  << " s ("
-                  << (seconds > 0 ? static_cast<double>(submitted) / seconds
-                                  : 0.0)
-                  << " jobs/s), cache " << cache.hits << " hits / "
-                  << cache.misses << " misses / " << cache.evictions
-                  << " evictions (" << cache.bytes << " bytes held), "
-                  << failed << " failed\n";
-    }
-    return failed == 0 ? 0 : 1;
+    const auto stats =
+        chocoq::service::runJsonlStream(in, std::cout, service,
+                                        stream_limits);
+    if (!quiet)
+        printSummary(service, stats.submitted, stats.failed, wall.seconds());
+    return stats.failed == 0 ? 0 : 1;
 }

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two chocoq_serve JSONL result streams (stdlib only).
+
+Results are matched by id and compared field-for-field after dropping
+the fields that legitimately differ between runs (timings, worker
+index, cache warmth). Everything else — status, problem, solver,
+best_cost, dist_hash, iteration counts, ... — must match exactly;
+doubles are serialized with round-trip precision, so textual equality
+is bitwise equality (see docs/protocol.md). This is how CI asserts
+that socket mode and batch mode return identical results.
+
+Usage: compare_results.py A.jsonl B.jsonl
+Exit status: 0 when the streams agree, 1 otherwise (differences are
+reported per id).
+"""
+
+import json
+import sys
+
+# Run-dependent observability fields: everything else must be equal.
+VOLATILE = {
+    "cache_hit",
+    "compile_s",
+    "sim_s",
+    "classical_s",
+    "queue_ms",
+    "solve_ms",
+    "worker",
+}
+
+
+def load(path: str) -> dict:
+    rows = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            key = row.get("id", f"{path}:{lineno}")
+            rows[key] = {k: v for k, v in row.items() if k not in VOLATILE}
+    return rows
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    a, b = load(argv[1]), load(argv[2])
+    failures = []
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            failures.append(f"{key}: only in {argv[2]}")
+        elif key not in b:
+            failures.append(f"{key}: only in {argv[1]}")
+        elif a[key] != b[key]:
+            diff = {
+                f
+                for f in set(a[key]) | set(b[key])
+                if a[key].get(f) != b[key].get(f)
+            }
+            failures.append(
+                f"{key}: fields differ: "
+                + ", ".join(
+                    f"{f} ({a[key].get(f)!r} vs {b[key].get(f)!r})"
+                    for f in sorted(diff)
+                )
+            )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(
+        f"compare_results: {len(a)} vs {len(b)} results, "
+        f"{len(failures)} difference(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

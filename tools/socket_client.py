@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Minimal JSONL client for chocoq_serve --listen (stdlib only).
+
+Connects to 127.0.0.1:PORT, streams stdin to the server, half-closes
+the write side (EOF tells the server no more requests are coming), and
+prints every result line to stdout until the server closes the
+connection. Used by the CI socket smoke test and handy for operators
+without nc:
+
+    printf '{"scale":"F1"}\n' | socket_client.py 7077
+
+Exit status: 0 on a clean close, 2 on usage/connection errors.
+"""
+
+import socket
+import sys
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        port = int(argv[1])
+    except ValueError:
+        print(f"not a port number: {argv[1]!r}", file=sys.stderr)
+        return 2
+    requests = sys.stdin.buffer.read()
+    try:
+        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
+    except OSError as e:
+        print(f"cannot connect to 127.0.0.1:{port}: {e}", file=sys.stderr)
+        return 2
+    with conn:
+        conn.sendall(requests)
+        conn.shutdown(socket.SHUT_WR)
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            sys.stdout.buffer.write(chunk)
+    sys.stdout.buffer.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
