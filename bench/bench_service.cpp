@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "problems/suite.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+#include "spec/spec.hpp"
 
 using namespace chocoq;
 
@@ -276,6 +278,93 @@ runSocketSuite(const std::vector<service::SolveJob> &jobs, int workers,
     return report;
 }
 
+// -------------------------------------------- inline-spec probe
+
+struct InlineSpecReport
+{
+    /** Serialized bytes of the probe spec (K1 case 0 transcribed). */
+    std::size_t specBytes = 0;
+    /** Mean parse + validate + canonicalize cost per spec. */
+    double parseCanonicalizeUs = 0.0;
+    /** Compile-cache hit rate of 1 inline submission + N problem_refs. */
+    double refReuseHitRate = 0.0;
+    /** Inline submission bitwise matches the registry-case job. */
+    bool matchesRegistry = true;
+};
+
+/**
+ * The inline-problem path, measured: per-request spec cost
+ * (parse + validate + canonicalize, the work the front-end pays before
+ * any solver runs) and the ref-reuse behavior the protocol promises —
+ * one inline submission, many problem_ref follow-ups, all sharing one
+ * compilation, bit-identical to the registry-case job.
+ */
+InlineSpecReport
+runInlineSpecProbe(int repeats, int iterations)
+{
+    InlineSpecReport report;
+    const auto spec_json = spec::problemToSpecJson(
+        problems::makeCase(problems::Scale::K1, 0));
+    const std::string spec_text = spec_json.dump();
+    report.specBytes = spec_text.size();
+
+    constexpr int kParseProbes = 200;
+    Timer parse_timer;
+    for (int i = 0; i < kParseProbes; ++i)
+        spec::parseProblemSpec(service::Json::parse(spec_text));
+    report.parseCanonicalizeUs =
+        parse_timer.seconds() * 1e6 / kParseProbes;
+
+    // Registry-case reference for the bitwise cross-check.
+    service::SolveService svc{service::ServiceOptions{}};
+    service::SolveJob reg;
+    reg.id = "registry";
+    reg.scale = "K1";
+    reg.seed = 11;
+    reg.maxIterations = iterations;
+    const auto reg_result = svc.solveAll({reg}).front();
+
+    // One inline submission registers the model...
+    service::SolveJob inline_job;
+    inline_job.id = "inline";
+    inline_job.problem = std::make_shared<const spec::ProblemSpec>(
+        spec::parseProblemSpec(spec_json));
+    inline_job.seed = 11;
+    inline_job.maxIterations = iterations;
+    const auto inline_result = svc.solveAll({inline_job}).front();
+    report.matchesRegistry =
+        inline_result.status == "ok" && reg_result.status == "ok"
+        && inline_result.distHash == reg_result.distHash
+        && std::memcmp(&inline_result.bestCost, &reg_result.bestCost,
+                       sizeof(double))
+               == 0;
+
+    // ...and the follow-ups ride the hash. Count compile-cache hits
+    // across exactly the refs batch (diff against a snapshot: the
+    // registry-case and inline lookups above are not ref reuse).
+    const auto before = svc.cacheStats();
+    std::vector<service::SolveJob> refs;
+    for (int r = 0; r < repeats; ++r) {
+        service::SolveJob ref;
+        ref.id = "ref/" + std::to_string(r);
+        ref.problemRef = inline_job.problem->hashHex;
+        ref.seed = 100 + static_cast<std::uint64_t>(r);
+        ref.maxIterations = iterations;
+        refs.push_back(std::move(ref));
+    }
+    for (const auto &r : svc.solveAll(refs))
+        report.matchesRegistry = report.matchesRegistry
+                                 && r.status == "ok";
+    const auto after = svc.cacheStats();
+    const std::uint64_t lookups =
+        (after.hits - before.hits) + (after.misses - before.misses);
+    report.refReuseHitRate =
+        lookups == 0 ? 0.0
+                     : static_cast<double>(after.hits - before.hits)
+                           / static_cast<double>(lookups);
+    return report;
+}
+
 } // namespace
 
 int
@@ -351,6 +440,16 @@ main(int argc, char **argv)
               << " ms avg; bitwise matches in-process: "
               << (socket.matchesInProcess ? "yes" : "NO") << "\n";
 
+    const InlineSpecReport inline_spec =
+        runInlineSpecProbe(cfg.full ? 32 : 8, cfg.iterations);
+    std::cout << "inline spec (" << inline_spec.specBytes
+              << " bytes): parse+canonicalize "
+              << inline_spec.parseCanonicalizeUs
+              << " us, ref-reuse cache hit rate "
+              << inline_spec.refReuseHitRate
+              << "; bitwise matches registry case: "
+              << (inline_spec.matchesRegistry ? "yes" : "NO") << "\n";
+
     service::Json doc = service::Json::object();
     doc.set("bench", "service");
     doc.set("mode", cfg.full ? "full" : "quick");
@@ -390,8 +489,21 @@ main(int argc, char **argv)
     socket_doc.set("matches_in_process", socket.matchesInProcess);
     doc.set("socket", std::move(socket_doc));
 
+    service::Json inline_doc = service::Json::object();
+    inline_doc.set("spec_bytes",
+                   static_cast<double>(inline_spec.specBytes));
+    inline_doc.set("parse_canonicalize_us",
+                   inline_spec.parseCanonicalizeUs);
+    inline_doc.set("ref_reuse_cache_hit_rate",
+                   inline_spec.refReuseHitRate);
+    inline_doc.set("matches_registry_case", inline_spec.matchesRegistry);
+    doc.set("inline_spec", std::move(inline_doc));
+
     std::ofstream out(cfg.outPath);
     out << doc.pretty() << "\n";
     std::cout << "wrote " << cfg.outPath << "\n";
-    return deterministic && socket.matchesInProcess ? 0 : 1;
+    return deterministic && socket.matchesInProcess
+                   && inline_spec.matchesRegistry
+               ? 0
+               : 1;
 }

@@ -45,6 +45,10 @@ struct LinearConstraint
 
     bool satisfied(Basis idx) const { return lhs(idx) == rhs; }
 
+    /** Structural equality (exact coefficients and right-hand side). */
+    friend bool operator==(const LinearConstraint &,
+                           const LinearConstraint &) = default;
+
     /**
      * True when all coefficients share one sign (the "summation format"
      * x_{i1} + ... + x_{ik} = c that the cyclic Hamiltonian [47] supports).

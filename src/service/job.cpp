@@ -45,7 +45,7 @@ checkedInt(const Json &v, const char *key, long long lo, long long hi,
 } // namespace
 
 SolveJob
-jobFromJson(const Json &v)
+jobFromJson(const Json &v, const spec::SpecLimits &limits)
 {
     if (!v.isObject())
         CHOCOQ_FATAL("job request must be a JSON object");
@@ -55,6 +55,31 @@ jobFromJson(const Json &v)
     if (!knownSolver(job.solver))
         CHOCOQ_FATAL("unknown solver '" << job.solver
                      << "' (expected choco-q, penalty, cyclic, or hea)");
+
+    // Exactly one way to name the problem: a registry case (scale/case),
+    // an inline spec ("problem"), or a prior submission ("problem_ref").
+    // Mixing them would make one silently win; reject instead.
+    const Json *inline_spec = v.find("problem");
+    const Json *ref = v.find("problem_ref");
+    const bool named_case = v.find("scale") || v.find("case");
+    if (inline_spec && ref)
+        CHOCOQ_FATAL("fields 'problem' and 'problem_ref' are mutually "
+                     "exclusive");
+    if ((inline_spec || ref) && named_case)
+        CHOCOQ_FATAL("fields 'scale'/'case' cannot be combined with an "
+                     "inline 'problem' or a 'problem_ref'");
+    if (inline_spec) {
+        job.problem = std::make_shared<const spec::ProblemSpec>(
+            spec::parseProblemSpec(*inline_spec, limits));
+    } else if (ref) {
+        if (ref->kind() != Json::Kind::String
+            || !spec::validProblemRef(ref->asString()))
+            CHOCOQ_FATAL("field 'problem_ref' must be a 16-hex-char "
+                         "canonical problem hash (the problem_ref echoed "
+                         "by a prior inline submission's result)");
+        job.problemRef = ref->asString();
+    }
+
     job.scale = v.getString("scale", job.scale);
     if (!problems::scaleByName(job.scale))
         CHOCOQ_FATAL("unknown scale '" << job.scale << "' (expected F1..K4)");
@@ -90,9 +115,9 @@ jobFromJson(const Json &v)
 }
 
 SolveJob
-jobFromJsonLine(const std::string &line)
+jobFromJsonLine(const std::string &line, const spec::SpecLimits &limits)
 {
-    return jobFromJson(Json::parse(line));
+    return jobFromJson(Json::parse(line), limits);
 }
 
 std::string
@@ -109,8 +134,16 @@ jobToJsonRequest(const SolveJob &job)
     Json out = Json::object();
     out.set("id", job.id);
     out.set("solver", job.solver);
-    out.set("scale", job.scale);
-    out.set("case", static_cast<double>(job.caseIndex));
+    // The three problem namings are mutually exclusive on the wire, so
+    // emit only the one this job uses.
+    if (job.problem) {
+        out.set("problem", job.problem->wire);
+    } else if (!job.problemRef.empty()) {
+        out.set("problem_ref", job.problemRef);
+    } else {
+        out.set("scale", job.scale);
+        out.set("case", static_cast<double>(job.caseIndex));
+    }
     if (job.seed <= (1ull << 53)) {
         out.set("seed", static_cast<double>(job.seed));
     } else {
@@ -142,6 +175,8 @@ resultToJson(const SolveResult &r)
         return out;
     }
     out.set("problem", r.problem);
+    if (!r.problemRef.empty())
+        out.set("problem_ref", r.problemRef);
     out.set("solver", r.solver);
     out.set("best_cost", r.bestCost);
     out.set("top_state", static_cast<double>(r.topState));

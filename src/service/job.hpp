@@ -17,10 +17,12 @@
 #define CHOCOQ_SERVICE_JOB_HPP
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/bitops.hpp"
 #include "service/json.hpp"
+#include "spec/spec.hpp"
 
 namespace chocoq::service
 {
@@ -36,6 +38,19 @@ struct SolveJob
     std::string scale = "F1";
     /** Seeded case index within the scale. */
     unsigned caseIndex = 0;
+    /**
+     * Inline problem definition (wire key "problem"): a user-supplied
+     * constrained binary program parsed and canonicalized by src/spec.
+     * Mutually exclusive with scale/case and problem_ref. Shared, not
+     * copied: the spec is immutable once parsed.
+     */
+    std::shared_ptr<const spec::ProblemSpec> problem;
+    /**
+     * Reference to a previously submitted inline problem by canonical
+     * content hash (wire key "problem_ref", 16 hex chars): reuses the
+     * registered model without resending the matrix. Empty = unused.
+     */
+    std::string problemRef;
     /** Master seed for every stochastic component of this job. */
     std::uint64_t seed = 7;
     /** Measurement shots for the final distribution; 0 = exact. */
@@ -75,8 +90,14 @@ struct SolveResult
      * docs/protocol.md for the contract). */
     std::string status = "ok";
     std::string error;
-    /** Resolved problem name (scale:config#index). */
+    /** Resolved problem name (scale:config#index, or inline:<hash>). */
     std::string problem;
+    /**
+     * Canonical content hash of the problem this job ran, echoed for
+     * inline and problem_ref jobs (empty for registry cases): clients
+     * reuse it as the next request's "problem_ref".
+     */
+    std::string problemRef;
     std::string solver;
 
     /** Best variational cost (minimization form). */
@@ -109,15 +130,18 @@ struct SolveResult
 
 /**
  * Parse one JSONL request line. Recognized keys: id, solver, scale,
- * case, seed, shots, device, layers, iters, keep_starts, fusion,
- * deadline_ms.
+ * case, problem, problem_ref, seed, shots, device, layers, iters,
+ * keep_starts, fusion, deadline_ms.
  * Missing keys take the SolveJob defaults. Throws FatalError on
- * malformed JSON or an unknown scale/solver name.
+ * malformed JSON, an unknown scale/solver name, a problem spec that
+ * fails validation or a resource guard in @p limits, or a request
+ * mixing problem/problem_ref/scale.
  */
-SolveJob jobFromJson(const Json &v);
+SolveJob jobFromJson(const Json &v, const spec::SpecLimits &limits = {});
 
 /** Convenience: parse a raw JSONL line. */
-SolveJob jobFromJsonLine(const std::string &line);
+SolveJob jobFromJsonLine(const std::string &line,
+                         const spec::SpecLimits &limits = {});
 
 /** Serialize a result to one JSONL object. */
 Json resultToJson(const SolveResult &r);

@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <chrono>
@@ -150,7 +151,8 @@ utf8Valid(const std::string &s)
 }
 
 ParsedLine
-parseRequestLine(const std::string &line, long lineno, bool oversized)
+parseRequestLine(const std::string &line, long lineno, bool oversized,
+                 const spec::SpecLimits &limits)
 {
     ParsedLine out;
     if (oversized) {
@@ -167,7 +169,7 @@ parseRequestLine(const std::string &line, long lineno, bool oversized)
         return out;
     }
     try {
-        out.job = jobFromJsonLine(line);
+        out.job = jobFromJsonLine(line, limits);
     } catch (const std::exception &e) {
         // A malformed request fails that request, not the stream.
         out.error = lineError(lineno, e.what());
@@ -233,7 +235,8 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
     bool oversized = false;
     while (getBoundedLine(in, line, limits.maxLineBytes, oversized)) {
         ++lineno;
-        ParsedLine parsed = parseRequestLine(line, lineno, oversized);
+        ParsedLine parsed =
+            parseRequestLine(line, lineno, oversized, limits.spec);
         if (parsed.skip)
             continue;
         if (!parsed.ok) {
@@ -452,10 +455,65 @@ Server::writeLine(const std::shared_ptr<Connection> &conn,
 }
 
 bool
+Server::reserveInflightSlot(SolveJob &job)
+{
+    // Reserve the slot first (fetch_add, not load-then-add): concurrent
+    // reader threads racing a plain check could all pass it and
+    // overshoot the bound by connections-1 jobs.
+    const auto tryReserve = [this] {
+        const long reserved =
+            inflight_.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.maxInflight > 0
+            && reserved >= static_cast<long>(opts_.maxInflight)) {
+            inflight_.fetch_sub(1, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    };
+    if (tryReserve())
+        return true;
+    if (opts_.queueWaitMs <= 0)
+        return false;
+
+    // Bounded wait-queue: hold this request on its reader thread until
+    // a slot frees, its deadline_ms would expire in queue, or the
+    // configured wait cap runs out. Drain (stop_) also ends the wait —
+    // a shutdown must not hang on a full queue.
+    double budget_ms = opts_.queueWaitMs;
+    if (job.deadlineMs > 0.0)
+        budget_ms = std::min(budget_ms, job.deadlineMs);
+    const auto start = Clock::now();
+    while (!stop_.load(std::memory_order_relaxed)) {
+        const double waited = millisSince(start);
+        if (waited >= budget_ms)
+            break;
+        const double left = budget_ms - waited;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<long long>(opts_.pollTickMs,
+                                static_cast<long long>(left) + 1)));
+        if (!tryReserve())
+            continue;
+        if (job.deadlineMs > 0.0) {
+            // Queue time counts against the deadline; a slot that
+            // frees exactly as the deadline passes is still a timeout.
+            job.deadlineMs -= millisSince(start);
+            if (job.deadlineMs <= 0.0) {
+                inflight_.fetch_sub(1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+        queueWaited_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+    }
+    return false;
+}
+
+bool
 Server::handleLine(const std::shared_ptr<Connection> &conn,
                    const std::string &line, long lineno)
 {
-    ParsedLine parsed = parseRequestLine(line, lineno);
+    ParsedLine parsed =
+        parseRequestLine(line, lineno, false, opts_.specLimits);
     if (parsed.skip)
         return false;
     if (!parsed.ok) {
@@ -464,19 +522,17 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
         return false;
     }
     // Backpressure: a request over the server-wide in-flight bound is
-    // answered immediately instead of queueing without bound. Reserve
-    // the slot first (fetch_add, not load-then-add): concurrent reader
-    // threads racing a plain check could all pass it and overshoot the
-    // bound by connections-1 jobs.
-    const long reserved = inflight_.fetch_add(1, std::memory_order_relaxed);
-    if (opts_.maxInflight > 0
-        && reserved >= static_cast<long>(opts_.maxInflight)) {
-        inflight_.fetch_sub(1, std::memory_order_relaxed);
+    // answered with "rejected" instead of queueing without bound —
+    // immediately by default, after the bounded wait queue when
+    // --queue-wait is configured.
+    if (!reserveInflightSlot(parsed.job)) {
         SolveResult r;
         r.id = parsed.job.id;
         r.status = "rejected";
         r.error = "server at capacity (" + std::to_string(opts_.maxInflight)
-                  + " jobs in flight); retry later";
+                  + " jobs in flight"
+                  + (opts_.queueWaitMs > 0 ? ", wait queue timed out" : "")
+                  + "); retry later";
         rejected_.fetch_add(1, std::memory_order_relaxed);
         writeLine(conn, resultToJson(r).dump());
         return false;
@@ -518,11 +574,23 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
                && served >= opts_.maxRequestsPerConn;
     };
     // Echo the request id when the over-limit line parses, so the
-    // client can correlate the rejection.
+    // client can correlate the rejection. Only the id is read — this is
+    // the load-shedding path, so it must not pay full request
+    // validation (in particular not inline-problem parsing and
+    // canonicalization) for a line it is about to reject.
     const auto rejectAtLimit = [&](const std::string &line, long n) {
-        const ParsedLine peek = parseRequestLine(line, n, false);
+        std::string id;
+        if (utf8Valid(line)) { // never echo invalid bytes back out
+            try {
+                id = Json::parse(line).getString("id", "");
+                if (id.empty())
+                    id = "job-" + std::to_string(n);
+            } catch (const std::exception &) {
+                // fall through to the synthesized line id
+            }
+        }
         SolveResult r;
-        r.id = peek.ok ? peek.job.id : peek.error.id;
+        r.id = id.empty() ? "line-" + std::to_string(n) : id;
         r.status = "rejected";
         r.error = "per-connection request limit ("
                   + std::to_string(opts_.maxRequestsPerConn)
@@ -703,6 +771,7 @@ Server::stats() const
     s.jobsFailed = jobsFailed_.load(std::memory_order_relaxed);
     s.resultsWritten = resultsWritten_.load(std::memory_order_relaxed);
     s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.queueWaited = queueWaited_.load(std::memory_order_relaxed);
     s.connectionsRejected =
         connectionsRejected_.load(std::memory_order_relaxed);
     s.lineErrors = lineErrors_.load(std::memory_order_relaxed);

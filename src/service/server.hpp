@@ -58,6 +58,9 @@ struct StreamLimits
      * enforces a bound).
      */
     std::size_t maxLineBytes = 1 << 20;
+    /** Resource guards for inline problem specs (see spec/spec.hpp);
+     * an over-cap spec fails per-line like any other invalid field. */
+    spec::SpecLimits spec;
 };
 
 /** What became of one raw request line. */
@@ -76,13 +79,15 @@ struct ParsedLine
 /**
  * Classify one raw request line: blank/comment lines are skipped,
  * oversized (@p oversized, decided by the caller's line reader),
- * non-UTF-8, malformed-JSON, and invalid-field lines become per-line
- * error results named "line-@p lineno", and everything else parses into
- * a SolveJob (with an empty id defaulted to "job-@p lineno"). Never
- * throws on hostile input — that is the point.
+ * non-UTF-8, malformed-JSON, and invalid-field lines (including inline
+ * problem specs failing validation or the resource guards in @p limits)
+ * become per-line error results named "line-@p lineno", and everything
+ * else parses into a SolveJob (with an empty id defaulted to
+ * "job-@p lineno"). Never throws on hostile input — that is the point.
  */
 ParsedLine parseRequestLine(const std::string &line, long lineno,
-                            bool oversized = false);
+                            bool oversized = false,
+                            const spec::SpecLimits &limits = {});
 
 /** Counters of one batch-stream run. */
 struct StreamStats
@@ -122,6 +127,21 @@ struct ServerOptions
      * without bound). 0 = unbounded.
      */
     int maxInflight = 256;
+    /**
+     * Bounded wait-queue for over-capacity requests (--queue-wait): a
+     * request arriving at the maxInflight bound is held on its reader
+     * thread for up to this long — or until its own deadline_ms would
+     * expire in queue, whichever is sooner — before the "rejected"
+     * answer. Holding on the reader thread is deliberate: the
+     * connection stops reading further requests while one waits, so
+     * TCP backpressure propagates to the sender and at most one
+     * request per connection is in limbo. Time spent waiting counts
+     * against the job's deadline_ms. 0 = reject immediately (the
+     * pre-existing behavior).
+     */
+    int queueWaitMs = 0;
+    /** Resource guards for inline problem specs on this server. */
+    spec::SpecLimits specLimits;
     /**
      * Close a connection after this long with no bytes received and no
      * job of its own in flight. 0 = never. Results of in-flight jobs
@@ -172,6 +192,9 @@ struct ServerStats
     /** Requests answered with status "rejected" (overload or
      * per-connection limit). */
     long rejected = 0;
+    /** Over-capacity requests that waited in the bounded queue
+     * (--queue-wait) and were then accepted when a slot freed. */
+    long queueWaited = 0;
     /** Connections refused at the maxConnections bound. */
     long connectionsRejected = 0;
     /** Per-line error responses (malformed input). */
@@ -223,11 +246,16 @@ class Server
     void acceptLoop();
     void serveConnection(const std::shared_ptr<Connection> &conn);
     /** Parse one complete request line and either submit it, answer
-     * with a per-line error, or answer with a backpressure rejection.
+     * with a per-line error, or answer with a backpressure rejection
+     * (waiting out the bounded queue first when --queue-wait is set).
      * Returns true only when a job was accepted into the scheduler
      * (the per-connection request budget counts exactly those). */
     bool handleLine(const std::shared_ptr<Connection> &conn,
                     const std::string &line, long lineno);
+    /** Reserve an in-flight slot, waiting up to the queue-wait budget
+     * (bounded by @p job's remaining deadline, which is decremented by
+     * the time spent waiting). False = caller must reject. */
+    bool reserveInflightSlot(SolveJob &job);
     void writeLine(const std::shared_ptr<Connection> &conn,
                    const std::string &line);
 
@@ -260,6 +288,7 @@ class Server
     std::atomic<long> jobsFailed_{0};
     std::atomic<long> resultsWritten_{0};
     std::atomic<long> rejected_{0};
+    std::atomic<long> queueWaited_{0};
     std::atomic<long> connectionsRejected_{0};
     std::atomic<long> lineErrors_{0};
     std::atomic<long> idleCloses_{0};

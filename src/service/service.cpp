@@ -75,8 +75,52 @@ hashDistribution(const std::map<Basis, double> &dist)
 
 SolveService::SolveService(ServiceOptions opts)
     : opts_(opts), cache_(CompileCacheOptions{opts.cacheMaxBytes}),
+      registry_(spec::ProblemRegistryOptions{opts.registryMaxBytes}),
       scheduler_(opts.workers)
 {}
+
+std::shared_ptr<const model::Problem>
+SolveService::resolveProblem(const SolveJob &job, SolveResult &r)
+{
+    if (job.problem) {
+        // First submission of this canonical hash registers the lowered
+        // instance; every equivalent submission (row-permuted,
+        // sign-flipped) resolves to that same instance, so the compile
+        // cache sees literally one structure.
+        bool reused = false;
+        auto p = registry_.put(job.problem->hashHex,
+                               [&job] { return job.problem->lower(); },
+                               &reused);
+        // The 64-bit hash indexes the registry, it does not prove
+        // identity: a colliding spec must fail loudly, never silently
+        // solve whichever model registered first.
+        if (reused && !spec::canonicallyEqual(*job.problem, *p))
+            CHOCOQ_FATAL("canonical hash collision on '"
+                         << job.problem->hashHex
+                         << "': this problem differs from the one "
+                            "registered under the same hash; change the "
+                            "model (e.g. an unused variable) or restart "
+                            "the registry");
+        r.problemRef = job.problem->hashHex;
+        return p;
+    }
+    if (!job.problemRef.empty()) {
+        auto p = registry_.get(job.problemRef);
+        if (!p)
+            CHOCOQ_FATAL("unknown problem_ref '" << job.problemRef
+                         << "' (never submitted on this server, or "
+                            "evicted from the registry; resubmit the "
+                            "inline problem)");
+        r.problemRef = job.problemRef;
+        return p;
+    }
+    const auto scale = problems::scaleByName(job.scale);
+    if (!scale)
+        CHOCOQ_FATAL("unknown scale '" << job.scale
+                     << "' (expected F1..K4)");
+    return std::make_shared<const model::Problem>(
+        problems::makeCase(*scale, job.caseIndex));
+}
 
 SolveResult
 SolveService::execute(const SolveJob &job, WorkerContext &ctx)
@@ -86,11 +130,9 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx)
     r.solver = job.solver;
     Timer timer;
     try {
-        const auto scale = problems::scaleByName(job.scale);
-        if (!scale)
-            CHOCOQ_FATAL("unknown scale '" << job.scale
-                         << "' (expected F1..K4)");
-        const model::Problem p = problems::makeCase(*scale, job.caseIndex);
+        const std::shared_ptr<const model::Problem> resolved =
+            resolveProblem(job, r);
+        const model::Problem &p = *resolved;
         r.problem = p.name();
 
         core::SolverOutcome outcome;

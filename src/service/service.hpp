@@ -5,12 +5,14 @@
  * solver/engine stack.
  *
  * Composition per job: the scheduler parks the job on a worker; the
- * worker regenerates the problem instance from the registry, pulls
- * compilation artifacts from the shared CompileCache (compile once,
- * solve many), and runs the variational loop on its private scratch
- * pool with every stochastic stream derived from the job seed — so a
- * (job, seed) pair is bit-identical at any worker count and any
- * submission order, while throughput scales with workers.
+ * worker resolves the problem instance — regenerated from the benchmark
+ * registry, or, for inline specs and problem_refs, the canonical
+ * instance shared through the ProblemRegistry — then pulls compilation
+ * artifacts from the shared CompileCache (compile once, solve many),
+ * and runs the variational loop on its private scratch pool with every
+ * stochastic stream derived from the job seed — so a (job, seed) pair
+ * is bit-identical at any worker count and any submission order, while
+ * throughput scales with workers.
  */
 
 #ifndef CHOCOQ_SERVICE_SERVICE_HPP
@@ -22,6 +24,7 @@
 #include "service/compile_cache.hpp"
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
+#include "spec/registry.hpp"
 
 namespace chocoq::service
 {
@@ -37,6 +40,9 @@ struct ServiceOptions
     /** Artifact-retention byte budget for the compilation cache
      * (CompileCacheOptions::maxBytes; 0 = unbounded). */
     std::size_t cacheMaxBytes = CompileCacheOptions{}.maxBytes;
+    /** Retention byte budget for inline-problem registrations
+     * (spec::ProblemRegistryOptions::maxBytes; 0 = unbounded). */
+    std::size_t registryMaxBytes = spec::ProblemRegistryOptions{}.maxBytes;
     /** Optimizer iteration budget for jobs that don't set their own;
      * 0 keeps each solver's default. */
     int defaultIterations = 0;
@@ -67,6 +73,12 @@ class SolveService
 
     CompileCache::Stats cacheStats() const { return cache_.stats(); }
 
+    /** Inline-problem registry counters (submissions, ref reuse, LRU). */
+    spec::ProblemRegistry::Stats registryStats() const
+    {
+        return registry_.stats();
+    }
+
     /**
      * Execute one job synchronously in @p ctx, bypassing the queue.
      * Public for tests and single-shot tooling; submit() is the normal
@@ -75,8 +87,18 @@ class SolveService
     SolveResult execute(const SolveJob &job, WorkerContext &ctx);
 
   private:
+    /**
+     * Resolve the problem a job names: the registered instance for
+     * inline specs (registering on first sight) and problem_refs, a
+     * freshly generated registry case otherwise. Throws FatalError on
+     * an unknown scale or an unknown/evicted problem_ref.
+     */
+    std::shared_ptr<const model::Problem> resolveProblem(const SolveJob &job,
+                                                         SolveResult &r);
+
     ServiceOptions opts_;
     CompileCache cache_;
+    spec::ProblemRegistry registry_;
     Scheduler scheduler_;
 };
 

@@ -1,0 +1,132 @@
+#include "spec/registry.hpp"
+
+namespace chocoq::spec
+{
+
+std::size_t
+problemMemoryBytes(const model::Problem &p)
+{
+    std::size_t bytes = sizeof(model::Problem) + p.name().size();
+    for (const auto &row : p.constraints())
+        bytes += sizeof(model::LinearConstraint)
+                 + row.coeffs.capacity() * sizeof(int);
+    for (const auto &[mono, coeff] : p.objective().terms()) {
+        (void)coeff;
+        // Node overhead of the term map plus the monomial's storage.
+        bytes += 3 * sizeof(void *) + sizeof(double)
+                 + sizeof(model::Polynomial::Monomial)
+                 + mono.capacity() * sizeof(int);
+    }
+    return bytes;
+}
+
+void
+ProblemRegistry::touchLocked(Entry &entry)
+{
+    lru_.splice(lru_.begin(), lru_, entry.lruPos);
+}
+
+void
+ProblemRegistry::evictLocked()
+{
+    if (opts_.maxBytes == 0)
+        return;
+    while (bytes_ > opts_.maxBytes && lru_.size() > 1) {
+        const auto it = map_.find(lru_.back());
+        bytes_ -= it->second.bytes;
+        ++evictions_;
+        map_.erase(it);
+        lru_.pop_back();
+    }
+}
+
+std::shared_ptr<const model::Problem>
+ProblemRegistry::put(const std::string &hashHex,
+                     const std::function<model::Problem()> &make,
+                     bool *reused)
+{
+    if (reused)
+        *reused = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = map_.find(hashHex);
+        if (it != map_.end()) {
+            touchLocked(it->second);
+            ++reused_;
+            if (reused)
+                *reused = true;
+            return it->second.problem;
+        }
+    }
+    // Lower outside the lock (a big spec costs real work); losing the
+    // insertion race below just means adopting the winner's instance.
+    auto problem = std::make_shared<const model::Problem>(make());
+    const std::size_t bytes = problemMemoryBytes(*problem);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(hashHex);
+    if (it != map_.end()) {
+        touchLocked(it->second);
+        ++reused_;
+        if (reused)
+            *reused = true;
+        return it->second.problem;
+    }
+    lru_.push_front(hashHex);
+    Entry entry;
+    entry.problem = std::move(problem);
+    entry.bytes = bytes;
+    entry.lruPos = lru_.begin();
+    bytes_ += bytes;
+    ++inserted_;
+    auto stored = entry.problem;
+    map_.emplace(hashHex, std::move(entry));
+    evictLocked();
+    return stored;
+}
+
+std::shared_ptr<const model::Problem>
+ProblemRegistry::get(const std::string &hashHex)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(hashHex);
+    if (it == map_.end()) {
+        ++refMisses_;
+        return nullptr;
+    }
+    touchLocked(it->second);
+    ++refHits_;
+    return it->second.problem;
+}
+
+ProblemRegistry::Stats
+ProblemRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.inserted = inserted_;
+    s.reused = reused_;
+    s.refHits = refHits_;
+    s.refMisses = refMisses_;
+    s.evictions = evictions_;
+    s.entries = map_.size();
+    s.bytes = bytes_;
+    s.maxBytes = opts_.maxBytes;
+    return s;
+}
+
+void
+ProblemRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    lru_.clear();
+    inserted_ = 0;
+    reused_ = 0;
+    refHits_ = 0;
+    refMisses_ = 0;
+    evictions_ = 0;
+    bytes_ = 0;
+}
+
+} // namespace chocoq::spec

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Registry of inline problem submissions, keyed by canonical content
+ * hash.
+ *
+ * The first submission of a spec registers its lowered model::Problem
+ * under the spec's canonical hash; every later submission with the same
+ * hash — including row-permuted or sign-flipped re-encodings — resolves
+ * to that first-registered instance. Resolving to one shared Problem is
+ * what makes the compile cache collapse equivalent inline submissions:
+ * the cache keys on the problem's structure, and equivalent submissions
+ * now present literally the same structure. A follow-up job can also
+ * skip resending the matrix entirely and name the prior submission with
+ * "problem_ref": "<hash>".
+ *
+ * Retention mirrors the compile cache: completed entries are kept in
+ * LRU order under a byte budget; an evicted hash simply re-registers on
+ * its next full submission, while a problem_ref to an evicted hash is a
+ * per-request error telling the client to resubmit the inline problem.
+ */
+
+#ifndef CHOCOQ_SPEC_REGISTRY_HPP
+#define CHOCOQ_SPEC_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "model/problem.hpp"
+
+namespace chocoq::spec
+{
+
+/** Registry retention configuration. */
+struct ProblemRegistryOptions
+{
+    /**
+     * Byte budget for retained problems (0 = unbounded). Problems are
+     * far smaller than compiled artifacts, so the default holds many
+     * thousands of typical specs.
+     */
+    std::size_t maxBytes = std::size_t{64} << 20;
+};
+
+/** Approximate heap footprint of a problem (constraint matrix +
+ * objective terms), for the registry's LRU byte budget. */
+std::size_t problemMemoryBytes(const model::Problem &p);
+
+/** Thread-safe LRU registry of canonical-hash -> lowered problem. */
+class ProblemRegistry
+{
+  public:
+    struct Stats
+    {
+        /** Full submissions that registered a new hash. */
+        std::uint64_t inserted = 0;
+        /** Full submissions that found their hash already registered
+         * (row-permuted or repeated specs collapsing onto one entry). */
+        std::uint64_t reused = 0;
+        /** problem_ref lookups that resolved. */
+        std::uint64_t refHits = 0;
+        /** problem_ref lookups that missed (unknown or evicted). */
+        std::uint64_t refMisses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+        std::size_t bytes = 0;
+        std::size_t maxBytes = 0;
+    };
+
+    explicit ProblemRegistry(ProblemRegistryOptions opts = {})
+        : opts_(opts)
+    {}
+
+    /**
+     * Resolve @p hashHex, lowering and registering via @p make on first
+     * sight. Returns the registered problem — the caller must solve the
+     * returned instance, not its own lowering, so equivalent
+     * submissions share one structure. @p reused (optional) reports
+     * whether an existing registration was returned; callers holding
+     * the submitting spec should then verify it against the returned
+     * problem (spec::canonicallyEqual) — the 64-bit hash indexes, it
+     * does not prove identity.
+     */
+    std::shared_ptr<const model::Problem>
+    put(const std::string &hashHex,
+        const std::function<model::Problem()> &make,
+        bool *reused = nullptr);
+
+    /** Resolve a problem_ref; nullptr when unknown or evicted. */
+    std::shared_ptr<const model::Problem> get(const std::string &hashHex);
+
+    Stats stats() const;
+
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const model::Problem> problem;
+        std::size_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    void touchLocked(Entry &entry);
+    void evictLocked();
+
+    ProblemRegistryOptions opts_;
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, Entry> map_;
+    std::list<std::string> lru_;
+    std::uint64_t inserted_ = 0;
+    std::uint64_t reused_ = 0;
+    std::uint64_t refHits_ = 0;
+    std::uint64_t refMisses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::size_t bytes_ = 0;
+};
+
+} // namespace chocoq::spec
+
+#endif // CHOCOQ_SPEC_REGISTRY_HPP

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Wire-level problem definitions: parse, validate, and canonicalize an
+ * inline JSON problem object into the model::Problem the solvers run.
+ *
+ * A request may carry its own constrained-binary-program instead of
+ * naming a pre-registered benchmark case:
+ *
+ *     "problem": {
+ *       "vars": 4,
+ *       "sense": "min",
+ *       "objective": [3, 1, 4, 1],                  // or term objects
+ *       "constraints": {"A": [[1,1,0,0],[0,0,1,1]], "b": [1, 1]}
+ *     }
+ *
+ * Parsing is strict and every rejection names the offending field
+ * (`problem.constraints.A[2]` has 3 entries, expected 4`). Validation
+ * enforces server-configurable resource guards (qubits, constraint
+ * rows, coefficient magnitude, serialized spec bytes) so hostile specs
+ * fail per-request exactly like malformed JSON does.
+ *
+ * Canonicalization gives every spec a content identity that survives
+ * cosmetic re-encodings: a row and its negation name the same equality
+ * (sign normalization), exact duplicate rows are dropped, rows that
+ * contradict a duplicate or can never be satisfied by binary variables
+ * are rejected as infeasible, and the content hash is computed over the
+ * sign-normalized rows in *sorted* order so row order does not matter.
+ * The lowered model keeps the rows exactly as submitted (normalization
+ * and sorting exist only inside the hash): a spec transcribed from an
+ * existing problem lowers back to a bit-for-bit identical instance,
+ * and equivalent re-encodings converge through the ProblemRegistry,
+ * which resolves every submission of one hash to the first-registered
+ * instance. Two users submitting the same model — even with permuted
+ * or sign-flipped constraint rows — therefore share one registry entry
+ * and one compiled artifact set.
+ */
+
+#ifndef CHOCOQ_SPEC_SPEC_HPP
+#define CHOCOQ_SPEC_SPEC_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/problem.hpp"
+#include "service/json.hpp"
+
+namespace chocoq::spec
+{
+
+/**
+ * Server-enforced resource guards for inline problem specs. Every cap
+ * rejects the request with a per-field error before any solver work
+ * happens; the chocoq_serve flags (--max-qubits, --max-spec-bytes) feed
+ * these values into both front-ends.
+ */
+struct SpecLimits
+{
+    /**
+     * Most binary variables (qubits before elimination) an inline
+     * problem may declare. The default matches the largest registry
+     * scale (F4 = 28 vars); the hard ceiling is 62 (Basis is 64-bit and
+     * slack/scratch headroom keeps two bits free).
+     */
+    int maxQubits = 28;
+    /** Most constraint rows after deduplication. */
+    int maxConstraints = 256;
+    /** Largest |coefficient| accepted in A, b, and objective terms. */
+    double maxCoeff = 1e9;
+    /**
+     * Largest accepted serialized size of the "problem" object (its
+     * compact JSON dump). Caps canonicalization and registry cost per
+     * request below the line-size bound.
+     */
+    std::size_t maxSpecBytes = std::size_t{256} << 10;
+    /** Most objective terms (dense entries or term objects). */
+    std::size_t maxObjectiveTerms = 4096;
+};
+
+/** A parsed, validated, canonicalized inline problem. */
+struct ProblemSpec
+{
+    int vars = 0;
+    model::Sense sense = model::Sense::Minimize;
+    /**
+     * Constraint rows as submitted, deduplicated by sign-normalized
+     * identity (first occurrence kept, in submission order). Sign
+     * normalization and row sorting apply only inside the content
+     * hash, so lowering reproduces a transcribed problem exactly.
+     */
+    std::vector<model::LinearConstraint> rows;
+    /** Objective in the problem's own sense. */
+    model::Polynomial objective;
+    /** Order-invariant canonical content hash (FNV-1a). */
+    std::uint64_t hash = 0;
+    /** The hash as 16 lowercase hex chars — the wire "problem_ref". */
+    std::string hashHex;
+    /** The problem object as submitted (for request re-serialization). */
+    service::Json wire;
+
+    /**
+     * Lower to the solver-facing model. The problem is named
+     * "inline:<hashHex>" so results identify the spec they ran.
+     */
+    model::Problem lower() const;
+};
+
+/**
+ * Parse and canonicalize one inline problem object. Throws FatalError
+ * with a field-path message ("problem.objective[3].coeff ...") on any
+ * malformed, out-of-cap, degenerate, or provably infeasible spec.
+ */
+ProblemSpec parseProblemSpec(const service::Json &v,
+                             const SpecLimits &limits = {});
+
+/**
+ * The inverse of parseProblemSpec for existing problems: emit the spec
+ * JSON whose parse lowers back to a problem with identical constraints
+ * and objective. Used by tests, the CI inline-vs-registry cross-check,
+ * and `chocoq_serve --dump-spec`. Multilinear objectives emit term
+ * objects; purely linear ones emit the dense coefficient array.
+ */
+service::Json problemToSpecJson(const model::Problem &p);
+
+/**
+ * True when @p p is the same canonical model as @p s (same variable
+ * count, sense, objective, and sign-normalized row set in any order).
+ * The registry's collision guard: the 64-bit content hash indexes, this
+ * verifies, so a hash collision fails the request instead of silently
+ * solving someone else's problem.
+ */
+bool canonicallyEqual(const ProblemSpec &s, const model::Problem &p);
+
+/** True when @p s is a well-formed problem_ref (16 lowercase hex). */
+bool validProblemRef(const std::string &s);
+
+} // namespace chocoq::spec
+
+#endif // CHOCOQ_SPEC_SPEC_HPP

@@ -37,8 +37,10 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "problems/suite.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
+#include "spec/spec.hpp"
 
 namespace
 {
@@ -68,6 +70,22 @@ usage(const char *argv0)
            "(default: 1 MiB;\n"
         << "                 0 = unbounded in batch mode, 1 MiB on the "
            "socket)\n"
+        << "  --max-qubits N      most variables an inline \"problem\" "
+           "spec may\n"
+        << "                 declare (default: 28, hard ceiling 62)\n"
+        << "  --max-spec-bytes N  largest serialized inline problem "
+           "object\n"
+        << "                 (default: 256 KiB); over-cap specs fail "
+           "per-line\n"
+        << "  --registry-mb N     inline-problem registry byte budget in "
+           "MiB\n"
+        << "                 (default: 64, 0 = unbounded); coldest "
+           "problems are\n"
+        << "                 evicted first (their problem_ref then "
+           "misses)\n"
+        << "  --dump-spec SCALE:CASE  print the inline-problem spec JSON "
+           "of a\n"
+        << "                 registry case (e.g. F1:0) and exit\n"
         << "  --quiet        suppress the stderr summary\n"
         << "  --help, -h     show this help and exit\n"
         << "  --version      print the version and exit\n"
@@ -91,6 +109,12 @@ usage(const char *argv0)
         << "                      connection gets one rejected line and "
            "closes\n"
         << "                      (default: 64, 0 = unbounded)\n"
+        << "  --queue-wait MS     hold an over-capacity request up to MS "
+           "ms (or\n"
+        << "                      until its deadline_ms would expire in "
+           "queue)\n"
+        << "                      before rejecting (default: 0 = reject "
+           "at once)\n"
         << "  --port-file FILE    write the bound port to FILE once "
            "listening\n"
         << "\nUnknown options are rejected with exit status 2.\n";
@@ -119,6 +143,20 @@ parsedNonNegative(const char *raw, const char *flag, long long hi)
     return v;
 }
 
+/** One registry line when inline problems were used at all. */
+void
+printRegistrySummary(const chocoq::service::SolveService &service)
+{
+    const auto reg = service.registryStats();
+    if (reg.inserted == 0 && reg.refMisses == 0)
+        return;
+    std::cerr << "chocoq_serve: problem registry " << reg.inserted
+              << " registered / " << reg.reused << " reused / "
+              << reg.refHits << " ref hits / " << reg.refMisses
+              << " ref misses / " << reg.evictions << " evictions ("
+              << reg.bytes << " bytes held)\n";
+}
+
 void
 printSummary(const chocoq::service::SolveService &service, long submitted,
              long failed, double seconds)
@@ -132,6 +170,7 @@ printSummary(const chocoq::service::SolveService &service, long submitted,
               << cache.misses << " misses / " << cache.evictions
               << " evictions (" << cache.bytes << " bytes held), " << failed
               << " failed\n";
+    printRegistrySummary(service);
 }
 
 } // namespace
@@ -200,6 +239,57 @@ main(int argc, char **argv)
                 parsedNonNegative(next(), "--max-line-bytes", 1ll << 40);
             stream_limits.maxLineBytes = static_cast<std::size_t>(bytes);
             server_options.maxLineBytes = static_cast<std::size_t>(bytes);
+        } else if (arg == "--max-qubits") {
+            // Both modes: the spec guards are part of the protocol, not
+            // a socket-only defense. 0 would reject every inline
+            // problem with an impossible [1, 0] range — refuse it here.
+            const int qubits = static_cast<int>(
+                parsedNonNegative(next(), "--max-qubits", 62));
+            if (qubits < 1) {
+                std::cerr << "--max-qubits expects an integer in "
+                             "[1, 62]\n";
+                return 2;
+            }
+            stream_limits.spec.maxQubits = qubits;
+            server_options.specLimits.maxQubits = qubits;
+        } else if (arg == "--max-spec-bytes") {
+            const long long bytes =
+                parsedNonNegative(next(), "--max-spec-bytes", 1ll << 40);
+            stream_limits.spec.maxSpecBytes =
+                static_cast<std::size_t>(bytes);
+            server_options.specLimits.maxSpecBytes =
+                static_cast<std::size_t>(bytes);
+        } else if (arg == "--registry-mb") {
+            const long long mb =
+                parsedNonNegative(next(), "--registry-mb", 1ll << 40);
+            options.registryMaxBytes = static_cast<std::size_t>(mb) << 20;
+        } else if (arg == "--queue-wait") {
+            server_only_flag = arg;
+            server_options.queueWaitMs = static_cast<int>(
+                parsedNonNegative(next(), "--queue-wait", 1 << 30));
+        } else if (arg == "--dump-spec") {
+            // Operator/CI helper: transcribe a registry case into the
+            // inline-problem wire format (see docs/protocol.md).
+            const std::string which = next();
+            const auto colon = which.find(':');
+            const auto scale = chocoq::problems::scaleByName(
+                which.substr(0, colon));
+            if (!scale) {
+                std::cerr << "--dump-spec expects SCALE:CASE (e.g. F1:0), "
+                          << "got '" << which << "'\n";
+                return 2;
+            }
+            const unsigned case_index =
+                colon == std::string::npos
+                    ? 0
+                    : static_cast<unsigned>(parsedNonNegative(
+                          which.c_str() + colon + 1, "--dump-spec case",
+                          1u << 30));
+            std::cout << chocoq::spec::problemToSpecJson(
+                             chocoq::problems::makeCase(*scale, case_index))
+                             .dump()
+                      << "\n";
+            return 0;
         } else if (arg == "--port-file") {
             server_only_flag = arg;
             port_file = next();
@@ -272,11 +362,13 @@ main(int argc, char **argv)
                       << cache.misses << " misses / " << cache.evictions
                       << " evictions (" << cache.bytes << " bytes held), "
                       << stats.jobsFailed << " failed\n";
+            printRegistrySummary(service);
             std::cerr << "chocoq_serve: " << stats.connectionsAccepted
                       << " connections (" << stats.connectionsRejected
                       << " refused), " << stats.resultsWritten
                       << " results written, " << stats.rejected
-                      << " rejected, " << stats.lineErrors
+                      << " rejected (" << stats.queueWaited
+                      << " accepted after queue wait), " << stats.lineErrors
                       << " malformed lines, " << stats.idleCloses
                       << " idle closes; drained\n";
         }

@@ -9,7 +9,11 @@ doubles are serialized with round-trip precision, so textual equality
 is bitwise equality (see docs/protocol.md). This is how CI asserts
 that socket mode and batch mode return identical results.
 
-Usage: compare_results.py A.jsonl B.jsonl
+Usage: compare_results.py A.jsonl B.jsonl [--ignore F1,F2,...]
+--ignore adds fields to the volatile set — e.g.
+`--ignore problem,problem_ref` when comparing an inline-problem run
+against the same model submitted as a registry case (same math, the
+problem is *named* differently; see docs/protocol.md).
 Exit status: 0 when the streams agree, 1 otherwise (differences are
 reported per id).
 """
@@ -29,7 +33,7 @@ VOLATILE = {
 }
 
 
-def load(path: str) -> dict:
+def load(path: str, volatile: set) -> dict:
     rows = {}
     with open(path, encoding="utf-8") as f:
         for lineno, line in enumerate(f, start=1):
@@ -37,15 +41,23 @@ def load(path: str) -> dict:
                 continue
             row = json.loads(line)
             key = row.get("id", f"{path}:{lineno}")
-            rows[key] = {k: v for k, v in row.items() if k not in VOLATILE}
+            rows[key] = {k: v for k, v in row.items() if k not in volatile}
     return rows
 
 
 def main(argv: list) -> int:
+    volatile = set(VOLATILE)
+    if "--ignore" in argv:
+        at = argv.index("--ignore")
+        if at + 1 >= len(argv):
+            print("missing value for --ignore", file=sys.stderr)
+            return 2
+        volatile |= {f for f in argv[at + 1].split(",") if f}
+        argv = argv[:at] + argv[at + 2 :]
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    a, b = load(argv[1]), load(argv[2])
+    a, b = load(argv[1], volatile), load(argv[2], volatile)
     failures = []
     for key in sorted(set(a) | set(b)):
         if key not in a:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Minimal JSONL client for chocoq_serve --listen (stdlib only).
 
-Connects to 127.0.0.1:PORT, streams stdin to the server, half-closes
+Connects to 127.0.0.1:PORT, streams requests to the server, half-closes
 the write side (EOF tells the server no more requests are coming), and
 prints every result line to stdout until the server closes the
 connection. Used by the CI socket smoke test and handy for operators
@@ -9,15 +9,71 @@ without nc:
 
     printf '{"scale":"F1"}\n' | socket_client.py 7077
 
+Requests come from stdin by default. With --problem FILE the client
+instead builds one inline-problem request (see docs/protocol.md) from
+the problem-spec JSON in FILE — e.g. the output of
+`chocoq_serve --dump-spec F1:0` or a hand-written model:
+
+    socket_client.py 7077 --problem model.json --id mine --seed 11
+
+Extra job fields ride along as KEY=VALUE pairs (numbers and booleans
+are detected, everything else stays a string):
+
+    socket_client.py 7077 --problem model.json iters=20 solver=penalty
+
 Exit status: 0 on a clean close, 2 on usage/connection errors.
 """
 
+import json
 import socket
 import sys
 
 
+def parse_value(raw: str):
+    """KEY=VALUE values: JSON scalars when they parse, strings otherwise."""
+    try:
+        return json.loads(raw)
+    except ValueError:
+        return raw
+
+
+def usage_error(message: str):
+    """Usage errors exit 2, like every other path (see module doc)."""
+    print(message, file=sys.stderr)
+    raise SystemExit(2)
+
+
+def build_inline_request(args: list) -> bytes:
+    """Consume --problem FILE / --id ID / --seed N / KEY=VALUE args."""
+    job = {}
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--problem", "--id", "--seed"):
+            if i + 1 >= len(args):
+                usage_error(f"missing value for {arg}")
+            value = args[i + 1]
+            i += 2
+            if arg == "--problem":
+                with open(value, encoding="utf-8") as f:
+                    job["problem"] = json.load(f)
+            elif arg == "--id":
+                job["id"] = value
+            else:
+                job["seed"] = parse_value(value)
+        elif "=" in arg:
+            key, _, raw = arg.partition("=")
+            job[key] = parse_value(raw)
+            i += 1
+        else:
+            usage_error(f"unrecognized argument: {arg!r}")
+    if "problem" not in job:
+        usage_error("--problem FILE is required in inline mode")
+    return (json.dumps(job) + "\n").encode()
+
+
 def main(argv: list) -> int:
-    if len(argv) != 2:
+    if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     try:
@@ -25,7 +81,10 @@ def main(argv: list) -> int:
     except ValueError:
         print(f"not a port number: {argv[1]!r}", file=sys.stderr)
         return 2
-    requests = sys.stdin.buffer.read()
+    if len(argv) > 2:
+        requests = build_inline_request(argv[2:])
+    else:
+        requests = sys.stdin.buffer.read()
     try:
         conn = socket.create_connection(("127.0.0.1", port), timeout=600)
     except OSError as e:
