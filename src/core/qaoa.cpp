@@ -113,6 +113,8 @@ optimizeMultiStart(const optimize::Optimizer &optimizer,
     int screen_evals = 0;
     if (opts.multiStartKeep > 0
         && static_cast<std::size_t>(opts.multiStartKeep) < starts.size()) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         const std::vector<double> value = batch_eval(starts);
         screen_evals = static_cast<int>(starts.size());
         std::vector<std::size_t> order(starts.size());
@@ -141,6 +143,8 @@ optimizeMultiStart(const optimize::Optimizer &optimizer,
         // restart (previously every restart replayed the same sequence).
         optimize::OptOptions start_opts = opts.opt;
         start_opts.seed = opts.opt.seed + 0x9E3779B97F4A7C15ull * i;
+        if (opts.checkpoint)
+            start_opts.checkpoint = opts.checkpoint;
         optimize::OptResult res =
             optimizer.minimize(objective, starts[i], start_opts);
         total_evals += res.evaluations;
@@ -169,6 +173,8 @@ accumulateNoisy(std::map<Basis, double> &into, StateVector &scratch,
     std::map<Basis, int> counts;
     long total = 0;
     for (int t = 0; t < trajectories; ++t) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         scratch.prepare(lowered.numQubits());
         sim::executeNoisy(scratch, lowered, opts.noise, rng);
         const auto hist =
@@ -227,6 +233,8 @@ runQaoa(const std::vector<SubRun> &subruns,
         std::vector<optimize::TracePoint> merged_trace;
         for (std::size_t i = 0; i < subruns.size(); ++i) {
             auto objective = [&](const std::vector<double> &theta) {
+                if (opts.checkpoint)
+                    opts.checkpoint();
                 Timer t;
                 const double v = subrunCost(scratch, subruns[i], cost, theta,
                                             opts.fusion);
@@ -269,6 +277,8 @@ runQaoa(const std::vector<SubRun> &subruns,
         out.opt.trace = std::move(merged_trace);
     } else {
         auto objective = [&](const std::vector<double> &theta) {
+            if (opts.checkpoint)
+                opts.checkpoint();
             Timer t;
             double acc = 0.0;
             for (const auto &run : subruns)
@@ -305,6 +315,8 @@ runQaoa(const std::vector<SubRun> &subruns,
     std::vector<circuit::Circuit> finals;
     finals.reserve(subruns.size());
     for (std::size_t i = 0; i < subruns.size(); ++i) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         circuit::Circuit c = subruns[i].build(theta_star[i]);
         out.logicalDepth = std::max(out.logicalDepth, c.depth());
         circuit::Circuit lowered = circuit::transpile(c, opts.transpile);
@@ -322,6 +334,8 @@ runQaoa(const std::vector<SubRun> &subruns,
     Rng rng(opts.seed);
     const bool noisy = !opts.noise.isNoiseless();
     for (std::size_t i = 0; i < subruns.size(); ++i) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         const double w = subruns[i].weight / weight_total;
         if (noisy) {
             accumulateNoisy(out.distribution, scratch, subruns[i],

@@ -131,6 +131,18 @@ struct EngineOptions
     int trajectories = 128;
     circuit::TranspileOptions transpile;
     std::uint64_t seed = 7;
+    /**
+     * Cooperative cancellation checkpoint. The engine installs it as
+     * OptOptions::checkpoint on every optimizer run it launches (polled
+     * at iteration boundaries), and additionally polls it around its
+     * own batched multi-start sweeps, per-subrun transpilation, and the
+     * final-distribution loop (including each noisy trajectory) — so a
+     * cancel or deadline lands within one iteration/phase boundary. It
+     * may throw to abort runQaoa; when it returns normally it never
+     * perturbs any numeric or random stream, preserving the bitwise
+     * determinism contract (tested property).
+     */
+    std::function<void()> checkpoint;
 };
 
 /** Engine output. */

@@ -92,6 +92,8 @@ Cobyla::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
     };
 
     for (int iter = 0; iter < opts.maxIterations; ++iter) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         ++out.iterations;
         const std::size_t bi = best_index();
 

@@ -35,6 +35,8 @@ NelderMead::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
 
     std::vector<std::size_t> order(m + 1);
     for (int iter = 0; iter < opts.maxIterations; ++iter) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         ++out.iterations;
         std::iota(order.begin(), order.end(), 0);
         std::sort(order.begin(), order.end(),

@@ -53,6 +53,17 @@ struct OptOptions
     double tolerance = 1e-4;
     /** Seed for stochastic methods (SPSA). */
     std::uint64_t seed = 1;
+    /**
+     * Optional cooperative-cancellation hook, invoked at the top of
+     * every optimizer iteration (before that iteration's evaluations).
+     * It may throw to abort the run; the exception propagates out of
+     * minimize() with the incumbent state discarded. When it returns
+     * normally it must be side-effect-free with respect to the
+     * optimization: calling it never changes iterates or random
+     * streams, so results are bit-identical with or without a hook
+     * installed (tested property).
+     */
+    std::function<void()> checkpoint;
 };
 
 /** Abstract derivative-free minimizer. */

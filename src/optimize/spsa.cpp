@@ -35,6 +35,8 @@ Spsa::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
 
     std::vector<double> delta(m), xp(m), xm(m);
     for (int k = 0; k < opts.maxIterations; ++k) {
+        if (opts.checkpoint)
+            opts.checkpoint();
         ++out.iterations;
         const double ak = a / std::pow(k + 1.0 + big_a, 0.602);
         const double ck = c / std::pow(k + 1.0, 0.101);

@@ -172,11 +172,20 @@ resultToJson(const SolveResult &r)
         out.set("error", r.error);
     if (r.status != "ok") {
         out.set("queue_ms", r.queueMs);
+        // Cancelled/expired jobs that reached a worker also report how
+        // long they ran and where, so clients can see how much work a
+        // late cancel or deadline actually wasted.
+        if (r.worker >= 0) {
+            out.set("solve_ms", r.solveMs);
+            out.set("worker", r.worker);
+        }
         return out;
     }
     out.set("problem", r.problem);
     if (!r.problemRef.empty())
         out.set("problem_ref", r.problemRef);
+    if (r.refreshed)
+        out.set("refreshed", true);
     out.set("solver", r.solver);
     out.set("best_cost", r.bestCost);
     out.set("top_state", static_cast<double>(r.topState));

@@ -74,9 +74,12 @@ struct SolveJob
      */
     bool fusion = true;
     /**
-     * Queueing deadline in milliseconds from submission; a job still
-     * waiting past its deadline is failed as "expired" without running.
-     * 0 = no deadline.
+     * End-to-end deadline in milliseconds from submission. The clock
+     * keeps counting during execution: a job still queued past its
+     * deadline fails as "expired" without running, and a job whose
+     * deadline elapses mid-execution is cooperatively cancelled at the
+     * next engine checkpoint and fails as "expired" too. 0 = no
+     * deadline.
      */
     double deadlineMs = 0.0;
 };
@@ -85,9 +88,11 @@ struct SolveJob
 struct SolveResult
 {
     std::string id;
-    /** "ok", "expired", "error", or — socket front-end only —
-     * "rejected" (backpressure; see error for the message and
-     * docs/protocol.md for the contract). */
+    /** "ok", "expired", "cancelled", "error", or — socket front-end
+     * only — "rejected" (backpressure; see error for the message and
+     * docs/protocol.md for the contract). "cancelled" covers explicit
+     * cancel requests and client disconnects; deadline expiry always
+     * reports "expired", queued or executing. */
     std::string status = "ok";
     std::string error;
     /** Resolved problem name (scale:config#index, or inline:<hash>). */
@@ -112,6 +117,13 @@ struct SolveResult
     double feasibleMass = 0.0;
     /** FNV-1a over the exact output distribution (bitwise). */
     std::uint64_t distHash = 0;
+    /**
+     * Inline submissions only: this job re-registered a hash that had
+     * been evicted from the problem registry, so previously issued
+     * problem_refs to it are valid again (wire key "refreshed",
+     * emitted only when true; pairs with the "ref_expired" error).
+     */
+    bool refreshed = false;
 
     int iterations = 0;
     int evaluations = 0;

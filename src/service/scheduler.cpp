@@ -55,6 +55,50 @@ Scheduler::wait()
     idle_cv_.wait(lock, [this] { return inflight_ == 0; });
 }
 
+long long
+Scheduler::nowMs() const
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::size_t
+Scheduler::queuedTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto &w : workers_)
+        n += w->queue.size();
+    return n;
+}
+
+std::size_t
+Scheduler::inflightTasks() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+}
+
+std::vector<Scheduler::WorkerSnapshot>
+Scheduler::workerSnapshots() const
+{
+    const long long now = nowMs();
+    std::vector<WorkerSnapshot> out;
+    out.reserve(workers_.size());
+    for (const auto &w : workers_) {
+        WorkerSnapshot s;
+        s.id = w->context.id;
+        s.busySinceMs = w->busySinceMs.load(std::memory_order_acquire);
+        s.busy = s.busySinceMs >= 0;
+        s.busyMs =
+            s.busy ? static_cast<double>(now - s.busySinceMs) : 0.0;
+        s.tasksDone = w->tasksDone.load(std::memory_order_relaxed);
+        out.push_back(s);
+    }
+    return out;
+}
+
 bool
 Scheduler::takeTask(Worker &self, Task &out)
 {
@@ -106,6 +150,7 @@ Scheduler::workerLoop(Worker &self)
         // result callbacks are arbitrary code) must not escape the
         // thread body — that would std::terminate the whole pool — and
         // must still count as finished or wait() would hang forever.
+        self.busySinceMs.store(nowMs(), std::memory_order_release);
         try {
             task(self.context);
         } catch (const std::exception &e) {
@@ -115,6 +160,8 @@ Scheduler::workerLoop(Worker &self)
             std::cerr << "scheduler: task on worker " << self.context.id
                       << " threw a non-std exception\n";
         }
+        self.busySinceMs.store(-1, std::memory_order_release);
+        self.tasksDone.fetch_add(1, std::memory_order_relaxed);
 
         {
             std::lock_guard<std::mutex> lock(mu_);

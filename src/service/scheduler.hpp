@@ -21,7 +21,10 @@
 #ifndef CHOCOQ_SERVICE_SCHEDULER_HPP
 #define CHOCOQ_SERVICE_SCHEDULER_HPP
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -48,6 +51,25 @@ class Scheduler
   public:
     using Task = std::function<void(WorkerContext &)>;
 
+    /**
+     * Liveness snapshot of one worker, for the service watchdog and the
+     * health probe. busySinceMs is the scheduler-relative start time of
+     * the task currently running (-1 when idle); it doubles as an
+     * episode id — the watchdog flags each stuck task at most once by
+     * remembering the busySinceMs value it already reported.
+     */
+    struct WorkerSnapshot
+    {
+        int id = 0;
+        bool busy = false;
+        /** Milliseconds the current task has been running (0 if idle). */
+        double busyMs = 0.0;
+        /** Raw busy-start timestamp (ms since scheduler start; -1 idle). */
+        long long busySinceMs = -1;
+        /** Tasks completed by this worker so far. */
+        std::uint64_t tasksDone = 0;
+    };
+
     /** Start @p workers threads (clamped to >= 1). */
     explicit Scheduler(int workers);
 
@@ -62,19 +84,34 @@ class Scheduler
     /** Block until every submitted task has finished. */
     void wait();
 
+    /** Tasks sitting in deques, not yet picked up by a worker. */
+    std::size_t queuedTasks() const;
+
+    /** Tasks submitted and not yet finished (queued + running). */
+    std::size_t inflightTasks() const;
+
+    /** Point-in-time liveness of every worker (lock-free reads). */
+    std::vector<WorkerSnapshot> workerSnapshots() const;
+
   private:
     struct Worker
     {
         std::deque<Task> queue;
         std::thread thread;
         WorkerContext context;
+        /** ms since scheduler start when the running task began; -1 idle. */
+        std::atomic<long long> busySinceMs{-1};
+        std::atomic<std::uint64_t> tasksDone{0};
     };
 
     void workerLoop(Worker &self);
     bool takeTask(Worker &self, Task &out);
+    long long nowMs() const;
 
     std::vector<std::unique_ptr<Worker>> workers_;
-    std::mutex mu_;
+    const std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    mutable std::mutex mu_;
     std::condition_variable work_cv_;
     std::condition_variable idle_cv_;
     /** Tasks submitted but not yet finished. */

@@ -169,7 +169,31 @@ parseRequestLine(const std::string &line, long lineno, bool oversized,
         return out;
     }
     try {
-        out.job = jobFromJsonLine(line, limits);
+        const Json v = Json::parse(line);
+        // Control requests ride the same stream as jobs, discriminated
+        // by a "type" field (a job object has none).
+        if (const Json *type = v.isObject() ? v.find("type") : nullptr) {
+            if (type->kind() != Json::Kind::String)
+                CHOCOQ_FATAL("field 'type' must be a string");
+            const std::string kind = type->asString();
+            if (kind == "cancel") {
+                const Json *id = v.find("id");
+                if (!id || id->kind() != Json::Kind::String
+                    || id->asString().empty())
+                    CHOCOQ_FATAL("cancel request needs a non-empty "
+                                 "string 'id' naming the job to cancel");
+                out.control = ControlKind::Cancel;
+                out.cancelId = id->asString();
+            } else if (kind == "health") {
+                out.control = ControlKind::Health;
+            } else {
+                CHOCOQ_FATAL("unknown request type '" << kind
+                             << "' (expected cancel or health)");
+            }
+            out.ok = true;
+            return out;
+        }
+        out.job = jobFromJson(v, limits);
     } catch (const std::exception &e) {
         // A malformed request fails that request, not the stream.
         out.error = lineError(lineno, e.what());
@@ -178,6 +202,23 @@ parseRequestLine(const std::string &line, long lineno, bool oversized,
     if (out.job.id.empty())
         out.job.id = "job-" + std::to_string(lineno);
     out.ok = true;
+    return out;
+}
+
+Json
+healthToJson(const SolveService::Health &h)
+{
+    Json out = Json::object();
+    out.set("type", std::string("health"));
+    out.set("status", std::string("ok"));
+    out.set("workers", h.workers);
+    out.set("queued", static_cast<double>(h.queued));
+    out.set("running", static_cast<double>(h.running));
+    out.set("inflight", static_cast<double>(h.inflight));
+    out.set("stalled", h.stalledNow);
+    out.set("stalls_flagged", static_cast<double>(h.stallsFlagged));
+    out.set("cancelled_jobs", static_cast<double>(h.cancelledJobs));
+    out.set("expired_jobs", static_cast<double>(h.expiredJobs));
     return out;
 }
 
@@ -246,6 +287,27 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
             ++stats.failed;
             continue;
         }
+        if (parsed.control == ControlKind::Cancel) {
+            const int n = service.cancel(parsed.cancelId);
+            ++stats.cancelRequests;
+            Json ack = Json::object();
+            ack.set("type", std::string("cancel"));
+            ack.set("id", parsed.cancelId);
+            ack.set("status", std::string("ok"));
+            ack.set("cancelled", n);
+            std::lock_guard<std::mutex> lock(out_mu);
+            out << ack.dump() << "\n";
+            out.flush();
+            continue;
+        }
+        if (parsed.control == ControlKind::Health) {
+            ++stats.healthProbes;
+            const Json h = healthToJson(service.health());
+            std::lock_guard<std::mutex> lock(out_mu);
+            out << h.dump() << "\n";
+            out.flush();
+            continue;
+        }
         ++stats.submitted;
         service.submit(std::move(parsed.job),
                        [&](const SolveResult &r) {
@@ -273,6 +335,39 @@ struct Server::Connection
     std::atomic<long> inflight{0};
     /** Set when a write hit a dead peer; stops further writes early. */
     std::atomic<bool> broken{false};
+
+    /** Cancellation tokens of this connection's in-flight jobs. The
+     * token is registered before submit() and removed by the result
+     * callback, so a connection drop can cancel exactly the jobs
+     * nobody is left to read. */
+    std::mutex tokensMu;
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+
+    void addToken(const std::shared_ptr<CancelToken> &t)
+    {
+        std::lock_guard<std::mutex> lock(tokensMu);
+        tokens.push_back(t);
+    }
+
+    void removeToken(const CancelToken *t)
+    {
+        std::lock_guard<std::mutex> lock(tokensMu);
+        for (auto it = tokens.begin(); it != tokens.end(); ++it) {
+            if (it->get() == t) {
+                tokens.erase(it);
+                return;
+            }
+        }
+    }
+
+    /** Returns how many in-flight tokens were cancelled. */
+    int cancelAll(CancelReason reason)
+    {
+        std::lock_guard<std::mutex> lock(tokensMu);
+        for (const auto &t : tokens)
+            t->requestCancel(reason);
+        return static_cast<int>(tokens.size());
+    }
 };
 
 Server::Server(SolveService &service, ServerOptions opts)
@@ -368,6 +463,18 @@ Server::acceptLoop()
                 break;
             continue;
         }
+        // Fault site conn_reset: the accepted connection is reset (RST,
+        // via zero-linger close) before serving anything, modeling a
+        // flaky network path or a proxy dropping connections.
+        if (opts_.fault
+            && opts_.fault->fire(FaultInjector::Site::ConnReset)) {
+            linger lg{1, 0};
+            ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+            ::close(fd);
+            faultConnResets_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+
         // Result lines are small and latency-sensitive; don't batch them.
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -449,6 +556,10 @@ Server::writeLine(const std::shared_ptr<Connection> &conn,
     framed.push_back('\n');
     if (!sendAll(conn->fd, framed.data(), framed.size())) {
         conn->broken.store(true, std::memory_order_relaxed);
+        // The peer is provably gone (a write failed): nobody will read
+        // this connection's remaining results, so stop computing them.
+        if (conn->cancelAll(CancelReason::Disconnected) > 0)
+            disconnectCancels_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
     resultsWritten_.fetch_add(1, std::memory_order_relaxed);
@@ -508,6 +619,42 @@ Server::reserveInflightSlot(SolveJob &job)
     return false;
 }
 
+void
+Server::handleControl(const std::shared_ptr<Connection> &conn,
+                      const ParsedLine &parsed)
+{
+    if (parsed.control == ControlKind::Cancel) {
+        // Cancellation is server-wide by id, not per-connection: an
+        // operator can open a second connection to cancel a job a
+        // wedged first connection submitted.
+        const int n = service_.cancel(parsed.cancelId);
+        cancelRequests_.fetch_add(1, std::memory_order_relaxed);
+        Json ack = Json::object();
+        ack.set("type", std::string("cancel"));
+        ack.set("id", parsed.cancelId);
+        ack.set("status", std::string("ok"));
+        ack.set("cancelled", n);
+        writeLine(conn, ack.dump());
+        return;
+    }
+    healthProbes_.fetch_add(1, std::memory_order_relaxed);
+    Json h = healthToJson(service_.health());
+    // Server-level view rides along with the service's counters.
+    h.set("connections_open",
+          static_cast<double>(
+              connectionsOpen_.load(std::memory_order_relaxed)));
+    h.set("server_inflight",
+          static_cast<double>(inflight_.load(std::memory_order_relaxed)));
+    writeLine(conn, h.dump());
+}
+
+void
+Server::cancelConnectionJobs(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->cancelAll(CancelReason::Disconnected) > 0)
+        disconnectCancels_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool
 Server::handleLine(const std::shared_ptr<Connection> &conn,
                    const std::string &line, long lineno)
@@ -519,6 +666,12 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     if (!parsed.ok) {
         lineErrors_.fetch_add(1, std::memory_order_relaxed);
         writeLine(conn, resultToJson(parsed.error).dump());
+        return false;
+    }
+    if (parsed.control != ControlKind::None) {
+        // Control requests never consume an in-flight slot or the
+        // per-connection budget: they must work on a loaded server.
+        handleControl(conn, parsed);
         return false;
     }
     // Backpressure: a request over the server-wide in-flight bound is
@@ -539,16 +692,26 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     }
     requestsAccepted_.fetch_add(1, std::memory_order_relaxed);
     conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    // Track the token before submitting so there is no window where the
+    // job runs but a connection drop cannot reach it.
+    auto token = std::make_shared<CancelToken>();
+    conn->addToken(token);
     service_.submit(std::move(parsed.job),
-                    [this, conn](const SolveResult &r) {
+                    [this, conn, raw_token = token.get()](
+                        const SolveResult &r) {
+                        conn->removeToken(raw_token);
                         if (r.status != "ok")
                             jobsFailed_.fetch_add(
+                                1, std::memory_order_relaxed);
+                        if (r.status == "cancelled")
+                            jobsCancelled_.fetch_add(
                                 1, std::memory_order_relaxed);
                         writeLine(conn, resultToJson(r).dump());
                         conn->inflight.fetch_sub(1,
                                                  std::memory_order_release);
                         inflight_.fetch_sub(1, std::memory_order_relaxed);
-                    });
+                    },
+                    token);
     return true;
 }
 
@@ -626,14 +789,27 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
         char chunk[65536];
         const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
         if (n == 0) {
+            // EOF is a half-close, not a drop: the client is done
+            // sending but still reading (socket_client works exactly
+            // this way), so in-flight jobs run to completion and flush.
             answer_tail = true;
             break;
         }
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            // A read error (ECONNRESET and kin) means the client is
+            // gone; nobody will read this connection's results, so
+            // cancel its in-flight jobs instead of finishing them.
+            cancelConnectionJobs(conn);
             break;
         }
+        // Fault site read_delay: a pause between the socket read and
+        // request processing, modeling a saturated or lossy link.
+        if (opts_.fault
+            && opts_.fault->fire(FaultInjector::Site::ReadDelay))
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opts_.fault->durationMs(FaultInjector::Site::ReadDelay)));
         last_activity = Clock::now();
         buf.append(chunk, static_cast<std::size_t>(n));
 
@@ -776,6 +952,12 @@ Server::stats() const
         connectionsRejected_.load(std::memory_order_relaxed);
     s.lineErrors = lineErrors_.load(std::memory_order_relaxed);
     s.idleCloses = idleCloses_.load(std::memory_order_relaxed);
+    s.cancelRequests = cancelRequests_.load(std::memory_order_relaxed);
+    s.healthProbes = healthProbes_.load(std::memory_order_relaxed);
+    s.jobsCancelled = jobsCancelled_.load(std::memory_order_relaxed);
+    s.disconnectCancels =
+        disconnectCancels_.load(std::memory_order_relaxed);
+    s.faultConnResets = faultConnResets_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -825,6 +1007,20 @@ void
 JsonlClient::shutdownWrite()
 {
     ::shutdown(fd_, SHUT_WR);
+}
+
+void
+JsonlClient::abortConnection()
+{
+    if (fd_ < 0)
+        return;
+    // Zero-linger close: the kernel sends RST instead of FIN, so the
+    // server's next read fails with ECONNRESET — the signal that
+    // triggers disconnect cancellation.
+    linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
+    ::close(fd_);
+    fd_ = -1;
 }
 
 bool

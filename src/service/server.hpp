@@ -63,6 +63,17 @@ struct StreamLimits
     spec::SpecLimits spec;
 };
 
+/** Control-request kinds carried on the same JSONL stream as jobs. */
+enum class ControlKind
+{
+    /** Not a control request: a job (or a skip/error). */
+    None,
+    /** {"type":"cancel","id":...}: cancel active jobs with that id. */
+    Cancel,
+    /** {"type":"health"}: service liveness/queue probe. */
+    Health,
+};
+
 /** What became of one raw request line. */
 struct ParsedLine
 {
@@ -70,6 +81,10 @@ struct ParsedLine
     bool skip = false;
     /** Parse outcome when not skipped. */
     bool ok = false;
+    /** Control request ({"type":...}); job/error unused when set. */
+    ControlKind control = ControlKind::None;
+    /** Target job id of a Cancel control request. */
+    std::string cancelId;
     /** Valid when ok. */
     SolveJob job;
     /** Error response when !ok (status "error", id "line-N"). */
@@ -95,7 +110,14 @@ struct StreamStats
     long submitted = 0;
     /** Failed results: per-line errors plus jobs whose status != ok. */
     long failed = 0;
+    /** {"type":"cancel"} control requests processed. */
+    long cancelRequests = 0;
+    /** {"type":"health"} probes answered. */
+    long healthProbes = 0;
 };
+
+/** One {"type":"health"} response body (shared by both front-ends). */
+Json healthToJson(const SolveService::Health &h);
 
 /**
  * The stdin/file batch front-end: read JSONL requests from @p in until
@@ -175,6 +197,13 @@ struct ServerOptions
     /** Poll granularity of the accept/read loops; bounds how stale the
      * stop flag and idle clocks can get. */
     int pollTickMs = 20;
+    /**
+     * Optional fault injector shared with the service (non-owning).
+     * Wire-level sites: conn_reset (an accepted connection is RST
+     * before serving) and read_delay (a pause after each socket read).
+     * nullptr = no injection.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** Monotonic counters over the server's lifetime. */
@@ -200,6 +229,16 @@ struct ServerStats
     /** Per-line error responses (malformed input). */
     long lineErrors = 0;
     long idleCloses = 0;
+    /** {"type":"cancel"} requests processed. */
+    long cancelRequests = 0;
+    /** {"type":"health"} probes answered. */
+    long healthProbes = 0;
+    /** Jobs that finished "cancelled" (explicit cancel or disconnect). */
+    long jobsCancelled = 0;
+    /** Connections dropped mid-job, cancelling their in-flight work. */
+    long disconnectCancels = 0;
+    /** Accepted connections reset by fault injection (conn_reset). */
+    long faultConnResets = 0;
 };
 
 /**
@@ -252,6 +291,12 @@ class Server
      * (the per-connection request budget counts exactly those). */
     bool handleLine(const std::shared_ptr<Connection> &conn,
                     const std::string &line, long lineno);
+    /** Answer a cancel/health control request on this connection. */
+    void handleControl(const std::shared_ptr<Connection> &conn,
+                       const ParsedLine &parsed);
+    /** Cancel every job this connection still has in flight (the
+     * client dropped: nobody is left to read the results). */
+    void cancelConnectionJobs(const std::shared_ptr<Connection> &conn);
     /** Reserve an in-flight slot, waiting up to the queue-wait budget
      * (bounded by @p job's remaining deadline, which is decremented by
      * the time spent waiting). False = caller must reject. */
@@ -292,6 +337,11 @@ class Server
     std::atomic<long> connectionsRejected_{0};
     std::atomic<long> lineErrors_{0};
     std::atomic<long> idleCloses_{0};
+    std::atomic<long> cancelRequests_{0};
+    std::atomic<long> healthProbes_{0};
+    std::atomic<long> jobsCancelled_{0};
+    std::atomic<long> disconnectCancels_{0};
+    std::atomic<long> faultConnResets_{0};
 };
 
 /**
@@ -316,6 +366,14 @@ class JsonlClient
     /** Half-close the write side: the server sees EOF and finishes the
      * connection after flushing in-flight results. */
     void shutdownWrite();
+    /**
+     * Abortive close: SO_LINGER{1,0} + close sends an RST instead of a
+     * FIN, modeling a client that vanished mid-job (crash, network
+     * partition). The server detects the reset and cancels this
+     * connection's in-flight jobs; a plain close after half-close
+     * would be indistinguishable from a patient client.
+     */
+    void abortConnection();
 
     /**
      * Read one newline-terminated line (the newline is stripped).

@@ -35,7 +35,8 @@ millisSince(Clock::time_point t0)
  */
 void
 configureEngine(core::EngineOptions &engine, const SolveJob &job,
-                int default_iterations, WorkerContext &ctx)
+                int default_iterations, WorkerContext &ctx,
+                CancelToken *token)
 {
     engine.seed = job.seed;
     engine.opt.seed = deriveSeed(job.seed, 1);
@@ -49,6 +50,12 @@ configureEngine(core::EngineOptions &engine, const SolveJob &job,
     engine.multiStartKeep = job.keepStarts;
     engine.fusion = job.fusion;
     engine.scratchPool = &ctx.scratch;
+    // The cooperative-cancellation hook: the engine polls it at
+    // iteration boundaries (optimizer loops, batch sweeps, the final
+    // distribution). Calling it never perturbs results — a job that is
+    // never cancelled is bit-identical with or without a token.
+    if (token)
+        engine.checkpoint = [token] { token->throwIfCancelled(); };
 }
 
 /** FNV-1a over the exact bits of the output distribution. */
@@ -77,7 +84,50 @@ SolveService::SolveService(ServiceOptions opts)
     : opts_(opts), cache_(CompileCacheOptions{opts.cacheMaxBytes}),
       registry_(spec::ProblemRegistryOptions{opts.registryMaxBytes}),
       scheduler_(opts.workers)
-{}
+{
+    if (opts_.stallThresholdMs > 0)
+        watchdog_ = std::thread([this] { watchdogLoop(); });
+}
+
+SolveService::~SolveService()
+{
+    if (watchdog_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(watchdogMu_);
+            watchdogStop_ = true;
+        }
+        watchdogCv_.notify_all();
+        watchdog_.join();
+    }
+}
+
+void
+SolveService::watchdogLoop()
+{
+    // One flag per stuck task: remember the busy-start timestamp
+    // already reported per worker so a long stall counts once, and a
+    // new task stalling on the same worker counts again.
+    std::vector<long long> flagged(
+        static_cast<std::size_t>(scheduler_.workers()), -1);
+    std::unique_lock<std::mutex> lock(watchdogMu_);
+    while (!watchdogStop_) {
+        watchdogCv_.wait_for(
+            lock, std::chrono::milliseconds(opts_.watchdogTickMs),
+            [this] { return watchdogStop_; });
+        if (watchdogStop_)
+            break;
+        lock.unlock();
+        for (const auto &w : scheduler_.workerSnapshots()) {
+            const auto idx = static_cast<std::size_t>(w.id);
+            if (w.busy && w.busyMs >= opts_.stallThresholdMs
+                && flagged[idx] != w.busySinceMs) {
+                flagged[idx] = w.busySinceMs;
+                stallsFlagged_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+        lock.lock();
+    }
+}
 
 std::shared_ptr<const model::Problem>
 SolveService::resolveProblem(const SolveJob &job, SolveResult &r)
@@ -88,9 +138,11 @@ SolveService::resolveProblem(const SolveJob &job, SolveResult &r)
         // sign-flipped) resolves to that same instance, so the compile
         // cache sees literally one structure.
         bool reused = false;
+        bool refreshed = false;
         auto p = registry_.put(job.problem->hashHex,
                                [&job] { return job.problem->lower(); },
-                               &reused);
+                               &reused, &refreshed);
+        r.refreshed = refreshed;
         // The 64-bit hash indexes the registry, it does not prove
         // identity: a colliding spec must fail loudly, never silently
         // solve whichever model registered first.
@@ -105,12 +157,23 @@ SolveService::resolveProblem(const SolveJob &job, SolveResult &r)
         return p;
     }
     if (!job.problemRef.empty()) {
-        auto p = registry_.get(job.problemRef);
-        if (!p)
+        spec::ProblemRegistry::RefOutcome outcome =
+            spec::ProblemRegistry::RefOutcome::Unknown;
+        auto p = registry_.get(job.problemRef, &outcome);
+        if (!p) {
+            // The stable "ref_expired:" prefix is the wire contract
+            // (docs/protocol.md): evicted refs are retriable by
+            // resubmitting the inline problem, unknown refs are not.
+            if (outcome == spec::ProblemRegistry::RefOutcome::Expired)
+                throw FatalError(
+                    "ref_expired: problem_ref '" + job.problemRef
+                    + "' was evicted from the registry (generation "
+                    + std::to_string(registry_.generation())
+                    + "); resubmit the inline problem to re-register it");
             CHOCOQ_FATAL("unknown problem_ref '" << job.problemRef
-                         << "' (never submitted on this server, or "
-                            "evicted from the registry; resubmit the "
-                            "inline problem)");
+                         << "' (never submitted on this server; check "
+                            "the hash or resubmit the inline problem)");
+        }
         r.problemRef = job.problemRef;
         return p;
     }
@@ -122,14 +185,51 @@ SolveService::resolveProblem(const SolveJob &job, SolveResult &r)
         problems::makeCase(*scale, job.caseIndex));
 }
 
+void
+SolveService::finishCancelled(SolveResult &r, CancelReason reason,
+                              bool started) const
+{
+    const char *where = started ? "during execution" : "before execution";
+    if (reason == CancelReason::Deadline) {
+        r.status = "expired";
+        r.error = started
+                      ? std::string("deadline exceeded during execution")
+                      : std::string(
+                            "queueing deadline exceeded before execution");
+        expiredJobs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        r.status = "cancelled";
+        r.error = std::string("cancelled ") + where + " ("
+                  + cancelReasonName(reason) + ")";
+        cancelledJobs_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
 SolveResult
-SolveService::execute(const SolveJob &job, WorkerContext &ctx)
+SolveService::execute(const SolveJob &job, WorkerContext &ctx,
+                      CancelToken *token)
 {
     SolveResult r;
     r.id = job.id;
     r.solver = job.solver;
     Timer timer;
     try {
+        // Fault sites fire before any real work so an injected failure
+        // never leaves half-built cache or registry state behind. The
+        // stall keeps the worker visibly busy (the watchdog sees it)
+        // while still honoring cancels and deadlines.
+        if (opts_.fault
+            && opts_.fault->fire(FaultInjector::Site::WorkerStall))
+            sleepCancellably(
+                opts_.fault->durationMs(FaultInjector::Site::WorkerStall),
+                token);
+        if (opts_.fault
+            && opts_.fault->fire(FaultInjector::Site::AllocFail))
+            throw FatalError("injected allocation failure (fault-spec "
+                             "alloc_fail)");
+        if (token)
+            token->throwIfCancelled();
+
         const std::shared_ptr<const model::Problem> resolved =
             resolveProblem(job, r);
         const model::Problem &p = *resolved;
@@ -140,7 +240,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx)
             core::ChocoQOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
+                            token);
             const core::ChocoQSolver solver(o);
             std::shared_ptr<const core::ChocoQArtifacts> artifacts =
                 opts_.useCache ? cache_.get(p, solver, &r.cacheHit)
@@ -150,20 +251,23 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx)
             solvers::PenaltyOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
+                            token);
             outcome = solvers::PenaltyQaoaSolver(o).solve(p);
         } else if (job.solver == "cyclic") {
             solvers::CyclicOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
+                            token);
             outcome = solvers::CyclicQaoaSolver(o).solve(p);
         } else if (job.solver == "hea") {
             solvers::HeaOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
             o.seed = deriveSeed(job.seed, 2);
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx);
+            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
+                            token);
             outcome = solvers::HeaSolver(o).solve(p);
         } else {
             CHOCOQ_FATAL("unknown solver '" << job.solver << "'");
@@ -186,6 +290,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx)
         r.topFeasible = p.isFeasible(r.topState);
         r.topObjective = p.objectiveOf(r.topState);
         r.distHash = hashDistribution(outcome.distribution);
+    } catch (const Cancelled &c) {
+        finishCancelled(r, c.reason(), /*started=*/true);
     } catch (const std::exception &e) {
         r.status = "error";
         r.error = e.what();
@@ -196,26 +302,95 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx)
 }
 
 void
-SolveService::submit(SolveJob job, Callback done)
+SolveService::registerToken(const std::string &id,
+                            const std::shared_ptr<CancelToken> &token)
+{
+    std::lock_guard<std::mutex> lock(activeMu_);
+    active_.emplace(id, token);
+}
+
+void
+SolveService::unregisterToken(const std::string &id,
+                              const CancelToken *token)
+{
+    std::lock_guard<std::mutex> lock(activeMu_);
+    const auto range = active_.equal_range(id);
+    for (auto it = range.first; it != range.second; ++it) {
+        if (it->second.get() == token) {
+            active_.erase(it);
+            return;
+        }
+    }
+}
+
+int
+SolveService::cancel(const std::string &id, CancelReason reason)
+{
+    std::lock_guard<std::mutex> lock(activeMu_);
+    int n = 0;
+    const auto range = active_.equal_range(id);
+    for (auto it = range.first; it != range.second; ++it) {
+        it->second->requestCancel(reason);
+        ++n;
+    }
+    return n;
+}
+
+SolveService::Health
+SolveService::health() const
+{
+    Health h;
+    h.workers = scheduler_.workers();
+    h.queued = scheduler_.queuedTasks();
+    h.inflight = scheduler_.inflightTasks();
+    h.perWorker = scheduler_.workerSnapshots();
+    for (const auto &w : h.perWorker) {
+        if (!w.busy)
+            continue;
+        ++h.running;
+        if (opts_.stallThresholdMs > 0
+            && w.busyMs >= opts_.stallThresholdMs)
+            ++h.stalledNow;
+    }
+    h.stallsFlagged = stallsFlagged_.load(std::memory_order_relaxed);
+    h.cancelledJobs = cancelledJobs_.load(std::memory_order_relaxed);
+    h.expiredJobs = expiredJobs_.load(std::memory_order_relaxed);
+    return h;
+}
+
+std::shared_ptr<CancelToken>
+SolveService::submit(SolveJob job, Callback done,
+                     std::shared_ptr<CancelToken> token)
 {
     const auto submitted = Clock::now();
+    if (!token)
+        token = std::make_shared<CancelToken>();
+    if (job.deadlineMs > 0.0)
+        token->armDeadline(submitted
+                           + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   job.deadlineMs)));
+    registerToken(job.id, token);
     scheduler_.submit([this, job = std::move(job), done = std::move(done),
-                       submitted](WorkerContext &ctx) {
+                       submitted, token](WorkerContext &ctx) {
         const double queue_ms = millisSince(submitted);
         SolveResult result;
-        if (job.deadlineMs > 0.0 && queue_ms > job.deadlineMs) {
+        if (token->cancelled()) {
+            // Cancelled (or expired) while still queued: report without
+            // running, freeing the worker for the next job immediately.
             result.id = job.id;
             result.solver = job.solver;
-            result.status = "expired";
-            result.error = "queueing deadline exceeded before execution";
             result.worker = ctx.id;
+            finishCancelled(result, token->reason(), /*started=*/false);
         } else {
-            result = execute(job, ctx);
+            result = execute(job, ctx, token.get());
         }
         result.queueMs = queue_ms;
+        unregisterToken(job.id, token.get());
         if (done)
             done(result);
     });
+    return token;
 }
 
 void

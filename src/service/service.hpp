@@ -18,10 +18,18 @@
 #ifndef CHOCOQ_SERVICE_SERVICE_HPP
 #define CHOCOQ_SERVICE_SERVICE_HPP
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "service/compile_cache.hpp"
+#include "service/fault.hpp"
 #include "service/job.hpp"
 #include "service/scheduler.hpp"
 #include "spec/registry.hpp"
@@ -46,6 +54,23 @@ struct ServiceOptions
     /** Optimizer iteration budget for jobs that don't set their own;
      * 0 keeps each solver's default. */
     int defaultIterations = 0;
+    /**
+     * Watchdog threshold: a worker busy on one job for longer than
+     * this is flagged as stalled (counted once per stuck task, surfaced
+     * by health() and the serve summary). 0 disables the watchdog
+     * thread entirely — the library default, so embedding callers pay
+     * nothing; chocoq_serve enables it.
+     */
+    int stallThresholdMs = 0;
+    /** Watchdog polling period (only used when the watchdog is on). */
+    int watchdogTickMs = 20;
+    /**
+     * Optional fault injector (non-owning; must outlive the service).
+     * nullptr — the default — means no injection anywhere: the fault
+     * paths are never consulted and execution is bitwise identical to
+     * a build without the harness.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** Concurrent solve service over the registry problems. */
@@ -55,15 +80,58 @@ class SolveService
     /** Result sink; invoked on a worker thread as each job finishes. */
     using Callback = std::function<void(const SolveResult &)>;
 
+    /** Point-in-time service health, for the {"type":"health"} probe
+     * and the serve summaries. */
+    struct Health
+    {
+        int workers = 0;
+        /** Jobs waiting in worker deques (not started). */
+        std::size_t queued = 0;
+        /** Jobs currently executing on a worker. */
+        std::size_t running = 0;
+        /** Jobs submitted and not finished (queued + running). */
+        std::size_t inflight = 0;
+        /** Workers busy past the stall threshold right now. */
+        int stalledNow = 0;
+        /** Stuck-task episodes the watchdog has flagged (cumulative). */
+        std::uint64_t stallsFlagged = 0;
+        /** Jobs that finished as "cancelled" / "expired". */
+        std::uint64_t cancelledJobs = 0;
+        std::uint64_t expiredJobs = 0;
+        std::vector<Scheduler::WorkerSnapshot> perWorker;
+    };
+
     explicit SolveService(ServiceOptions opts = {});
+
+    ~SolveService();
 
     int workers() const { return scheduler_.workers(); }
 
     /**
      * Enqueue one job. @p done (optional) fires on the worker thread
      * that ran the job; it must be thread-safe against other callbacks.
+     * Returns the job's cancellation token: any holder may
+     * requestCancel() it, and a job.deadlineMs > 0 arms its deadline
+     * clock (counting from now, through queueing and execution).
+     * @p token (optional) supplies the token instead — callers that
+     * track tokens externally (the TCP front-end, per connection) pass
+     * one they already hold, avoiding any window where a job runs
+     * untracked.
      */
-    void submit(SolveJob job, Callback done = nullptr);
+    std::shared_ptr<CancelToken>
+    submit(SolveJob job, Callback done = nullptr,
+           std::shared_ptr<CancelToken> token = nullptr);
+
+    /**
+     * Cooperatively cancel every active (queued or executing) job with
+     * this id; returns how many matched. Already-finished jobs don't
+     * match — cancelling them is a harmless no-op.
+     */
+    int cancel(const std::string &id,
+               CancelReason reason = CancelReason::Requested);
+
+    /** Queue depth, in-flight counts, worker liveness, stall counters. */
+    Health health() const;
 
     /** Block until every submitted job has completed. */
     void drain();
@@ -82,11 +150,21 @@ class SolveService
     /**
      * Execute one job synchronously in @p ctx, bypassing the queue.
      * Public for tests and single-shot tooling; submit() is the normal
-     * entry point.
+     * entry point. @p token (optional) is polled at engine iteration
+     * boundaries; a fired token stops the solve cooperatively and the
+     * result reports "cancelled" (or "expired" for a deadline).
      */
-    SolveResult execute(const SolveJob &job, WorkerContext &ctx);
+    SolveResult execute(const SolveJob &job, WorkerContext &ctx,
+                        CancelToken *token = nullptr);
 
   private:
+    void registerToken(const std::string &id,
+                       const std::shared_ptr<CancelToken> &token);
+    void unregisterToken(const std::string &id, const CancelToken *token);
+    void watchdogLoop();
+    /** Fill a cancelled/expired result from a fired token. */
+    void finishCancelled(SolveResult &r, CancelReason reason,
+                         bool started) const;
     /**
      * Resolve the problem a job names: the registered instance for
      * inline specs (registering on first sight) and problem_refs, a
@@ -100,6 +178,20 @@ class SolveService
     CompileCache cache_;
     spec::ProblemRegistry registry_;
     Scheduler scheduler_;
+
+    /** Tokens of active (queued or executing) jobs, keyed by job id. */
+    mutable std::mutex activeMu_;
+    std::unordered_multimap<std::string, std::shared_ptr<CancelToken>>
+        active_;
+
+    mutable std::atomic<std::uint64_t> stallsFlagged_{0};
+    mutable std::atomic<std::uint64_t> cancelledJobs_{0};
+    mutable std::atomic<std::uint64_t> expiredJobs_{0};
+
+    std::mutex watchdogMu_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;
+    std::thread watchdog_;
 };
 
 } // namespace chocoq::service

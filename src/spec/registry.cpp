@@ -35,6 +35,17 @@ ProblemRegistry::evictLocked()
         const auto it = map_.find(lru_.back());
         bytes_ -= it->second.bytes;
         ++evictions_;
+        // Every eviction invalidates outstanding problem_refs to this
+        // hash; bump the generation and leave a bounded tombstone so
+        // those refs fail as "expired", not as never-seen.
+        ++generation_;
+        if (tombstones_.insert(lru_.back()).second) {
+            tombstoneOrder_.push_back(lru_.back());
+            if (tombstoneOrder_.size() > kMaxTombstones) {
+                tombstones_.erase(tombstoneOrder_.front());
+                tombstoneOrder_.pop_front();
+            }
+        }
         map_.erase(it);
         lru_.pop_back();
     }
@@ -43,10 +54,12 @@ ProblemRegistry::evictLocked()
 std::shared_ptr<const model::Problem>
 ProblemRegistry::put(const std::string &hashHex,
                      const std::function<model::Problem()> &make,
-                     bool *reused)
+                     bool *reused, bool *refreshed)
 {
     if (reused)
         *reused = false;
+    if (refreshed)
+        *refreshed = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         const auto it = map_.find(hashHex);
@@ -72,6 +85,14 @@ ProblemRegistry::put(const std::string &hashHex,
             *reused = true;
         return it->second.problem;
     }
+    // A tombstoned hash coming back means previously issued
+    // problem_refs to it are valid again: surface the revival.
+    if (tombstones_.erase(hashHex)) {
+        tombstoneOrder_.remove(hashHex);
+        ++refreshes_;
+        if (refreshed)
+            *refreshed = true;
+    }
     lru_.push_front(hashHex);
     Entry entry;
     entry.problem = std::move(problem);
@@ -86,17 +107,31 @@ ProblemRegistry::put(const std::string &hashHex,
 }
 
 std::shared_ptr<const model::Problem>
-ProblemRegistry::get(const std::string &hashHex)
+ProblemRegistry::get(const std::string &hashHex, RefOutcome *outcome)
 {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = map_.find(hashHex);
     if (it == map_.end()) {
         ++refMisses_;
+        const bool expired = tombstones_.count(hashHex) != 0;
+        if (expired)
+            ++refExpired_;
+        if (outcome)
+            *outcome = expired ? RefOutcome::Expired : RefOutcome::Unknown;
         return nullptr;
     }
     touchLocked(it->second);
     ++refHits_;
+    if (outcome)
+        *outcome = RefOutcome::Hit;
     return it->second.problem;
+}
+
+std::uint64_t
+ProblemRegistry::generation() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
 }
 
 ProblemRegistry::Stats
@@ -108,7 +143,10 @@ ProblemRegistry::stats() const
     s.reused = reused_;
     s.refHits = refHits_;
     s.refMisses = refMisses_;
+    s.refExpired = refExpired_;
     s.evictions = evictions_;
+    s.generation = generation_;
+    s.refreshes = refreshes_;
     s.entries = map_.size();
     s.bytes = bytes_;
     s.maxBytes = opts_.maxBytes;
@@ -121,11 +159,16 @@ ProblemRegistry::clear()
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
     lru_.clear();
+    tombstones_.clear();
+    tombstoneOrder_.clear();
     inserted_ = 0;
     reused_ = 0;
     refHits_ = 0;
     refMisses_ = 0;
+    refExpired_ = 0;
     evictions_ = 0;
+    generation_ = 0;
+    refreshes_ = 0;
     bytes_ = 0;
 }
 

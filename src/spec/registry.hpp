@@ -17,6 +17,14 @@
  * LRU order under a byte budget; an evicted hash simply re-registers on
  * its next full submission, while a problem_ref to an evicted hash is a
  * per-request error telling the client to resubmit the inline problem.
+ *
+ * Eviction is observable, not silent: every eviction bumps a registry
+ * generation counter and leaves a bounded tombstone for the evicted
+ * hash, so a later problem_ref lookup can distinguish "expired"
+ * (registered here once, then evicted — resubmitting the inline
+ * problem will revive it) from "unknown" (never seen; likely a client
+ * bug or another server). Re-registering a tombstoned hash reports a
+ * `refreshed` hint so clients know their old refs are valid again.
  */
 
 #ifndef CHOCOQ_SPEC_REGISTRY_HPP
@@ -29,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "model/problem.hpp"
 
@@ -65,10 +74,27 @@ class ProblemRegistry
         std::uint64_t refHits = 0;
         /** problem_ref lookups that missed (unknown or evicted). */
         std::uint64_t refMisses = 0;
+        /** Subset of refMisses that named a known-but-evicted hash. */
+        std::uint64_t refExpired = 0;
         std::uint64_t evictions = 0;
+        /** Eviction generation: bumped once per evicted entry. */
+        std::uint64_t generation = 0;
+        /** Tombstoned re-registrations (previously evicted hashes). */
+        std::uint64_t refreshes = 0;
         std::size_t entries = 0;
         std::size_t bytes = 0;
         std::size_t maxBytes = 0;
+    };
+
+    /** What a problem_ref lookup found (see get()). */
+    enum class RefOutcome
+    {
+        /** Resolved to a live registration. */
+        Hit,
+        /** Hash never registered on this registry. */
+        Unknown,
+        /** Hash was registered but its entry has been evicted. */
+        Expired,
     };
 
     explicit ProblemRegistry(ProblemRegistryOptions opts = {})
@@ -83,15 +109,27 @@ class ProblemRegistry
      * whether an existing registration was returned; callers holding
      * the submitting spec should then verify it against the returned
      * problem (spec::canonicallyEqual) — the 64-bit hash indexes, it
-     * does not prove identity.
+     * does not prove identity. @p refreshed (optional) reports that
+     * this registration revived a previously evicted hash, making old
+     * problem_refs to it valid again.
      */
     std::shared_ptr<const model::Problem>
     put(const std::string &hashHex,
         const std::function<model::Problem()> &make,
-        bool *reused = nullptr);
+        bool *reused = nullptr, bool *refreshed = nullptr);
 
-    /** Resolve a problem_ref; nullptr when unknown or evicted. */
-    std::shared_ptr<const model::Problem> get(const std::string &hashHex);
+    /**
+     * Resolve a problem_ref; nullptr when unknown or evicted, with
+     * @p outcome (optional) telling the two apart (RefOutcome::Expired
+     * means the hash was registered here and later evicted — clients
+     * should resubmit the inline problem, see docs/protocol.md
+     * "ref_expired").
+     */
+    std::shared_ptr<const model::Problem>
+    get(const std::string &hashHex, RefOutcome *outcome = nullptr);
+
+    /** Current eviction generation (0 = nothing evicted yet). */
+    std::uint64_t generation() const;
 
     Stats stats() const;
 
@@ -108,15 +146,24 @@ class ProblemRegistry
     void touchLocked(Entry &entry);
     void evictLocked();
 
+    /** Bound on remembered evicted hashes (16-byte keys; ~1 MiB). */
+    static constexpr std::size_t kMaxTombstones = 65536;
+
     ProblemRegistryOptions opts_;
     mutable std::mutex mu_;
     std::unordered_map<std::string, Entry> map_;
     std::list<std::string> lru_;
+    /** Evicted hashes, FIFO-bounded: membership => ref is "expired". */
+    std::unordered_set<std::string> tombstones_;
+    std::list<std::string> tombstoneOrder_;
     std::uint64_t inserted_ = 0;
     std::uint64_t reused_ = 0;
     std::uint64_t refHits_ = 0;
     std::uint64_t refMisses_ = 0;
+    std::uint64_t refExpired_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t generation_ = 0;
+    std::uint64_t refreshes_ = 0;
     std::size_t bytes_ = 0;
 };
 

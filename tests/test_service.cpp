@@ -27,6 +27,7 @@
 #include "core/qaoa.hpp"
 #include "problems/suite.hpp"
 #include "service/compile_cache.hpp"
+#include "service/fault.hpp"
 #include "service/job.hpp"
 #include "service/json.hpp"
 #include "service/scheduler.hpp"
@@ -1044,4 +1045,424 @@ TEST(SocketServer, GracefulDrainCompletesAcceptedJobs)
 
     // The listener is gone: new connections must be refused.
     EXPECT_THROW(service::JsonlClient{server.port()}, FatalError);
+}
+
+// -------------------------------------- cancellation & fault injection
+
+namespace
+{
+
+/** A job whose optimizer loop runs far longer (tens of seconds) than
+ * any test step, so a cancel/deadline/disconnect always lands
+ * mid-execution — while iteration boundaries stay milliseconds apart,
+ * so the engine's token polls still stop it fast. (K3 at the default
+ * depth converges in ~1 s; the deeper ansatz keeps it busy.) */
+service::SolveJob
+longJob(const std::string &id)
+{
+    service::SolveJob job;
+    job.id = id;
+    job.scale = "K3";
+    job.layers = 6;
+    job.seed = 11;
+    job.maxIterations = 1 << 20;
+    return job;
+}
+
+service::SolveJob
+quickJob(const std::string &id, std::uint64_t seed = 11)
+{
+    service::SolveJob job;
+    job.id = id;
+    job.scale = "F1";
+    job.seed = seed;
+    job.maxIterations = 10;
+    return job;
+}
+
+/** Spin until @p done() or the deadline; false on timeout. */
+template <typename Pred>
+bool
+waitFor(Pred done, int timeout_ms = 30000)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(FaultSpec, ParsesGrammarAndRejectsMalformedClauses)
+{
+    const auto spec = service::parseFaultSpec(
+        "stall=0.5:400,conn_reset=0.1,read_delay=0.25:7,alloc_fail=1,"
+        "seed=9");
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_DOUBLE_EQ(spec.stallProbability, 0.5);
+    EXPECT_EQ(spec.stallMs, 400);
+    EXPECT_DOUBLE_EQ(spec.connResetProbability, 0.1);
+    EXPECT_DOUBLE_EQ(spec.readDelayProbability, 0.25);
+    EXPECT_EQ(spec.readDelayMs, 7);
+    EXPECT_DOUBLE_EQ(spec.allocFailProbability, 1.0);
+    EXPECT_TRUE(spec.enabled());
+
+    EXPECT_FALSE(service::FaultSpec{}.enabled());
+    EXPECT_FALSE(service::parseFaultSpec("stall=0").enabled());
+
+    EXPECT_THROW(service::parseFaultSpec("bogus=1"), FatalError);
+    EXPECT_THROW(service::parseFaultSpec("stall=2"), FatalError);
+    EXPECT_THROW(service::parseFaultSpec("stall=-0.1"), FatalError);
+    EXPECT_THROW(service::parseFaultSpec("stall"), FatalError);
+    EXPECT_THROW(service::parseFaultSpec("seed=x"), FatalError);
+    EXPECT_THROW(service::parseFaultSpec("alloc_fail=0.5:100"), FatalError)
+        << "a duration on a site without one must be rejected";
+}
+
+TEST(FaultInjector, DecisionSequenceIsDeterministicPerSeed)
+{
+    auto spec = service::parseFaultSpec("stall=0.37,seed=42");
+    service::FaultInjector a(spec), b(spec);
+    std::vector<bool> seq_a, seq_b;
+    for (int i = 0; i < 256; ++i) {
+        seq_a.push_back(a.fire(service::FaultInjector::Site::WorkerStall));
+        seq_b.push_back(b.fire(service::FaultInjector::Site::WorkerStall));
+    }
+    EXPECT_EQ(seq_a, seq_b)
+        << "same spec must replay the same fault sequence";
+    EXPECT_GT(a.counts().stalls, 0u);
+    EXPECT_LT(a.counts().stalls, 256u);
+
+    spec.seed = 43;
+    service::FaultInjector c(spec);
+    std::vector<bool> seq_c;
+    for (int i = 0; i < 256; ++i)
+        seq_c.push_back(c.fire(service::FaultInjector::Site::WorkerStall));
+    EXPECT_NE(seq_a, seq_c) << "a different seed must shuffle decisions";
+}
+
+TEST(Cancellation, UnfiredTokenIsABitwiseNoOp)
+{
+    // The checkpoint hook must never perturb the numeric or random
+    // streams: a solve polled by a token that never fires is
+    // bit-identical to an unpolled one.
+    service::SolveService svc{service::ServiceOptions{}};
+    service::WorkerContext ctx;
+    const auto plain = svc.execute(quickJob("plain"), ctx);
+    ASSERT_EQ(plain.status, "ok") << plain.error;
+
+    service::CancelToken token;
+    const auto polled = svc.execute(quickJob("polled"), ctx, &token);
+    ASSERT_EQ(polled.status, "ok") << polled.error;
+    EXPECT_EQ(plain.distHash, polled.distHash);
+    EXPECT_EQ(0, std::memcmp(&plain.bestCost, &polled.bestCost,
+                             sizeof(double)));
+    EXPECT_EQ(plain.evaluations, polled.evaluations);
+}
+
+TEST(Cancellation, CancelBeforeStartAnswersCancelled)
+{
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+
+    std::mutex mu;
+    std::map<std::string, service::SolveResult> results;
+    const auto collect = [&](const service::SolveResult &r) {
+        std::lock_guard<std::mutex> lock(mu);
+        results[r.id] = r;
+    };
+
+    svc.submit(longJob("blocker"), collect);
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+    svc.submit(quickJob("victim"), collect);
+    ASSERT_TRUE(waitFor([&] { return svc.health().queued >= 1; }));
+
+    EXPECT_EQ(svc.cancel("victim"), 1);
+    EXPECT_EQ(svc.cancel("no-such-job"), 0);
+    EXPECT_EQ(svc.cancel("blocker"), 1);
+    svc.drain();
+
+    ASSERT_EQ(results.count("victim"), 1u);
+    EXPECT_EQ(results["victim"].status, "cancelled");
+    EXPECT_NE(results["victim"].error.find("before execution"),
+              std::string::npos);
+    EXPECT_EQ(results["blocker"].status, "cancelled");
+    EXPECT_EQ(svc.health().cancelledJobs, 2u);
+}
+
+TEST(Cancellation, MidExecutionCancelStopsFastAndFreesTheWorker)
+{
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+
+    service::SolveResult out;
+    std::atomic<bool> done{false};
+    svc.submit(longJob("victim"), [&](const service::SolveResult &r) {
+        out = r;
+        done = true;
+    });
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+    // Let the job get past compilation and into the optimizer loop.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+    EXPECT_EQ(svc.cancel("victim"), 1);
+    ASSERT_TRUE(waitFor([&] { return done.load(); }))
+        << "a cancelled job must unwind within iterations, not run out "
+           "its full budget";
+    EXPECT_EQ(out.status, "cancelled");
+    EXPECT_NE(out.error.find("cancelled"), std::string::npos);
+
+    // The worker survives the unwind: the very next job must solve.
+    const auto after = svc.solveAll({quickJob("after")});
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].status, "ok") << after[0].error;
+}
+
+TEST(Cancellation, DeadlineFiresMidExecutionAndWorkerIsReusable)
+{
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+
+    auto job = longJob("deadline");
+    job.deadlineMs = 400;
+    service::SolveResult out;
+    std::atomic<bool> done{false};
+    const auto t0 = std::chrono::steady_clock::now();
+    svc.submit(job, [&](const service::SolveResult &r) {
+        out = r;
+        done = true;
+    });
+    ASSERT_TRUE(waitFor([&] { return done.load(); }, 60000));
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    EXPECT_EQ(out.status, "expired");
+    EXPECT_NE(out.error.find("deadline exceeded"), std::string::npos);
+    EXPECT_GE(out.worker, 0) << "the job must have reached a worker";
+    // 1 << 20 iterations would run for hours; stopping within a minute
+    // proves the deadline cut execution short at a polling boundary.
+    EXPECT_LT(elapsed, 60000);
+    EXPECT_EQ(svc.health().expiredJobs, 1u);
+
+    const auto after = svc.solveAll({quickJob("after")});
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].status, "ok") << after[0].error;
+}
+
+TEST(Cancellation, SiblingsOfACancelledJobStayBitIdentical)
+{
+    // Cancelling one job must not perturb concurrently running jobs:
+    // siblings must match a fresh run without any cancellation, bit
+    // for bit.
+    const auto s1 = quickJob("s1", 11);
+    const auto s2 = quickJob("s2", 13);
+    service::ServiceOptions so;
+    so.workers = 2;
+    const auto baseline = service::SolveService(so).solveAll({s1, s2});
+    ASSERT_EQ(baseline.size(), 2u);
+
+    service::SolveService svc(so);
+    std::mutex mu;
+    std::map<std::string, service::SolveResult> results;
+    const auto collect = [&](const service::SolveResult &r) {
+        std::lock_guard<std::mutex> lock(mu);
+        results[r.id] = r;
+    };
+    svc.submit(longJob("victim"), collect);
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+    svc.submit(s1, collect);
+    svc.submit(s2, collect);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_EQ(svc.cancel("victim"), 1);
+    svc.drain();
+
+    EXPECT_EQ(results["victim"].status, "cancelled");
+    for (const auto &expect : baseline) {
+        ASSERT_EQ(results.count(expect.id), 1u) << expect.id;
+        const auto &got = results[expect.id];
+        ASSERT_EQ(got.status, "ok") << got.error;
+        EXPECT_EQ(got.distHash, expect.distHash) << expect.id;
+        EXPECT_EQ(0, std::memcmp(&got.bestCost, &expect.bestCost,
+                                 sizeof(double)))
+            << expect.id;
+        EXPECT_EQ(got.evaluations, expect.evaluations) << expect.id;
+    }
+}
+
+TEST(FaultInjection, InjectedStallTripsTheWatchdog)
+{
+    service::FaultInjector fault(service::parseFaultSpec("stall=1:300"));
+    service::ServiceOptions so;
+    so.workers = 1;
+    so.fault = &fault;
+    so.stallThresholdMs = 50;
+    so.watchdogTickMs = 5;
+    service::SolveService svc(so);
+
+    const auto results = svc.solveAll({quickJob("stalled")});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, "ok")
+        << "a stall delays the job, it must not fail it: "
+        << results[0].error;
+    EXPECT_GE(fault.counts().stalls, 1u);
+    EXPECT_GE(svc.health().stallsFlagged, 1u)
+        << "the watchdog must flag a worker stuck past the threshold";
+}
+
+TEST(FaultInjection, InjectedAllocFailureFailsTheJobNotTheWorker)
+{
+    service::FaultInjector fault(service::parseFaultSpec("alloc_fail=1"));
+    service::ServiceOptions so;
+    so.workers = 1;
+    so.fault = &fault;
+    service::SolveService svc(so);
+
+    const auto results = svc.solveAll({quickJob("doomed")});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, "error");
+    EXPECT_NE(results[0].error.find("injected allocation failure"),
+              std::string::npos);
+    EXPECT_GE(fault.counts().allocFails, 1u);
+}
+
+TEST(RequestLine, ClassifiesControlRequests)
+{
+    const auto health = service::parseRequestLine(R"({"type":"health"})", 1);
+    ASSERT_TRUE(health.ok);
+    EXPECT_EQ(health.control, service::ControlKind::Health);
+
+    const auto cancel = service::parseRequestLine(
+        R"({"type":"cancel","id":"job-7"})", 2);
+    ASSERT_TRUE(cancel.ok);
+    EXPECT_EQ(cancel.control, service::ControlKind::Cancel);
+    EXPECT_EQ(cancel.cancelId, "job-7");
+
+    const auto no_id = service::parseRequestLine(R"({"type":"cancel"})", 3);
+    ASSERT_FALSE(no_id.ok);
+    EXPECT_NE(no_id.error.error.find("non-empty string 'id'"),
+              std::string::npos);
+
+    const auto unknown =
+        service::parseRequestLine(R"({"type":"reboot"})", 4);
+    ASSERT_FALSE(unknown.ok);
+    EXPECT_NE(unknown.error.error.find("unknown request type"),
+              std::string::npos);
+}
+
+TEST(SocketServer, CancelAndHealthControlRequests)
+{
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    service::Server server(svc, service::ServerOptions{});
+    server.start();
+
+    service::JsonlClient submitter(server.port());
+    submitter.sendLine(service::jobToJsonRequest(longJob("slow")).dump());
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+
+    // A second connection probes and cancels — the control plane must
+    // work even while the only worker is busy.
+    service::JsonlClient control(server.port());
+    control.sendLine(R"({"type":"health"})");
+    std::string line;
+    ASSERT_TRUE(control.readLine(line, 30000));
+    const auto h = service::Json::parse(line);
+    EXPECT_EQ(h.getString("type", ""), "health");
+    EXPECT_EQ(h.getString("status", ""), "ok");
+    EXPECT_EQ(h.getNumber("workers", 0.0), 1.0);
+    EXPECT_GE(h.getNumber("inflight", 0.0), 1.0);
+    EXPECT_GE(h.getNumber("connections_open", 0.0), 2.0);
+
+    control.sendLine(R"({"type":"cancel","id":"slow"})");
+    ASSERT_TRUE(control.readLine(line, 30000));
+    const auto ack = service::Json::parse(line);
+    EXPECT_EQ(ack.getString("type", ""), "cancel");
+    EXPECT_EQ(ack.getString("id", ""), "slow");
+    EXPECT_EQ(ack.getNumber("cancelled", 0.0), 1.0);
+
+    // The submitter gets its job's terminal "cancelled" result.
+    ASSERT_TRUE(submitter.readLine(line, 60000));
+    const auto result = service::Json::parse(line);
+    EXPECT_EQ(result.getString("id", ""), "slow");
+    EXPECT_EQ(result.getString("status", ""), "cancelled");
+
+    server.drain();
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.cancelRequests, 1);
+    EXPECT_EQ(stats.healthProbes, 1);
+    EXPECT_EQ(stats.jobsCancelled, 1);
+}
+
+TEST(SocketServer, ClientDisconnectCancelsItsJobsAndFreesTheWorker)
+{
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    service::Server server(svc, service::ServerOptions{});
+    server.start();
+
+    {
+        service::JsonlClient doomed(server.port());
+        doomed.sendLine(
+            service::jobToJsonRequest(longJob("orphan")).dump());
+        ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+        // Abortive close (RST): the client vanished mid-job. A
+        // half-close (EOF) must NOT trigger this — patient clients
+        // half-close after their last request and wait for results.
+        doomed.abortConnection();
+    }
+    ASSERT_TRUE(waitFor([&] { return svc.health().inflight == 0; }))
+        << "the orphaned job must be cancelled, not run to completion";
+
+    // The freed worker serves the next connection immediately.
+    service::JsonlClient next(server.port());
+    next.sendLine(service::jobToJsonRequest(quickJob("after")).dump());
+    std::string line;
+    ASSERT_TRUE(next.readLine(line, 60000));
+    EXPECT_EQ(service::Json::parse(line).getString("status", ""), "ok");
+
+    server.drain();
+    EXPECT_GE(server.stats().disconnectCancels, 1);
+    EXPECT_EQ(server.stats().jobsCancelled, 1);
+    EXPECT_EQ(svc.health().cancelledJobs, 1u);
+}
+
+TEST(BatchStream, AnswersControlRequestsInline)
+{
+    std::istringstream in("{\"type\":\"health\"}\n"
+                          "{\"type\":\"cancel\",\"id\":\"nothing\"}\n"
+                          "{\"id\":\"j\",\"scale\":\"F1\",\"iters\":5}\n");
+    std::ostringstream out;
+    service::SolveService svc{service::ServiceOptions{}};
+    const auto stats = service::runJsonlStream(in, out, svc);
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.healthProbes, 1);
+    EXPECT_EQ(stats.cancelRequests, 1);
+
+    int health_lines = 0, cancel_lines = 0, ok_lines = 0;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto v = service::Json::parse(line);
+        if (v.getString("type", "") == "health")
+            ++health_lines;
+        else if (v.getString("type", "") == "cancel") {
+            ++cancel_lines;
+            EXPECT_EQ(v.getNumber("cancelled", -1.0), 0.0);
+        } else if (v.getString("status", "") == "ok")
+            ++ok_lines;
+    }
+    EXPECT_EQ(health_lines, 1);
+    EXPECT_EQ(cancel_lines, 1);
+    EXPECT_EQ(ok_lines, 1);
 }

@@ -556,11 +556,65 @@ TEST(SolveServiceSpec, EvictedProblemRefMissesAndResubmissionRecovers)
     ref.problemRef = first.problemRef;
     const auto stale = svc.execute(ref, ctx);
     EXPECT_EQ(stale.status, "error");
+    // A ref the server once held fails with the machine-checkable
+    // ref_expired prefix; a ref it never saw stays "unknown".
+    EXPECT_EQ(stale.error.rfind("ref_expired:", 0), 0u) << stale.error;
     EXPECT_NE(stale.error.find("evicted"), std::string::npos);
+    service::SolveJob never;
+    never.id = "never";
+    never.problemRef = "0123456789abcdef";
+    const auto unknown = svc.execute(never, ctx);
+    EXPECT_EQ(unknown.status, "error");
+    EXPECT_NE(unknown.error.find("unknown problem_ref"),
+              std::string::npos);
+    EXPECT_EQ(unknown.error.find("ref_expired"), std::string::npos);
 
     const auto again = svc.execute(inlineJob("a2", kBaseSpec), ctx);
     ASSERT_EQ(again.status, "ok");
     EXPECT_EQ(again.distHash, first.distHash);
+    EXPECT_TRUE(again.refreshed)
+        << "re-registering an evicted problem must report the refresh";
+    const auto stats = svc.registryStats();
+    EXPECT_GE(stats.refExpired, 1u);
+    EXPECT_GE(stats.refreshes, 1u);
+    EXPECT_GE(stats.generation, 1u);
+}
+
+TEST(ProblemRegistry, TombstonesDistinguishEvictedFromUnknown)
+{
+    const auto a = parseSpec(kBaseSpec);
+    const auto b = parseSpec(
+        R"({"vars":3,"objective":[1,2,3],)"
+        R"("constraints":{"A":[[1,1,1]],"b":[1]}})");
+    spec::ProblemRegistry registry(
+        spec::ProblemRegistryOptions{spec::problemMemoryBytes(a.lower())});
+    registry.put(a.hashHex, [&] { return a.lower(); });
+    EXPECT_EQ(registry.generation(), 0u);
+    registry.put(b.hashHex, [&] { return b.lower(); }); // evicts a
+
+    spec::ProblemRegistry::RefOutcome outcome;
+    EXPECT_EQ(registry.get(a.hashHex, &outcome), nullptr);
+    EXPECT_EQ(outcome, spec::ProblemRegistry::RefOutcome::Expired);
+    EXPECT_EQ(registry.get("0123456789abcdef", &outcome), nullptr);
+    EXPECT_EQ(outcome, spec::ProblemRegistry::RefOutcome::Unknown);
+    EXPECT_GE(registry.generation(), 1u)
+        << "every eviction bumps the generation counter";
+
+    // Re-registering the evicted problem clears its tombstone and
+    // reports the refresh exactly once.
+    bool reused = true, refreshed = false;
+    registry.put(a.hashHex, [&] { return a.lower(); }, &reused,
+                 &refreshed);
+    EXPECT_FALSE(reused);
+    EXPECT_TRUE(refreshed);
+    EXPECT_NE(registry.get(a.hashHex, &outcome), nullptr);
+    EXPECT_EQ(outcome, spec::ProblemRegistry::RefOutcome::Hit);
+    // The one-entry budget pushed b out in turn: expired, not unknown.
+    EXPECT_EQ(registry.get(b.hashHex, &outcome), nullptr);
+    EXPECT_EQ(outcome, spec::ProblemRegistry::RefOutcome::Expired);
+    const auto stats = registry.stats();
+    EXPECT_GE(stats.refExpired, 2u);
+    EXPECT_EQ(stats.refreshes, 1u);
 }
 
 // --------------------------------------------------------- batch stream

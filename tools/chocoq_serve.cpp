@@ -38,6 +38,7 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "problems/suite.hpp"
+#include "service/fault.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "spec/spec.hpp"
@@ -117,6 +118,22 @@ usage(const char *argv0)
            "at once)\n"
         << "  --port-file FILE    write the bound port to FILE once "
            "listening\n"
+        << "\nRobustness (both modes; see docs/service.md):\n"
+        << "  --stall-threshold-ms N  flag a worker busy on one job for "
+           "over N ms\n"
+        << "                      as stalled (watchdog, surfaced by the "
+           "health\n"
+        << "                      probe and summary; default: 30000, 0 = "
+           "off)\n"
+        << "  --fault-spec SPEC   deterministic fault injection: comma-"
+           "separated\n"
+        << "                      site=prob[:ms] clauses plus seed=N; "
+           "sites are\n"
+        << "                      stall, alloc_fail, conn_reset, "
+           "read_delay\n"
+        << "                      (e.g. 'stall=0.5:400,conn_reset=0.1,"
+           "seed=9');\n"
+        << "                      unset means no injection anywhere\n"
         << "\nUnknown options are rejected with exit status 2.\n";
 }
 
@@ -143,6 +160,32 @@ parsedNonNegative(const char *raw, const char *flag, long long hi)
     return v;
 }
 
+/**
+ * Robustness lines: watchdog/cancellation counters (only when any
+ * fired — a clean run stays clean), and injection counts whenever a
+ * fault spec was active (even all-zero counts are informative there:
+ * they confirm the harness ran and injected nothing).
+ */
+void
+printRobustnessSummary(const chocoq::service::SolveService &service,
+                       const chocoq::service::FaultInjector *fault)
+{
+    const auto health = service.health();
+    if (health.stallsFlagged > 0 || health.cancelledJobs > 0
+        || health.expiredJobs > 0)
+        std::cerr << "chocoq_serve: robustness " << health.stallsFlagged
+                  << " stalls flagged / " << health.cancelledJobs
+                  << " cancelled / " << health.expiredJobs << " expired\n";
+    if (fault) {
+        const auto counts = fault->counts();
+        std::cerr << "chocoq_serve: fault injection (seed "
+                  << fault->spec().seed << ") " << counts.stalls
+                  << " stalls / " << counts.allocFails << " alloc fails / "
+                  << counts.connResets << " conn resets / "
+                  << counts.readDelays << " read delays\n";
+    }
+}
+
 /** One registry line when inline problems were used at all. */
 void
 printRegistrySummary(const chocoq::service::SolveService &service)
@@ -159,7 +202,8 @@ printRegistrySummary(const chocoq::service::SolveService &service)
 
 void
 printSummary(const chocoq::service::SolveService &service, long submitted,
-             long failed, double seconds)
+             long failed, double seconds,
+             const chocoq::service::FaultInjector *fault)
 {
     const auto cache = service.cacheStats();
     std::cerr << "chocoq_serve: " << submitted << " jobs on "
@@ -171,6 +215,7 @@ printSummary(const chocoq::service::SolveService &service, long submitted,
               << " evictions (" << cache.bytes << " bytes held), " << failed
               << " failed\n";
     printRegistrySummary(service);
+    printRobustnessSummary(service, fault);
 }
 
 } // namespace
@@ -185,9 +230,15 @@ main(int argc, char **argv)
     bool quiet = false;
     bool listen = false;
     chocoq::service::StreamLimits stream_limits;
+    std::string fault_spec_text;
     // Server-only flags are meaningless in batch mode; accepting them
     // silently would let an operator believe a bound is in effect.
     std::string server_only_flag;
+
+    // The serve tool enables the watchdog by default (the library
+    // default is off): a worker stuck for half a minute on one job is
+    // operationally interesting in either front-end mode.
+    options.stallThresholdMs = 30000;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -263,6 +314,11 @@ main(int argc, char **argv)
             const long long mb =
                 parsedNonNegative(next(), "--registry-mb", 1ll << 40);
             options.registryMaxBytes = static_cast<std::size_t>(mb) << 20;
+        } else if (arg == "--stall-threshold-ms") {
+            options.stallThresholdMs = static_cast<int>(
+                parsedNonNegative(next(), "--stall-threshold-ms", 1 << 30));
+        } else if (arg == "--fault-spec") {
+            fault_spec_text = next();
         } else if (arg == "--queue-wait") {
             server_only_flag = arg;
             server_options.queueWaitMs = static_cast<int>(
@@ -317,6 +373,28 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Fault-spec grammar errors are operator errors: exit 2 before
+    // anything is bound or any worker starts.
+    chocoq::service::FaultSpec fault_spec;
+    if (!fault_spec_text.empty()) {
+        try {
+            fault_spec = chocoq::service::parseFaultSpec(fault_spec_text);
+        } catch (const std::exception &e) {
+            std::cerr << "chocoq_serve: --fault-spec: " << e.what() << "\n";
+            return 2;
+        }
+    }
+    // The injector outlives the service/server (non-owning pointers);
+    // it is only wired in when a clause actually enables a site, so an
+    // unset or all-zero spec leaves every hot path untouched.
+    chocoq::service::FaultInjector fault_injector(fault_spec);
+    if (fault_spec.enabled()) {
+        options.fault = &fault_injector;
+        server_options.fault = &fault_injector;
+    }
+    const chocoq::service::FaultInjector *fault_active =
+        fault_spec.enabled() ? &fault_injector : nullptr;
+
     chocoq::service::SolveService service(options);
     chocoq::Timer wall;
 
@@ -363,6 +441,7 @@ main(int argc, char **argv)
                       << " evictions (" << cache.bytes << " bytes held), "
                       << stats.jobsFailed << " failed\n";
             printRegistrySummary(service);
+            printRobustnessSummary(service, fault_active);
             std::cerr << "chocoq_serve: " << stats.connectionsAccepted
                       << " connections (" << stats.connectionsRejected
                       << " refused), " << stats.resultsWritten
@@ -371,6 +450,20 @@ main(int argc, char **argv)
                       << " accepted after queue wait), " << stats.lineErrors
                       << " malformed lines, " << stats.idleCloses
                       << " idle closes; drained\n";
+            // Control-plane traffic gets its own line only when any
+            // occurred; a server that never saw a cancel or a health
+            // probe keeps the familiar two-line epilogue.
+            if (stats.cancelRequests > 0 || stats.healthProbes > 0
+                || stats.jobsCancelled > 0 || stats.disconnectCancels > 0
+                || stats.faultConnResets > 0)
+                std::cerr << "chocoq_serve: control " << stats.cancelRequests
+                          << " cancel requests / " << stats.healthProbes
+                          << " health probes, " << stats.jobsCancelled
+                          << " jobs cancelled ("
+                          << stats.disconnectCancels
+                          << " by disconnect), "
+                          << stats.faultConnResets
+                          << " injected conn resets\n";
         }
         return 0;
     }
@@ -389,6 +482,7 @@ main(int argc, char **argv)
         chocoq::service::runJsonlStream(in, std::cout, service,
                                         stream_limits);
     if (!quiet)
-        printSummary(service, stats.submitted, stats.failed, wall.seconds());
+        printSummary(service, stats.submitted, stats.failed, wall.seconds(),
+                     fault_active);
     return stats.failed == 0 ? 0 : 1;
 }

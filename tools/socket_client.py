@@ -21,12 +21,36 @@ are detected, everything else stays a string):
 
     socket_client.py 7077 --problem model.json iters=20 solver=penalty
 
-Exit status: 0 on a clean close, 2 on usage/connection errors.
+With --max-retries N the client retries transient failures — a
+"rejected" or "expired" response, a connection reset, or a connection
+that closed before answering — up to N times per request, on a fresh
+connection each round, with exponential backoff plus jitter between
+rounds. Retry mode needs to correlate responses to requests, so every
+request line must be a JSON object; requests without an "id" get a
+synthetic "retry-<line>" id (echoed in their responses). Control
+requests ({"type":"cancel"} / {"type":"health"}) are not retryable and
+are rejected in retry mode. Without --max-retries (the default) the
+client is a byte-faithful pipe, exactly as before.
+
+Exit status: 0 on a clean close (retry mode: every request resolved),
+2 on usage/connection errors or when retries are exhausted.
 """
 
 import json
+import random
 import socket
 import sys
+import time
+
+# Transient response statuses worth resubmitting: "rejected" is
+# backpressure (the server asked us to come back later), "expired" is a
+# deadline that re-arms from zero on resubmission.
+RETRYABLE_STATUSES = ("rejected", "expired")
+
+# Backoff schedule: BASE * 2^round seconds, capped, plus up to 100%
+# jitter so synchronized clients don't re-dogpile a loaded server.
+BACKOFF_BASE_S = 0.05
+BACKOFF_CAP_S = 2.0
 
 
 def parse_value(raw: str):
@@ -43,7 +67,7 @@ def usage_error(message: str):
     raise SystemExit(2)
 
 
-def build_inline_request(args: list) -> bytes:
+def build_inline_request(args: list) -> dict:
     """Consume --problem FILE / --id ID / --seed N / KEY=VALUE args."""
     job = {}
     i = 0
@@ -69,7 +93,141 @@ def build_inline_request(args: list) -> bytes:
             usage_error(f"unrecognized argument: {arg!r}")
     if "problem" not in job:
         usage_error("--problem FILE is required in inline mode")
-    return (json.dumps(job) + "\n").encode()
+    return job
+
+
+def stream_once(port: int, payload: bytes) -> int:
+    """Pre-retry behavior: one connection, bytes in, bytes out."""
+    try:
+        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
+    except OSError as e:
+        print(f"cannot connect to 127.0.0.1:{port}: {e}", file=sys.stderr)
+        return 2
+    with conn:
+        conn.sendall(payload)
+        conn.shutdown(socket.SHUT_WR)
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            sys.stdout.buffer.write(chunk)
+    sys.stdout.buffer.flush()
+    return 0
+
+
+def attempt_round(port: int, batch: list):
+    """One connection carrying every still-unresolved request.
+
+    Returns (responses_by_id, error_str_or_None). A connection-level
+    error is not fatal to the round: responses received before the
+    failure still count, and whatever went unanswered is retried.
+    """
+    responses = {}
+    error = None
+    try:
+        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
+    except OSError as e:
+        return responses, f"connect: {e}"
+    buf = b""
+    try:
+        with conn:
+            payload = b"".join(
+                (json.dumps(obj) + "\n").encode() for obj in batch
+            )
+            conn.sendall(payload)
+            conn.shutdown(socket.SHUT_WR)
+            while True:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, _, buf = buf.partition(b"\n")
+                    if not line.strip():
+                        continue
+                    try:
+                        resp = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(resp, dict):
+                        responses.setdefault(resp.get("id"), []).append(resp)
+    except OSError as e:
+        error = f"connection failed mid-stream: {e}"
+    return responses, error
+
+
+def run_with_retries(port: int, requests: list, max_retries: int) -> int:
+    """Resolve every request, resubmitting transient failures.
+
+    Responses print (one JSON line each) as their request resolves —
+    either a terminal status, or the last transient answer once retries
+    run out.
+    """
+    items = []
+    for n, obj in enumerate(requests):
+        if not isinstance(obj, dict):
+            usage_error(
+                f"--max-retries requires JSON object requests; "
+                f"line {n + 1} is not an object"
+            )
+        if obj.get("type") in ("cancel", "health"):
+            usage_error(
+                "--max-retries cannot carry control requests "
+                "(cancel/health); send them without retries"
+            )
+        if not obj.get("id"):
+            obj = dict(obj, id=f"retry-{n + 1}")
+        items.append(obj)
+
+    unresolved = list(range(len(items)))
+    last_seen = {}  # index -> last (retryable) response observed
+    for round_no in range(max_retries + 1):
+        batch = [items[i] for i in unresolved]
+        responses, error = attempt_round(port, batch)
+        if error is not None:
+            print(f"socket_client: {error}", file=sys.stderr)
+
+        still = []
+        for i in unresolved:
+            matches = responses.get(items[i]["id"])
+            resp = matches.pop(0) if matches else None
+            if resp is None:
+                # Connection died before this request was answered.
+                still.append(i)
+            elif resp.get("status") in RETRYABLE_STATUSES:
+                last_seen[i] = resp
+                still.append(i)
+            else:
+                # Compact separators match the server's wire format, so
+                # downstream greps/diffs treat retried and direct output
+                # the same way.
+                sys.stdout.write(json.dumps(resp, separators=(",", ":")) + "\n")
+        unresolved = still
+        sys.stdout.flush()
+        if not unresolved:
+            return 0
+        if round_no < max_retries:
+            delay = min(BACKOFF_CAP_S, BACKOFF_BASE_S * (2**round_no))
+            delay += random.uniform(0.0, delay)
+            print(
+                f"socket_client: {len(unresolved)} request(s) unresolved, "
+                f"retry {round_no + 1}/{max_retries} in {delay:.2f}s",
+                file=sys.stderr,
+            )
+            time.sleep(delay)
+
+    # Retries exhausted: surface the last transient answer (if any) so
+    # the caller sees *why* each request never resolved.
+    for i in unresolved:
+        if i in last_seen:
+            sys.stdout.write(json.dumps(last_seen[i], separators=(",", ":")) + "\n")
+    sys.stdout.flush()
+    print(
+        f"socket_client: gave up on {len(unresolved)} request(s) after "
+        f"{max_retries} retries",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def main(argv: list) -> int:
@@ -81,25 +239,52 @@ def main(argv: list) -> int:
     except ValueError:
         print(f"not a port number: {argv[1]!r}", file=sys.stderr)
         return 2
-    if len(argv) > 2:
-        requests = build_inline_request(argv[2:])
+
+    # --max-retries applies in both modes, so lift it out before the
+    # inline-request builder sees the remaining args.
+    args = list(argv[2:])
+    max_retries = 0
+    i = 0
+    while i < len(args):
+        if args[i] == "--max-retries":
+            if i + 1 >= len(args):
+                usage_error("missing value for --max-retries")
+            try:
+                max_retries = int(args[i + 1])
+            except ValueError:
+                max_retries = -1
+            if max_retries < 0:
+                usage_error(
+                    f"--max-retries expects a non-negative integer, "
+                    f"got {args[i + 1]!r}"
+                )
+            del args[i : i + 2]
+        else:
+            i += 1
+
+    if args:
+        requests = [build_inline_request(args)]
+        payload = (json.dumps(requests[0]) + "\n").encode()
     else:
-        requests = sys.stdin.buffer.read()
-    try:
-        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
-    except OSError as e:
-        print(f"cannot connect to 127.0.0.1:{port}: {e}", file=sys.stderr)
-        return 2
-    with conn:
-        conn.sendall(requests)
-        conn.shutdown(socket.SHUT_WR)
-        while True:
-            chunk = conn.recv(65536)
-            if not chunk:
-                break
-            sys.stdout.buffer.write(chunk)
-    sys.stdout.buffer.flush()
-    return 0
+        payload = sys.stdin.buffer.read()
+        requests = None
+
+    if max_retries == 0:
+        return stream_once(port, payload)
+
+    if requests is None:
+        requests = []
+        for n, line in enumerate(payload.splitlines()):
+            if not line.strip():
+                continue
+            try:
+                requests.append(json.loads(line))
+            except ValueError:
+                usage_error(
+                    f"--max-retries requires parseable JSON requests; "
+                    f"line {n + 1} is not JSON"
+                )
+    return run_with_retries(port, requests, max_retries)
 
 
 if __name__ == "__main__":
