@@ -1,0 +1,84 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace chocoq::obs
+{
+
+void
+Trace::add(std::string name, double start_ms, double dur_ms,
+           std::string note)
+{
+    Span s;
+    s.name = std::move(name);
+    s.startMs = start_ms;
+    s.durMs = dur_ms;
+    s.note = std::move(note);
+    spans_.push_back(std::move(s));
+}
+
+std::size_t
+Trace::begin(std::string name)
+{
+    Span s;
+    s.name = std::move(name);
+    s.startMs = sinceOriginMs();
+    spans_.push_back(std::move(s));
+    return spans_.size() - 1;
+}
+
+void
+Trace::end(std::size_t index, std::string note)
+{
+    Span &s = spans_[index];
+    s.durMs = sinceOriginMs() - s.startMs;
+    if (!note.empty())
+        s.note = std::move(note);
+}
+
+void
+Trace::closeIterations()
+{
+    if (iterations_ == 0)
+        return;
+    add("optimize", iterFirstMs_, iterLastMs_ - iterFirstMs_,
+        "checkpoints=" + std::to_string(iterations_));
+    iterations_ = 0;
+}
+
+service::Json
+Trace::toJson(bool mark_respond) const
+{
+    // Sort a copy by start offset; stable so a span opened before a
+    // nested span it contains (same timestamp) stays first.
+    std::vector<const Span *> ordered;
+    ordered.reserve(spans_.size());
+    for (const auto &s : spans_)
+        ordered.push_back(&s);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Span *a, const Span *b) {
+                         return a->startMs < b->startMs;
+                     });
+    service::Json spans = service::Json::array();
+    for (const Span *s : ordered) {
+        service::Json v = service::Json::object();
+        v.set("name", s->name);
+        v.set("start_ms", s->startMs);
+        v.set("dur_ms", s->durMs);
+        if (!s->note.empty())
+            v.set("note", s->note);
+        spans.push(std::move(v));
+    }
+    if (mark_respond) {
+        service::Json v = service::Json::object();
+        v.set("name", std::string("respond"));
+        v.set("start_ms", sinceOriginMs());
+        v.set("dur_ms", 0.0);
+        spans.push(std::move(v));
+    }
+    service::Json out = service::Json::object();
+    out.set("spans", std::move(spans));
+    return out;
+}
+
+} // namespace chocoq::obs

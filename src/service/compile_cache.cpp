@@ -1,8 +1,11 @@
 #include "service/compile_cache.hpp"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+
+#include "obs/metrics.hpp"
 
 namespace chocoq::service
 {
@@ -147,7 +150,13 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
         return future.get(); // rethrows the owner's compile error, if any
 
     try {
+        const auto compileStart = std::chrono::steady_clock::now();
         auto artifacts = solver.compile(p);
+        if (opts_.compileHistogram)
+            opts_.compileHistogram->record(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - compileStart)
+                    .count());
         promise.set_value(artifacts);
         {
             std::lock_guard<std::mutex> lock(mu_);

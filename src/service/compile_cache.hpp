@@ -38,6 +38,11 @@
 
 #include "core/chocoq_solver.hpp"
 
+namespace chocoq::obs
+{
+class Histogram;
+} // namespace chocoq::obs
+
 namespace chocoq::service
 {
 
@@ -60,6 +65,15 @@ struct CompileCacheOptions
      * bounding a long-lived service against unbounded structure churn.
      */
     std::size_t maxBytes = std::size_t{256} << 20;
+
+    /**
+     * Optional latency histogram fed the wall time of every miss-path
+     * compilation (the single-flight owner's compile, in milliseconds).
+     * Hits record nothing — they cost a map lookup, not a compile. The
+     * pointer must outlive the cache; the service wires in its
+     * MetricsRegistry's "cache.compile_ms".
+     */
+    obs::Histogram *compileHistogram = nullptr;
 };
 
 /** Thread-safe, single-flight, LRU-bounded cache of compilation

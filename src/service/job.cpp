@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 #include "problems/suite.hpp"
 
 namespace chocoq::service
@@ -111,6 +112,11 @@ jobFromJson(const Json &v, const spec::SpecLimits &limits)
     job.deadlineMs = v.getNumber("deadline_ms", 0.0);
     if (job.deadlineMs < 0.0)
         CHOCOQ_FATAL("field 'deadline_ms' must be non-negative");
+    if (const Json *trace = v.find("trace")) {
+        if (trace->kind() != Json::Kind::Bool)
+            CHOCOQ_FATAL("field 'trace' must be a boolean");
+        job.trace = trace->asBool(false);
+    }
     return job;
 }
 
@@ -159,6 +165,7 @@ jobToJsonRequest(const SolveJob &job)
     out.set("keep_starts", job.keepStarts);
     out.set("fusion", job.fusion);
     out.set("deadline_ms", job.deadlineMs);
+    out.set("trace", job.trace);
     return out;
 }
 
@@ -179,6 +186,10 @@ resultToJson(const SolveResult &r)
             out.set("solve_ms", r.solveMs);
             out.set("worker", r.worker);
         }
+        // A traced job reports its timeline whatever its fate — the
+        // spans show where a cancel or deadline actually landed.
+        if (r.trace)
+            out.set("trace", r.trace->toJson(/*mark_respond=*/true));
         return out;
     }
     out.set("problem", r.problem);
@@ -203,6 +214,8 @@ resultToJson(const SolveResult &r)
     out.set("queue_ms", r.queueMs);
     out.set("solve_ms", r.solveMs);
     out.set("worker", r.worker);
+    if (r.trace)
+        out.set("trace", r.trace->toJson(/*mark_respond=*/true));
     return out;
 }
 

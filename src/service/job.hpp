@@ -24,6 +24,11 @@
 #include "service/json.hpp"
 #include "spec/spec.hpp"
 
+namespace chocoq::obs
+{
+class Trace;
+} // namespace chocoq::obs
+
 namespace chocoq::service
 {
 
@@ -82,6 +87,21 @@ struct SolveJob
      * deadline.
      */
     double deadlineMs = 0.0;
+    /**
+     * Request a span timeline for this job (wire key "trace"). The
+     * result line then carries a "trace" object; see
+     * docs/observability.md. Tracing never changes the answer: solver
+     * outputs are bit-identical with trace on or off (tested property).
+     */
+    bool trace = false;
+    /**
+     * Front-end bookkeeping, not a wire field: milliseconds the
+     * front-end spent parsing this request line, so a traced job's
+     * timeline starts at parse begin ("parse" is span zero). Library
+     * callers that build SolveJobs directly leave it 0 and the timeline
+     * starts at submit.
+     */
+    double parseMs = 0.0;
 };
 
 /** One solve answer. */
@@ -138,6 +158,9 @@ struct SolveResult
     double solveMs = 0.0;
     /** Worker that ran the job. */
     int worker = -1;
+    /** Span timeline, present only when the job asked for "trace":true
+     * (null otherwise — tracing is zero-cost when unrequested). */
+    std::shared_ptr<const obs::Trace> trace;
 };
 
 /**

@@ -94,6 +94,7 @@ Scheduler::workerSnapshots() const
         s.busyMs =
             s.busy ? static_cast<double>(now - s.busySinceMs) : 0.0;
         s.tasksDone = w->tasksDone.load(std::memory_order_relaxed);
+        s.tasksStolen = w->tasksStolen.load(std::memory_order_relaxed);
         out.push_back(s);
     }
     return out;
@@ -116,6 +117,7 @@ Scheduler::takeTask(Worker &self, Task &out)
         if (!victim.queue.empty()) {
             out = std::move(victim.queue.back());
             victim.queue.pop_back();
+            self.tasksStolen.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }

@@ -68,6 +68,8 @@ class Scheduler
         long long busySinceMs = -1;
         /** Tasks completed by this worker so far. */
         std::uint64_t tasksDone = 0;
+        /** Tasks this worker stole from another worker's deque. */
+        std::uint64_t tasksStolen = 0;
     };
 
     /** Start @p workers threads (clamped to >= 1). */
@@ -102,6 +104,7 @@ class Scheduler
         /** ms since scheduler start when the running task began; -1 idle. */
         std::atomic<long long> busySinceMs{-1};
         std::atomic<std::uint64_t> tasksDone{0};
+        std::atomic<std::uint64_t> tasksStolen{0};
     };
 
     void workerLoop(Worker &self);

@@ -154,6 +154,10 @@ ParsedLine
 parseRequestLine(const std::string &line, long lineno, bool oversized,
                  const spec::SpecLimits &limits)
 {
+    // Stamp parse start so a traced job's timeline opens with the real
+    // "parse" span (two clock reads per line, noise next to ms-scale
+    // jobs). parseMs is service-internal, never a wire field.
+    const auto parse_start = Clock::now();
     ParsedLine out;
     if (oversized) {
         out.error = lineError(
@@ -186,9 +190,11 @@ parseRequestLine(const std::string &line, long lineno, bool oversized,
                 out.cancelId = id->asString();
             } else if (kind == "health") {
                 out.control = ControlKind::Health;
+            } else if (kind == "stats") {
+                out.control = ControlKind::Stats;
             } else {
                 CHOCOQ_FATAL("unknown request type '" << kind
-                             << "' (expected cancel or health)");
+                             << "' (expected cancel, health, or stats)");
             }
             out.ok = true;
             return out;
@@ -201,6 +207,7 @@ parseRequestLine(const std::string &line, long lineno, bool oversized,
     }
     if (out.job.id.empty())
         out.job.id = "job-" + std::to_string(lineno);
+    out.job.parseMs = millisSince(parse_start);
     out.ok = true;
     return out;
 }
@@ -219,6 +226,20 @@ healthToJson(const SolveService::Health &h)
     out.set("stalls_flagged", static_cast<double>(h.stallsFlagged));
     out.set("cancelled_jobs", static_cast<double>(h.cancelledJobs));
     out.set("expired_jobs", static_cast<double>(h.expiredJobs));
+    return out;
+}
+
+Json
+statsToJson(const SolveService &service)
+{
+    Json out = Json::object();
+    out.set("type", std::string("stats"));
+    out.set("status", std::string("ok"));
+    // The envelope keys lead; then every metricsToJson section
+    // (counters/gauges/histograms/cache/registry/scheduler) in order.
+    const Json m = service.metricsToJson();
+    for (const auto &[key, value] : m.members())
+        out.set(key, value);
     return out;
 }
 
@@ -308,6 +329,14 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
             out.flush();
             continue;
         }
+        if (parsed.control == ControlKind::Stats) {
+            ++stats.statsProbes;
+            const Json s = statsToJson(service);
+            std::lock_guard<std::mutex> lock(out_mu);
+            out << s.dump() << "\n";
+            out.flush();
+            continue;
+        }
         ++stats.submitted;
         service.submit(std::move(parsed.job),
                        [&](const SolveResult &r) {
@@ -329,6 +358,12 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
 struct Server::Connection
 {
     int fd = -1;
+    /** When accept() returned this connection, anchoring the
+     * accept_ms / first_byte_ms setup-latency split. */
+    Clock::time_point acceptedAt;
+    /** First-byte latency recorded yet? Only the reader thread touches
+     * it. */
+    bool sawFirstByte = false;
     /** Serializes result lines (callbacks fire on worker threads). */
     std::mutex writeMu;
     /** This connection's jobs accepted but not yet written back. */
@@ -371,7 +406,10 @@ struct Server::Connection
 };
 
 Server::Server(SolveService &service, ServerOptions opts)
-    : service_(service), opts_(opts)
+    : service_(service), opts_(opts),
+      acceptMs_(service.metrics().histogram("server.accept_ms")),
+      firstByteMs_(service.metrics().histogram("server.first_byte_ms")),
+      connOpenGauge_(service.metrics().gauge("server.connections_open"))
 {}
 
 Server::~Server()
@@ -512,8 +550,10 @@ Server::acceptLoop()
 
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
+        conn->acceptedAt = Clock::now();
         connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
         connectionsOpen_.fetch_add(1, std::memory_order_relaxed);
+        connOpenGauge_.add(1.0);
         std::lock_guard<std::mutex> lock(mu_);
         connThreads_.emplace_back();
         const auto self = std::prev(connThreads_.end());
@@ -540,6 +580,7 @@ Server::acceptLoop()
             ::close(fd);
             connectionsAccepted_.fetch_sub(1, std::memory_order_relaxed);
             connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+            connOpenGauge_.add(-1.0);
             connectionsRejected_.fetch_add(1, std::memory_order_relaxed);
         }
     }
@@ -637,6 +678,46 @@ Server::handleControl(const std::shared_ptr<Connection> &conn,
         writeLine(conn, ack.dump());
         return;
     }
+    if (parsed.control == ControlKind::Stats) {
+        statsProbes_.fetch_add(1, std::memory_order_relaxed);
+        Json s = statsToJson(service_);
+        // Server-level section: the front-end's own counters, which the
+        // embedded service cannot see.
+        Json server = Json::object();
+        const ServerStats ss = stats();
+        server.set("connections_accepted",
+                   static_cast<double>(ss.connectionsAccepted));
+        server.set("connections_open",
+                   static_cast<double>(ss.connectionsOpen));
+        server.set("connections_rejected",
+                   static_cast<double>(ss.connectionsRejected));
+        server.set("requests_accepted",
+                   static_cast<double>(ss.requestsAccepted));
+        server.set("results_written",
+                   static_cast<double>(ss.resultsWritten));
+        server.set("rejected", static_cast<double>(ss.rejected));
+        server.set("queue_waited", static_cast<double>(ss.queueWaited));
+        server.set("line_errors", static_cast<double>(ss.lineErrors));
+        server.set("idle_closes", static_cast<double>(ss.idleCloses));
+        server.set("cancel_requests",
+                   static_cast<double>(ss.cancelRequests));
+        server.set("health_probes",
+                   static_cast<double>(ss.healthProbes));
+        server.set("stats_probes", static_cast<double>(ss.statsProbes));
+        server.set("jobs_failed", static_cast<double>(ss.jobsFailed));
+        server.set("jobs_cancelled",
+                   static_cast<double>(ss.jobsCancelled));
+        server.set("disconnect_cancels",
+                   static_cast<double>(ss.disconnectCancels));
+        server.set("fault_conn_resets",
+                   static_cast<double>(ss.faultConnResets));
+        server.set("inflight",
+                   static_cast<double>(
+                       inflight_.load(std::memory_order_relaxed)));
+        s.set("server", std::move(server));
+        writeLine(conn, s.dump());
+        return;
+    }
     healthProbes_.fetch_add(1, std::memory_order_relaxed);
     Json h = healthToJson(service_.health());
     // Server-level view rides along with the service's counters.
@@ -718,6 +799,11 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
 void
 Server::serveConnection(const std::shared_ptr<Connection> &conn)
 {
+    // accept -> handler-thread start: thread-spawn plus scheduling
+    // latency, the part of the old conflated conn_setup number the
+    // server controls. The remainder to the first received byte is the
+    // client's connect-to-send turnaround plus the network.
+    acceptMs_.record(millisSince(conn->acceptedAt));
     std::string buf;
     long lineno = 0;
     long served = 0;
@@ -811,6 +897,10 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
             std::this_thread::sleep_for(std::chrono::milliseconds(
                 opts_.fault->durationMs(FaultInjector::Site::ReadDelay)));
         last_activity = Clock::now();
+        if (!conn->sawFirstByte) {
+            conn->sawFirstByte = true;
+            firstByteMs_.record(millisSince(conn->acceptedAt));
+        }
         buf.append(chunk, static_cast<std::size_t>(n));
 
         // Frame complete lines with an offset walk (one erase per recv,
@@ -895,6 +985,7 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
     drainAndClose(conn->fd, kCloseLingerMs);
     conn->fd = -1;
     connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+    connOpenGauge_.add(-1.0);
 }
 
 void
@@ -954,6 +1045,7 @@ Server::stats() const
     s.idleCloses = idleCloses_.load(std::memory_order_relaxed);
     s.cancelRequests = cancelRequests_.load(std::memory_order_relaxed);
     s.healthProbes = healthProbes_.load(std::memory_order_relaxed);
+    s.statsProbes = statsProbes_.load(std::memory_order_relaxed);
     s.jobsCancelled = jobsCancelled_.load(std::memory_order_relaxed);
     s.disconnectCancels =
         disconnectCancels_.load(std::memory_order_relaxed);

@@ -36,7 +36,7 @@ millisSince(Clock::time_point t0)
 void
 configureEngine(core::EngineOptions &engine, const SolveJob &job,
                 int default_iterations, WorkerContext &ctx,
-                CancelToken *token)
+                CancelToken *token, obs::Trace *trace)
 {
     engine.seed = job.seed;
     engine.opt.seed = deriveSeed(job.seed, 1);
@@ -53,9 +53,16 @@ configureEngine(core::EngineOptions &engine, const SolveJob &job,
     // The cooperative-cancellation hook: the engine polls it at
     // iteration boundaries (optimizer loops, batch sweeps, the final
     // distribution). Calling it never perturbs results — a job that is
-    // never cancelled is bit-identical with or without a token.
-    if (token)
-        engine.checkpoint = [token] { token->throwIfCancelled(); };
+    // never cancelled is bit-identical with or without a token, and a
+    // traced job only timestamps the checkpoint (folded into one
+    // "optimize" span), so outputs stay bit-identical with trace on.
+    if (token || trace)
+        engine.checkpoint = [token, trace] {
+            if (token)
+                token->throwIfCancelled();
+            if (trace)
+                trace->markIteration();
+        };
 }
 
 /** FNV-1a over the exact bits of the output distribution. */
@@ -81,8 +88,24 @@ hashDistribution(const std::map<Basis, double> &dist)
 } // namespace
 
 SolveService::SolveService(ServiceOptions opts)
-    : opts_(opts), cache_(CompileCacheOptions{opts.cacheMaxBytes}),
-      registry_(spec::ProblemRegistryOptions{opts.registryMaxBytes}),
+    : opts_(opts), metrics_(opts.metricsEnabled),
+      jobsSubmitted_(metrics_.counter("jobs.submitted")),
+      jobsStarted_(metrics_.counter("jobs.started")),
+      jobsCompleted_(metrics_.counter("jobs.completed")),
+      jobsOk_(metrics_.counter("jobs.ok")),
+      jobsError_(metrics_.counter("jobs.error")),
+      jobsCancelled_(metrics_.counter("jobs.cancelled")),
+      jobsExpired_(metrics_.counter("jobs.expired")),
+      jobsInflight_(metrics_.gauge("jobs.inflight")),
+      stageQueueMs_(metrics_.histogram("stage.queue_ms")),
+      stageCompileMs_(metrics_.histogram("stage.compile_ms")),
+      stageSolveMs_(metrics_.histogram("stage.solve_ms")),
+      stageTotalMs_(metrics_.histogram("stage.total_ms")),
+      cache_(CompileCacheOptions{
+          opts.cacheMaxBytes, &metrics_.histogram("cache.compile_ms")}),
+      registry_(spec::ProblemRegistryOptions{
+          opts.registryMaxBytes,
+          &metrics_.histogram("registry.lower_ms")}),
       scheduler_(opts.workers)
 {
     if (opts_.stallThresholdMs > 0)
@@ -207,12 +230,17 @@ SolveService::finishCancelled(SolveResult &r, CancelReason reason,
 
 SolveResult
 SolveService::execute(const SolveJob &job, WorkerContext &ctx,
-                      CancelToken *token)
+                      CancelToken *token, obs::Trace *trace)
 {
     SolveResult r;
     r.id = job.id;
     r.solver = job.solver;
+    jobsStarted_.add();
     Timer timer;
+    // Index of the currently open trace span, so the error paths can
+    // close whatever stage the job died in (kNoSpan = none open).
+    constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
+    std::size_t openSpan = kNoSpan;
     try {
         // Fault sites fire before any real work so an injected failure
         // never leaves half-built cache or registry state behind. The
@@ -230,8 +258,14 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
         if (token)
             token->throwIfCancelled();
 
+        if (trace)
+            openSpan = trace->begin("resolve");
         const std::shared_ptr<const model::Problem> resolved =
             resolveProblem(job, r);
+        if (trace) {
+            trace->end(openSpan);
+            openSpan = kNoSpan;
+        }
         const model::Problem &p = *resolved;
         r.problem = p.name();
 
@@ -241,36 +275,63 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token);
+                            token, trace);
             const core::ChocoQSolver solver(o);
+            if (trace)
+                openSpan = trace->begin("compile");
+            Timer compileTimer;
             std::shared_ptr<const core::ChocoQArtifacts> artifacts =
                 opts_.useCache ? cache_.get(p, solver, &r.cacheHit)
                                : solver.compile(p);
+            stageCompileMs_.record(compileTimer.seconds() * 1e3);
+            if (trace) {
+                trace->end(openSpan,
+                           !opts_.useCache  ? "cache_off"
+                           : r.cacheHit     ? "cache_hit"
+                                            : "cache_miss");
+                openSpan = trace->begin("solve");
+            }
             outcome = solver.solveCompiled(p, *artifacts);
         } else if (job.solver == "penalty") {
             solvers::PenaltyOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token);
+                            token, trace);
+            if (trace)
+                openSpan = trace->begin("solve");
             outcome = solvers::PenaltyQaoaSolver(o).solve(p);
+            // No cacheable artifact stage: solve() compiles inline and
+            // reports the split in compileSeconds.
+            stageCompileMs_.record(outcome.compileSeconds * 1e3);
         } else if (job.solver == "cyclic") {
             solvers::CyclicOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token);
+                            token, trace);
+            if (trace)
+                openSpan = trace->begin("solve");
             outcome = solvers::CyclicQaoaSolver(o).solve(p);
+            stageCompileMs_.record(outcome.compileSeconds * 1e3);
         } else if (job.solver == "hea") {
             solvers::HeaOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
             o.seed = deriveSeed(job.seed, 2);
             configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token);
+                            token, trace);
+            if (trace)
+                openSpan = trace->begin("solve");
             outcome = solvers::HeaSolver(o).solve(p);
+            stageCompileMs_.record(outcome.compileSeconds * 1e3);
         } else {
             CHOCOQ_FATAL("unknown solver '" << job.solver << "'");
+        }
+        if (trace) {
+            trace->closeIterations();
+            trace->end(openSpan);
+            openSpan = kNoSpan;
         }
 
         r.bestCost = outcome.bestCost;
@@ -292,11 +353,22 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
         r.distHash = hashDistribution(outcome.distribution);
     } catch (const Cancelled &c) {
         finishCancelled(r, c.reason(), /*started=*/true);
+        if (trace) {
+            trace->closeIterations();
+            if (openSpan != kNoSpan)
+                trace->end(openSpan, r.status);
+        }
     } catch (const std::exception &e) {
         r.status = "error";
         r.error = e.what();
+        if (trace) {
+            trace->closeIterations();
+            if (openSpan != kNoSpan)
+                trace->end(openSpan, "error");
+        }
     }
     r.solveMs = timer.seconds() * 1e3;
+    stageSolveMs_.record(r.solveMs);
     r.worker = ctx.id;
     return r;
 }
@@ -358,6 +430,76 @@ SolveService::health() const
     return h;
 }
 
+Json
+SolveService::metricsToJson() const
+{
+    Json out = metrics_.toJson();
+
+    const CompileCache::Stats cs = cache_.stats();
+    Json cache = Json::object();
+    cache.set("hits", static_cast<double>(cs.hits));
+    cache.set("misses", static_cast<double>(cs.misses));
+    cache.set("evictions", static_cast<double>(cs.evictions));
+    cache.set("entries", static_cast<double>(cs.entries));
+    cache.set("bytes", static_cast<double>(cs.bytes));
+    cache.set("max_bytes", static_cast<double>(cs.maxBytes));
+    cache.set("hit_rate", cs.hitRate());
+    out.set("cache", std::move(cache));
+
+    const spec::ProblemRegistry::Stats rs = registry_.stats();
+    Json reg = Json::object();
+    reg.set("inserted", static_cast<double>(rs.inserted));
+    reg.set("reused", static_cast<double>(rs.reused));
+    reg.set("ref_hits", static_cast<double>(rs.refHits));
+    reg.set("ref_misses", static_cast<double>(rs.refMisses));
+    reg.set("ref_expired", static_cast<double>(rs.refExpired));
+    reg.set("evictions", static_cast<double>(rs.evictions));
+    reg.set("generation", static_cast<double>(rs.generation));
+    reg.set("refreshes", static_cast<double>(rs.refreshes));
+    reg.set("entries", static_cast<double>(rs.entries));
+    reg.set("bytes", static_cast<double>(rs.bytes));
+    reg.set("max_bytes", static_cast<double>(rs.maxBytes));
+    out.set("registry", std::move(reg));
+
+    Json sched = Json::object();
+    sched.set("workers", scheduler_.workers());
+    sched.set("queued", static_cast<double>(scheduler_.queuedTasks()));
+    sched.set("inflight",
+              static_cast<double>(scheduler_.inflightTasks()));
+    sched.set("stalls_flagged",
+              static_cast<double>(
+                  stallsFlagged_.load(std::memory_order_relaxed)));
+    Json per_worker = Json::array();
+    for (const auto &w : scheduler_.workerSnapshots()) {
+        Json ws = Json::object();
+        ws.set("id", w.id);
+        ws.set("busy", w.busy);
+        ws.set("tasks_done", static_cast<double>(w.tasksDone));
+        ws.set("tasks_stolen", static_cast<double>(w.tasksStolen));
+        per_worker.push(std::move(ws));
+    }
+    sched.set("per_worker", std::move(per_worker));
+    out.set("scheduler", std::move(sched));
+    return out;
+}
+
+void
+SolveService::recordCompletion(const SolveResult &r)
+{
+    stageQueueMs_.record(r.queueMs);
+    stageTotalMs_.record(r.queueMs + r.solveMs);
+    if (r.status == "ok")
+        jobsOk_.add();
+    else if (r.status == "error")
+        jobsError_.add();
+    else if (r.status == "cancelled")
+        jobsCancelled_.add();
+    else if (r.status == "expired")
+        jobsExpired_.add();
+    jobsCompleted_.add();
+    jobsInflight_.add(-1.0);
+}
+
 std::shared_ptr<CancelToken>
 SolveService::submit(SolveJob job, Callback done,
                      std::shared_ptr<CancelToken> token)
@@ -371,9 +513,30 @@ SolveService::submit(SolveJob job, Callback done,
                                std::chrono::duration<double, std::milli>(
                                    job.deadlineMs)));
     registerToken(job.id, token);
+    jobsSubmitted_.add();
+    jobsInflight_.add(1.0);
+    // Traced jobs allocate their timeline here; untraced jobs carry a
+    // null pointer and every recording site below no-ops (the zero-cost
+    // contract). The origin sits at parse start when the front-end
+    // measured one, so "parse" is span zero with no negative offsets.
+    std::shared_ptr<obs::Trace> trace;
+    double queue_start_ms = 0.0;
+    if (job.trace) {
+        auto origin = submitted;
+        if (job.parseMs > 0.0)
+            origin -= std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(job.parseMs));
+        trace = std::make_shared<obs::Trace>(origin);
+        if (job.parseMs > 0.0)
+            trace->add("parse", 0.0, job.parseMs);
+        queue_start_ms = trace->sinceOriginMs();
+    }
     scheduler_.submit([this, job = std::move(job), done = std::move(done),
-                       submitted, token](WorkerContext &ctx) {
+                       submitted, token, trace,
+                       queue_start_ms](WorkerContext &ctx) {
         const double queue_ms = millisSince(submitted);
+        if (trace)
+            trace->add("queue", queue_start_ms, queue_ms);
         SolveResult result;
         if (token->cancelled()) {
             // Cancelled (or expired) while still queued: report without
@@ -383,10 +546,15 @@ SolveService::submit(SolveJob job, Callback done,
             result.worker = ctx.id;
             finishCancelled(result, token->reason(), /*started=*/false);
         } else {
-            result = execute(job, ctx, token.get());
+            result = execute(job, ctx, token.get(), trace.get());
         }
         result.queueMs = queue_ms;
+        result.trace = trace;
         unregisterToken(job.id, token.get());
+        // Metrics land before the callback: a client acting on its
+        // final result (the stats probe right after a drained load)
+        // reads counts that already include this job.
+        recordCompletion(result);
         if (done)
             done(result);
     });

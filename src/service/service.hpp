@@ -28,6 +28,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/compile_cache.hpp"
 #include "service/fault.hpp"
 #include "service/job.hpp"
@@ -71,6 +73,13 @@ struct ServiceOptions
      * a build without the harness.
      */
     FaultInjector *fault = nullptr;
+    /**
+     * Metrics are always-on operationally (<2% jobs/sec overhead,
+     * measured by bench_service's observability probe); false turns
+     * every recorder into a no-op and exists only as that probe's
+     * baseline.
+     */
+    bool metricsEnabled = true;
 };
 
 /** Concurrent solve service over the registry problems. */
@@ -141,6 +150,20 @@ class SolveService
 
     CompileCache::Stats cacheStats() const { return cache_.stats(); }
 
+    /** The service's metric registry (counters, gauges, histograms).
+     * Front-ends register their own metrics here — one registry per
+     * service, one stats probe reading it. */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /**
+     * Cumulative observability snapshot: the metric registry's
+     * counters/gauges/histograms plus "cache", "registry" and
+     * "scheduler" sections. The body of the {"type":"stats"} probe
+     * (docs/protocol.md) and of --metrics-file snapshot lines.
+     */
+    Json metricsToJson() const;
+
     /** Inline-problem registry counters (submissions, ref reuse, LRU). */
     spec::ProblemRegistry::Stats registryStats() const
     {
@@ -153,9 +176,13 @@ class SolveService
      * entry point. @p token (optional) is polled at engine iteration
      * boundaries; a fired token stops the solve cooperatively and the
      * result reports "cancelled" (or "expired" for a deadline).
+     * @p trace (optional) collects the job's span timeline; submit()
+     * passes one for jobs with trace=true. Tracing never changes the
+     * answer (bit-identical outputs, tested property).
      */
     SolveResult execute(const SolveJob &job, WorkerContext &ctx,
-                        CancelToken *token = nullptr);
+                        CancelToken *token = nullptr,
+                        obs::Trace *trace = nullptr);
 
   private:
     void registerToken(const std::string &id,
@@ -173,8 +200,29 @@ class SolveService
      */
     std::shared_ptr<const model::Problem> resolveProblem(const SolveJob &job,
                                                          SolveResult &r);
+    /** Count one finished job into the registry (status counter +
+     * queue/total stage histograms), before the done callback fires so
+     * a client acting on its last result reads final counts. */
+    void recordCompletion(const SolveResult &r);
 
     ServiceOptions opts_;
+    /** Declared before cache_/registry_: their options carry pointers
+     * into this registry's histograms. */
+    obs::MetricsRegistry metrics_;
+    /** Hot-path metric handles, bound once at construction so job-rate
+     * recording never does a name lookup. */
+    obs::Counter &jobsSubmitted_;
+    obs::Counter &jobsStarted_;
+    obs::Counter &jobsCompleted_;
+    obs::Counter &jobsOk_;
+    obs::Counter &jobsError_;
+    obs::Counter &jobsCancelled_;
+    obs::Counter &jobsExpired_;
+    obs::Gauge &jobsInflight_;
+    obs::Histogram &stageQueueMs_;
+    obs::Histogram &stageCompileMs_;
+    obs::Histogram &stageSolveMs_;
+    obs::Histogram &stageTotalMs_;
     CompileCache cache_;
     spec::ProblemRegistry registry_;
     Scheduler scheduler_;

@@ -1,5 +1,9 @@
 #include "spec/registry.hpp"
 
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
 namespace chocoq::spec
 {
 
@@ -73,7 +77,13 @@ ProblemRegistry::put(const std::string &hashHex,
     }
     // Lower outside the lock (a big spec costs real work); losing the
     // insertion race below just means adopting the winner's instance.
+    const auto lowerStart = std::chrono::steady_clock::now();
     auto problem = std::make_shared<const model::Problem>(make());
+    if (opts_.lowerHistogram)
+        opts_.lowerHistogram->record(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - lowerStart)
+                .count());
     const std::size_t bytes = problemMemoryBytes(*problem);
 
     std::lock_guard<std::mutex> lock(mu_);

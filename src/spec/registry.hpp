@@ -41,6 +41,11 @@
 
 #include "model/problem.hpp"
 
+namespace chocoq::obs
+{
+class Histogram;
+} // namespace chocoq::obs
+
 namespace chocoq::spec
 {
 
@@ -53,6 +58,14 @@ struct ProblemRegistryOptions
      * thousands of typical specs.
      */
     std::size_t maxBytes = std::size_t{64} << 20;
+
+    /**
+     * Optional latency histogram fed the wall time of every first-sight
+     * lowering (put() calls that actually ran @p make, in milliseconds).
+     * Reuse hits record nothing. The pointer must outlive the registry;
+     * the service wires in its MetricsRegistry's "registry.lower_ms".
+     */
+    obs::Histogram *lowerHistogram = nullptr;
 };
 
 /** Approximate heap footprint of a problem (constraint matrix +

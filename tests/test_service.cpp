@@ -1466,3 +1466,259 @@ TEST(BatchStream, AnswersControlRequestsInline)
     EXPECT_EQ(cancel_lines, 1);
     EXPECT_EQ(ok_lines, 1);
 }
+
+// ------------------------------------------------------ observability
+
+TEST(RequestLine, ClassifiesStatsControlRequest)
+{
+    const auto stats = service::parseRequestLine(R"({"type":"stats"})", 1);
+    ASSERT_TRUE(stats.ok);
+    EXPECT_EQ(stats.control, service::ControlKind::Stats);
+}
+
+TEST(Observability, StatsProbeJsonShapeOverSocket)
+{
+    service::ServiceOptions so;
+    so.workers = 2;
+    service::SolveService svc(so);
+    service::Server server(svc, service::ServerOptions{});
+    server.start();
+
+    // Two jobs through the wire, then the probe reads the registry.
+    service::JsonlClient jobs(server.port());
+    jobs.sendLine(service::jobToJsonRequest(quickJob("s1", 11)).dump());
+    jobs.sendLine(service::jobToJsonRequest(quickJob("s2", 12)).dump());
+    jobs.shutdownWrite();
+    std::string line;
+    for (int i = 0; i < 2; ++i)
+        ASSERT_TRUE(jobs.readLine(line, 60000));
+
+    service::JsonlClient probe(server.port());
+    probe.sendLine(R"({"type":"stats"})");
+    ASSERT_TRUE(probe.readLine(line, 30000));
+    const auto v = service::Json::parse(line);
+    EXPECT_EQ(v.getString("type", ""), "stats");
+    EXPECT_EQ(v.getString("status", ""), "ok");
+    for (const char *section : {"counters", "gauges", "histograms",
+                                "cache", "registry", "scheduler",
+                                "server"})
+        ASSERT_NE(v.find(section), nullptr) << section;
+
+    const auto *counters = v.find("counters");
+    EXPECT_DOUBLE_EQ(counters->getNumber("jobs.submitted", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(counters->getNumber("jobs.completed", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(counters->getNumber("jobs.ok", -1.0), 2.0);
+
+    // Stage histograms reconcile with the counters: every completed
+    // job recorded exactly one queue and one total observation.
+    const auto *hists = v.find("histograms");
+    for (const char *name : {"stage.queue_ms", "stage.solve_ms",
+                             "stage.total_ms"})
+        EXPECT_DOUBLE_EQ(hists->find(name)->getNumber("count", -1.0), 2.0)
+            << name;
+
+    EXPECT_DOUBLE_EQ(
+        v.find("scheduler")->getNumber("workers", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(
+        v.find("server")->getNumber("stats_probes", -1.0), 1.0);
+    server.drain();
+    EXPECT_EQ(server.stats().statsProbes, 1);
+}
+
+TEST(Observability, StatsProbeNeverConsumesAnInflightSlot)
+{
+    // One worker, in-flight bound 1, the worker pinned by a slow job:
+    // a stats probe must still answer "ok" (like health, it bypasses
+    // the admission bound entirely).
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    service::ServerOptions server_options;
+    server_options.maxInflight = 1;
+    service::Server server(svc, server_options);
+    server.start();
+
+    service::JsonlClient submitter(server.port());
+    submitter.sendLine(service::jobToJsonRequest(longJob("slow")).dump());
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+
+    service::JsonlClient probe(server.port());
+    probe.sendLine(R"({"type":"stats"})");
+    std::string line;
+    ASSERT_TRUE(probe.readLine(line, 30000));
+    const auto v = service::Json::parse(line);
+    EXPECT_EQ(v.getString("type", ""), "stats");
+    EXPECT_EQ(v.getString("status", ""), "ok");
+    EXPECT_DOUBLE_EQ(
+        v.find("gauges")->getNumber("jobs.inflight", -1.0), 1.0);
+
+    probe.sendLine(R"({"type":"cancel","id":"slow"})");
+    ASSERT_TRUE(probe.readLine(line, 30000));
+    server.drain();
+    EXPECT_EQ(server.stats().rejected, 0)
+        << "the probe must not have been counted against maxInflight";
+}
+
+TEST(Observability, CountersReconcileUnderConcurrentLoad)
+{
+    service::ServiceOptions so;
+    so.workers = 2;
+    service::SolveService svc(so);
+
+    // Every worker pinned by a long job so the victim deterministically
+    // sits in the queue (an idle worker would race the queued-state
+    // check and could start it), then the queued job is cancelled
+    // before it starts, plus a concurrent burst of ok jobs from several
+    // submitter threads: afterwards the counters and the stage
+    // histograms must agree exactly — metrics are monotonic
+    // increments, never samples.
+    svc.submit(longJob("blocker0"));
+    svc.submit(longJob("blocker1"));
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 2; }));
+    svc.submit(quickJob("victim", 99));
+    ASSERT_TRUE(waitFor([&] { return svc.health().queued >= 1; }));
+    EXPECT_EQ(svc.cancel("victim"), 1);
+    EXPECT_EQ(svc.cancel("blocker0"), 1);
+    EXPECT_EQ(svc.cancel("blocker1"), 1);
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 6;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < kThreads; ++t)
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                svc.submit(quickJob(
+                    "c" + std::to_string(t) + "/" + std::to_string(i),
+                    100 + static_cast<std::uint64_t>(t * kPerThread + i)));
+        });
+    for (auto &t : submitters)
+        t.join();
+    svc.drain();
+
+    constexpr std::uint64_t kTotal = kThreads * kPerThread + 3;
+    auto &m = svc.metrics();
+    EXPECT_EQ(m.counter("jobs.submitted").value(), kTotal);
+    EXPECT_EQ(m.counter("jobs.completed").value(), kTotal);
+    EXPECT_EQ(m.counter("jobs.ok").value(), kTotal - 3);
+    EXPECT_EQ(m.counter("jobs.cancelled").value(), 3u);
+    EXPECT_EQ(m.counter("jobs.error").value(), 0u);
+    EXPECT_EQ(m.counter("jobs.ok").value()
+                  + m.counter("jobs.error").value()
+                  + m.counter("jobs.cancelled").value()
+                  + m.counter("jobs.expired").value(),
+              m.counter("jobs.completed").value());
+    // Histogram counts are the same ground truth: one queue and one
+    // total observation per completed job, one solve observation per
+    // started job (the pre-start cancellation never reached a worker).
+    EXPECT_EQ(m.histogram("stage.queue_ms").snapshot().count, kTotal);
+    EXPECT_EQ(m.histogram("stage.total_ms").snapshot().count, kTotal);
+    EXPECT_EQ(m.histogram("stage.solve_ms").snapshot().count,
+              m.counter("jobs.started").value());
+    EXPECT_DOUBLE_EQ(m.gauge("jobs.inflight").value(), 0.0);
+}
+
+TEST(Observability, TraceSpansOrderedAndNestedOnTheWire)
+{
+    // Through the batch stream so the parse span is on the timeline
+    // too: the trace rides the result line as a "trace" object.
+    std::istringstream in(
+        "{\"id\":\"t\",\"scale\":\"F1\",\"iters\":10,\"trace\":true}\n");
+    std::ostringstream out;
+    service::SolveService svc{service::ServiceOptions{}};
+    service::runJsonlStream(in, out, svc);
+
+    const auto v = service::Json::parse(out.str());
+    ASSERT_EQ(v.getString("status", ""), "ok");
+    const auto *trace = v.find("trace");
+    ASSERT_NE(trace, nullptr);
+    const auto &spans = trace->find("spans")->items();
+    ASSERT_GE(spans.size(), 6u);
+
+    // Expected pipeline order; "optimize" nests inside "solve".
+    std::vector<std::string> names;
+    for (const auto &s : spans)
+        names.push_back(s.getString("name", ""));
+    const char *expected[] = {"parse",   "queue",    "resolve",
+                              "compile", "solve",    "optimize",
+                              "respond"};
+    std::size_t at = 0;
+    for (const char *name : expected) {
+        const auto it = std::find(names.begin() + at, names.end(), name);
+        ASSERT_NE(it, names.end()) << name << " missing or out of order";
+        at = static_cast<std::size_t>(it - names.begin());
+    }
+
+    double prev_start = 0.0;
+    std::map<std::string, std::pair<double, double>> bounds;
+    for (const auto &s : spans) {
+        const double start = s.getNumber("start_ms", -1.0);
+        const double dur = s.getNumber("dur_ms", -1.0);
+        EXPECT_GE(start, prev_start) << "spans must sort by start";
+        EXPECT_GE(dur, 0.0);
+        prev_start = start;
+        bounds[s.getString("name", "")] = {start, start + dur};
+    }
+    // Nesting invariant: optimize inside solve, everything inside
+    // [0, respond].
+    EXPECT_GE(bounds["optimize"].first, bounds["solve"].first);
+    EXPECT_LE(bounds["optimize"].second, bounds["solve"].second);
+    EXPECT_LE(bounds["solve"].second, bounds["respond"].first);
+    // The compile span carries the cache annotation (cold cache: miss).
+    for (const auto &s : spans)
+        if (s.getString("name", "") == "compile")
+            EXPECT_EQ(s.getString("note", ""), "cache_miss");
+}
+
+TEST(Observability, TracingIsBitIdentical)
+{
+    // The answer must not depend on whether anyone watched it happen.
+    const auto jobs = determinismSuite();
+    service::ServiceOptions so;
+    so.workers = 2;
+    const auto plain = service::SolveService(so).solveAll(jobs);
+
+    auto traced_jobs = jobs;
+    for (auto &job : traced_jobs)
+        job.trace = true;
+    const auto traced = service::SolveService(so).solveAll(traced_jobs);
+
+    ASSERT_EQ(plain.size(), traced.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i].status, "ok");
+        EXPECT_EQ(plain[i].distHash, traced[i].distHash) << plain[i].id;
+        EXPECT_EQ(std::memcmp(&plain[i].bestCost, &traced[i].bestCost,
+                              sizeof(double)),
+                  0)
+            << plain[i].id;
+        EXPECT_EQ(plain[i].trace, nullptr)
+            << "untraced jobs must not allocate a trace";
+        ASSERT_NE(traced[i].trace, nullptr);
+        EXPECT_FALSE(traced[i].trace->spans().empty());
+    }
+}
+
+TEST(BatchStream, AnswersStatsInline)
+{
+    std::istringstream in("{\"id\":\"j\",\"scale\":\"F1\",\"iters\":5}\n"
+                          "{\"type\":\"stats\"}\n");
+    std::ostringstream out;
+    service::SolveService svc{service::ServiceOptions{}};
+    const auto stats = service::runJsonlStream(in, out, svc);
+    EXPECT_EQ(stats.submitted, 1);
+    EXPECT_EQ(stats.statsProbes, 1);
+
+    bool saw_stats = false;
+    std::istringstream lines(out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+        const auto v = service::Json::parse(line);
+        if (v.getString("type", "") != "stats")
+            continue;
+        saw_stats = true;
+        // Batch mode answers control lines inline (without draining),
+        // so the preceding job is submitted but may still be running.
+        EXPECT_DOUBLE_EQ(
+            v.find("counters")->getNumber("jobs.submitted", -1.0), 1.0);
+    }
+    EXPECT_TRUE(saw_stats);
+}

@@ -27,11 +27,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -134,6 +137,17 @@ usage(const char *argv0)
         << "                      (e.g. 'stall=0.5:400,conn_reset=0.1,"
            "seed=9');\n"
         << "                      unset means no injection anywhere\n"
+        << "\nObservability (both modes; see docs/observability.md):\n"
+        << "  --metrics-file FILE     append one JSON metrics snapshot "
+           "per line\n"
+        << "                      (JSONL, same body as the {\"type\":"
+           "\"stats\"}\n"
+        << "                      probe plus \"unix_ms\"); one snapshot "
+           "per\n"
+        << "                      interval and a final one at shutdown\n"
+        << "  --metrics-interval-ms N snapshot period for --metrics-file "
+           "in ms\n"
+        << "                      (default: 1000)\n"
         << "\nUnknown options are rejected with exit status 2.\n";
 }
 
@@ -218,6 +232,83 @@ printSummary(const chocoq::service::SolveService &service, long submitted,
     printRobustnessSummary(service, fault);
 }
 
+/**
+ * Periodic JSONL metrics snapshots (--metrics-file): one line per
+ * interval, same body as the {"type":"stats"} probe plus "unix_ms", and
+ * a final line at shutdown so even a short batch run leaves a record.
+ * Reading the registry is lock-cheap (registration mutex only), so the
+ * writer thread never perturbs the serving path.
+ */
+class MetricsFileWriter
+{
+  public:
+    MetricsFileWriter(const chocoq::service::SolveService &service,
+                      const std::string &path, int interval_ms)
+        : service_(service), intervalMs_(interval_ms)
+    {
+        out_.open(path, std::ios::app);
+        if (!out_) {
+            std::cerr << "cannot open metrics file " << path << "\n";
+            std::exit(2);
+        }
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~MetricsFileWriter() { stop(); }
+
+    /** Write the final snapshot and join; idempotent. */
+    void stop()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stop_)
+                return;
+            stop_ = true;
+        }
+        cv_.notify_all();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+  private:
+    void writeSnapshot()
+    {
+        chocoq::service::Json line =
+            chocoq::service::statsToJson(service_);
+        line.set("unix_ms",
+                 static_cast<double>(
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now()
+                             .time_since_epoch())
+                         .count()));
+        out_ << line.dump() << "\n";
+        out_.flush();
+    }
+
+    void loop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            cv_.wait_for(lock, std::chrono::milliseconds(intervalMs_),
+                         [this] { return stop_; });
+            if (stop_)
+                break;
+            lock.unlock();
+            writeSnapshot();
+            lock.lock();
+        }
+        writeSnapshot(); // shutdown snapshot: the run's final counts
+    }
+
+    const chocoq::service::SolveService &service_;
+    const int intervalMs_;
+    std::ofstream out_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
+};
+
 } // namespace
 
 int
@@ -225,6 +316,8 @@ main(int argc, char **argv)
 {
     std::string input_path;
     std::string port_file;
+    std::string metrics_file;
+    int metrics_interval_ms = 1000;
     chocoq::service::ServiceOptions options;
     chocoq::service::ServerOptions server_options;
     bool quiet = false;
@@ -346,6 +439,16 @@ main(int argc, char **argv)
                              .dump()
                       << "\n";
             return 0;
+        } else if (arg == "--metrics-file") {
+            metrics_file = next();
+        } else if (arg == "--metrics-interval-ms") {
+            metrics_interval_ms = static_cast<int>(parsedNonNegative(
+                next(), "--metrics-interval-ms", 1 << 30));
+            if (metrics_interval_ms < 1) {
+                std::cerr << "--metrics-interval-ms expects a positive "
+                             "integer\n";
+                return 2;
+            }
         } else if (arg == "--port-file") {
             server_only_flag = arg;
             port_file = next();
@@ -398,6 +501,11 @@ main(int argc, char **argv)
     chocoq::service::SolveService service(options);
     chocoq::Timer wall;
 
+    std::unique_ptr<MetricsFileWriter> metrics_writer;
+    if (!metrics_file.empty())
+        metrics_writer = std::make_unique<MetricsFileWriter>(
+            service, metrics_file, metrics_interval_ms);
+
     if (listen) {
         // Handlers go in before anything is externally observable: a
         // supervisor that reacts to the port file (or the banner) may
@@ -428,6 +536,8 @@ main(int argc, char **argv)
 
         // Graceful drain: finish accepted jobs, flush results, close.
         server.drain();
+        if (metrics_writer)
+            metrics_writer->stop(); // final snapshot sees drained counts
         const auto stats = server.stats();
         if (!quiet) {
             // No jobs/s here: lifetime-averaged throughput of a
@@ -481,6 +591,8 @@ main(int argc, char **argv)
     const auto stats =
         chocoq::service::runJsonlStream(in, std::cout, service,
                                         stream_limits);
+    if (metrics_writer)
+        metrics_writer->stop(); // final snapshot sees drained counts
     if (!quiet)
         printSummary(service, stats.submitted, stats.failed, wall.seconds(),
                      fault_active);

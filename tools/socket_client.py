@@ -28,9 +28,25 @@ connection each round, with exponential backoff plus jitter between
 rounds. Retry mode needs to correlate responses to requests, so every
 request line must be a JSON object; requests without an "id" get a
 synthetic "retry-<line>" id (echoed in their responses). Control
-requests ({"type":"cancel"} / {"type":"health"}) are not retryable and
-are rejected in retry mode. Without --max-retries (the default) the
-client is a byte-faithful pipe, exactly as before.
+requests ({"type":"cancel"} / {"type":"health"} / {"type":"stats"})
+are not retryable and are rejected in retry mode. Without
+--max-retries (the default) the client is a byte-faithful pipe,
+exactly as before.
+
+Observability flags (docs/observability.md):
+
+    socket_client.py 7077 --stats
+
+sends one {"type":"stats"} probe and pretty-prints the server's
+cumulative metrics snapshot (counters, gauges, stage histograms,
+cache/registry/scheduler/server sections).
+
+    printf '{"scale":"F1","seed":7}\n' | socket_client.py 7077 --trace
+
+sets "trace":true on every job request (requests must be JSON
+objects; control requests pass through untouched) and, after each
+result's JSON line, renders its span timeline with the same formatter
+as trace_view.py.
 
 Exit status: 0 on a clean close (retry mode: every request resolved),
 2 on usage/connection errors or when retries are exhausted.
@@ -41,6 +57,14 @@ import random
 import socket
 import sys
 import time
+
+# trace_view lives next to this script; --trace borrows its timeline
+# formatter so client-side and offline rendering stay identical. The
+# import is optional so every other mode works with this file alone.
+try:
+    import trace_view
+except ImportError:  # pragma: no cover - only when copied standalone
+    trace_view = None
 
 # Transient response statuses worth resubmitting: "rejected" is
 # backpressure (the server asked us to come back later), "expired" is a
@@ -94,6 +118,81 @@ def build_inline_request(args: list) -> dict:
     if "problem" not in job:
         usage_error("--problem FILE is required in inline mode")
     return job
+
+
+def emit_result(resp: dict, show_trace: bool):
+    """One response: compact JSON line, then its timeline if asked."""
+    sys.stdout.write(json.dumps(resp, separators=(",", ":")) + "\n")
+    if show_trace and isinstance(resp.get("trace"), dict):
+        label = str(resp.get("id", "") or "")
+        for line in trace_view.format_trace(resp["trace"], label=label):
+            sys.stdout.write(line + "\n")
+
+
+def run_stats(port: int) -> int:
+    """Send one {"type":"stats"} probe, pretty-print the snapshot."""
+    try:
+        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
+    except OSError as e:
+        print(f"cannot connect to 127.0.0.1:{port}: {e}", file=sys.stderr)
+        return 2
+    buf = b""
+    with conn:
+        conn.sendall(b'{"type":"stats"}\n')
+        conn.shutdown(socket.SHUT_WR)
+        while b"\n" not in buf:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    line, _, _ = buf.partition(b"\n")
+    if not line.strip():
+        print("socket_client: no stats response", file=sys.stderr)
+        return 2
+    try:
+        snapshot = json.loads(line)
+    except ValueError:
+        sys.stdout.buffer.write(line + b"\n")
+        return 0
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+def stream_traced(port: int, requests: list) -> int:
+    """--trace without retries: one connection, parsed result lines so
+    each trace renders as it arrives."""
+    try:
+        conn = socket.create_connection(("127.0.0.1", port), timeout=600)
+    except OSError as e:
+        print(f"cannot connect to 127.0.0.1:{port}: {e}", file=sys.stderr)
+        return 2
+    buf = b""
+    with conn:
+        payload = b"".join(
+            (json.dumps(obj) + "\n").encode() for obj in requests
+        )
+        conn.sendall(payload)
+        conn.shutdown(socket.SHUT_WR)
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf:
+                line, _, buf = buf.partition(b"\n")
+                if not line.strip():
+                    continue
+                try:
+                    resp = json.loads(line)
+                except ValueError:
+                    sys.stdout.buffer.write(line + b"\n")
+                    continue
+                if isinstance(resp, dict):
+                    emit_result(resp, show_trace=True)
+                else:
+                    sys.stdout.write(json.dumps(resp) + "\n")
+    sys.stdout.flush()
+    return 0
 
 
 def stream_once(port: int, payload: bytes) -> int:
@@ -156,7 +255,9 @@ def attempt_round(port: int, batch: list):
     return responses, error
 
 
-def run_with_retries(port: int, requests: list, max_retries: int) -> int:
+def run_with_retries(
+    port: int, requests: list, max_retries: int, show_trace: bool = False
+) -> int:
     """Resolve every request, resubmitting transient failures.
 
     Responses print (one JSON line each) as their request resolves —
@@ -170,10 +271,10 @@ def run_with_retries(port: int, requests: list, max_retries: int) -> int:
                 f"--max-retries requires JSON object requests; "
                 f"line {n + 1} is not an object"
             )
-        if obj.get("type") in ("cancel", "health"):
+        if obj.get("type") in ("cancel", "health", "stats"):
             usage_error(
                 "--max-retries cannot carry control requests "
-                "(cancel/health); send them without retries"
+                "(cancel/health/stats); send them without retries"
             )
         if not obj.get("id"):
             obj = dict(obj, id=f"retry-{n + 1}")
@@ -201,7 +302,7 @@ def run_with_retries(port: int, requests: list, max_retries: int) -> int:
                 # Compact separators match the server's wire format, so
                 # downstream greps/diffs treat retried and direct output
                 # the same way.
-                sys.stdout.write(json.dumps(resp, separators=(",", ":")) + "\n")
+                emit_result(resp, show_trace)
         unresolved = still
         sys.stdout.flush()
         if not unresolved:
@@ -220,7 +321,7 @@ def run_with_retries(port: int, requests: list, max_retries: int) -> int:
     # the caller sees *why* each request never resolved.
     for i in unresolved:
         if i in last_seen:
-            sys.stdout.write(json.dumps(last_seen[i], separators=(",", ":")) + "\n")
+            emit_result(last_seen[i], show_trace)
     sys.stdout.flush()
     print(
         f"socket_client: gave up on {len(unresolved)} request(s) after "
@@ -240,10 +341,12 @@ def main(argv: list) -> int:
         print(f"not a port number: {argv[1]!r}", file=sys.stderr)
         return 2
 
-    # --max-retries applies in both modes, so lift it out before the
-    # inline-request builder sees the remaining args.
+    # Mode flags apply in both request modes, so lift them out before
+    # the inline-request builder sees the remaining args.
     args = list(argv[2:])
     max_retries = 0
+    want_stats = False
+    want_trace = False
     i = 0
     while i < len(args):
         if args[i] == "--max-retries":
@@ -259,8 +362,21 @@ def main(argv: list) -> int:
                     f"got {args[i + 1]!r}"
                 )
             del args[i : i + 2]
+        elif args[i] == "--stats":
+            want_stats = True
+            del args[i]
+        elif args[i] == "--trace":
+            want_trace = True
+            del args[i]
         else:
             i += 1
+
+    if want_stats:
+        if args or want_trace or max_retries:
+            usage_error("--stats takes no other arguments")
+        return run_stats(port)
+    if want_trace and trace_view is None:
+        usage_error("--trace needs trace_view.py next to this script")
 
     if args:
         requests = [build_inline_request(args)]
@@ -269,10 +385,11 @@ def main(argv: list) -> int:
         payload = sys.stdin.buffer.read()
         requests = None
 
-    if max_retries == 0:
+    if max_retries == 0 and not want_trace:
         return stream_once(port, payload)
 
     if requests is None:
+        mode = "--max-retries" if max_retries else "--trace"
         requests = []
         for n, line in enumerate(payload.splitlines()):
             if not line.strip():
@@ -281,10 +398,23 @@ def main(argv: list) -> int:
                 requests.append(json.loads(line))
             except ValueError:
                 usage_error(
-                    f"--max-retries requires parseable JSON requests; "
+                    f"{mode} requires parseable JSON requests; "
                     f"line {n + 1} is not JSON"
                 )
-    return run_with_retries(port, requests, max_retries)
+
+    if want_trace:
+        # Job requests gain "trace":true; control requests (objects
+        # with a "type") and non-object lines pass through untouched.
+        requests = [
+            dict(obj, trace=True)
+            if isinstance(obj, dict) and "type" not in obj
+            else obj
+            for obj in requests
+        ]
+
+    if max_retries == 0:
+        return stream_traced(port, requests)
+    return run_with_retries(port, requests, max_retries, show_trace=want_trace)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Render chocoq trace timelines and diff stats snapshots (stdlib only).
+
+Timeline mode (the default) reads JSONL from FILE (or stdin with `-`,
+also the default) and renders every trace it finds as an aligned text
+timeline — one row per span, indented by containment, with a bar scaled
+over the whole job:
+
+    chocoq_serve --quiet < traced_jobs.jsonl | trace_view.py
+    trace_view.py results.jsonl
+
+Accepted line shapes: a result line carrying a "trace" member (what the
+server emits for "trace":true jobs), or a bare trace object
+({"spans":[...]}). Lines without a trace are skipped silently, so the
+raw server output pipes straight in.
+
+Diff mode compares two stats snapshots — {"type":"stats"} probe bodies
+or --metrics-file JSONL files (the last snapshot line of each file is
+used):
+
+    trace_view.py --diff before.json after.json
+
+It prints counter deltas, gauge movement, and per-histogram activity
+(delta count, and the later snapshot's avg/p50/p99/max) so "what did
+this load do to the service" is one command.
+
+socket_client.py --trace imports format_trace() from this module, so
+client-side and offline rendering stay identical.
+
+Exit status: 0 on success (including "no traces found"), 2 on usage or
+file errors.
+"""
+
+import json
+import os
+import sys
+
+BAR_WIDTH = 40
+
+
+def _span_depth(spans, i):
+    """Containment depth of span i: how many other spans enclose it.
+
+    A span encloses another when its [start, end] interval covers the
+    other's. Ties on identical intervals fall back to record order, so
+    a parent emitted before the nested span it contains (the server's
+    documented tie order) renders as the parent.
+    """
+    s = spans[i]
+    s_start = s.get("start_ms", 0.0)
+    s_end = s_start + s.get("dur_ms", 0.0)
+    depth = 0
+    for j, other in enumerate(spans):
+        if j == i:
+            continue
+        o_start = other.get("start_ms", 0.0)
+        o_end = o_start + other.get("dur_ms", 0.0)
+        if o_start <= s_start and o_end >= s_end:
+            if (o_start, o_end) == (s_start, s_end) and j > i:
+                continue
+            depth += 1
+    return depth
+
+
+def format_trace(trace, label=""):
+    """Format one trace object ({"spans":[...]}) as a list of lines."""
+    spans = trace.get("spans", [])
+    total = 0.0
+    for s in spans:
+        total = max(total, s.get("start_ms", 0.0) + s.get("dur_ms", 0.0))
+    head = "trace"
+    if label:
+        head += f" {label}"
+    head += f" ({len(spans)} spans, {total:.3f} ms)"
+    if not spans:
+        return [head]
+
+    names = []
+    for i, s in enumerate(spans):
+        names.append("  " * _span_depth(spans, i) + s.get("name", "?"))
+    name_w = max(len(n) for n in names)
+
+    lines = [head]
+    for s, name in zip(spans, names):
+        start = s.get("start_ms", 0.0)
+        dur = s.get("dur_ms", 0.0)
+        if total > 0.0:
+            begin = int(start / total * BAR_WIDTH)
+            length = max(1, round(dur / total * BAR_WIDTH))
+            begin = min(begin, BAR_WIDTH - 1)
+            length = min(length, BAR_WIDTH - begin)
+        else:
+            begin, length = 0, 1
+        bar = " " * begin + "#" * length
+        row = (
+            f"  {name:<{name_w}}  {start:9.3f} +{dur:9.3f} ms"
+            f"  |{bar:<{BAR_WIDTH}}|"
+        )
+        note = s.get("note", "")
+        if note:
+            row += f"  {note}"
+        lines.append(row)
+    return lines
+
+
+def extract_trace(obj):
+    """The trace object inside a parsed JSONL line, or None."""
+    if not isinstance(obj, dict):
+        return None
+    if isinstance(obj.get("trace"), dict):
+        return obj["trace"]
+    if isinstance(obj.get("spans"), list):
+        return obj
+    return None
+
+
+def load_snapshot(path):
+    """Load a stats snapshot: a JSON object with a "counters" member,
+    or a --metrics-file JSONL file (last snapshot line wins)."""
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    try:
+        obj = json.loads(text)
+        if isinstance(obj, dict) and "counters" in obj:
+            return obj
+    except ValueError:
+        pass
+    snapshot = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(obj, dict) and "counters" in obj:
+            snapshot = obj
+    if snapshot is None:
+        raise ValueError(f"no stats snapshot found in {path}")
+    return snapshot
+
+
+def format_stats_diff(a, b):
+    """Format the movement from snapshot a to snapshot b as lines."""
+    lines = []
+
+    a_counters = a.get("counters", {})
+    b_counters = b.get("counters", {})
+    names = sorted(set(a_counters) | set(b_counters))
+    if names:
+        width = max(len(n) for n in names)
+        lines.append("counters:")
+        for n in names:
+            va = int(a_counters.get(n, 0))
+            vb = int(b_counters.get(n, 0))
+            delta = vb - va
+            row = f"  {n:<{width}}  {va:>10} -> {vb:<10}"
+            if delta:
+                row += f" ({delta:+d})"
+            lines.append(row)
+
+    a_gauges = a.get("gauges", {})
+    b_gauges = b.get("gauges", {})
+    names = sorted(set(a_gauges) | set(b_gauges))
+    if names:
+        width = max(len(n) for n in names)
+        lines.append("gauges:")
+        for n in names:
+            va = float(a_gauges.get(n, 0.0))
+            vb = float(b_gauges.get(n, 0.0))
+            lines.append(f"  {n:<{width}}  {va:>10.3f} -> {vb:<10.3f}")
+
+    a_hists = a.get("histograms", {})
+    b_hists = b.get("histograms", {})
+    names = sorted(set(a_hists) | set(b_hists))
+    if names:
+        width = max(len(n) for n in names)
+        lines.append(
+            f"histograms:{'':{max(0, width - 10)}}"
+            "   +count     avg_ms     p50_ms     p99_ms     max_ms"
+        )
+        for n in names:
+            ha = a_hists.get(n, {})
+            hb = b_hists.get(n, {})
+            dcount = int(hb.get("count", 0)) - int(ha.get("count", 0))
+            lines.append(
+                f"  {n:<{width}}  {dcount:>7}"
+                f" {float(hb.get('avg_ms', 0.0)):>10.3f}"
+                f" {float(hb.get('p50_ms', 0.0)):>10.3f}"
+                f" {float(hb.get('p99_ms', 0.0)):>10.3f}"
+                f" {float(hb.get('max_ms', 0.0)):>10.3f}"
+            )
+    return lines
+
+
+def run_diff(path_a, path_b):
+    try:
+        a = load_snapshot(path_a)
+        b = load_snapshot(path_b)
+    except (OSError, ValueError) as e:
+        print(f"trace_view: {e}", file=sys.stderr)
+        return 2
+    for line in format_stats_diff(a, b):
+        print(line)
+    return 0
+
+
+def run_timeline(path):
+    if path == "-":
+        stream = sys.stdin
+    else:
+        try:
+            stream = open(path, encoding="utf-8")
+        except OSError as e:
+            print(f"trace_view: {e}", file=sys.stderr)
+            return 2
+    rendered = 0
+    with stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                continue
+            trace = extract_trace(obj)
+            if trace is None:
+                continue
+            label = obj.get("id", "") if isinstance(obj, dict) else ""
+            if rendered:
+                print()
+            for out in format_trace(trace, label=label):
+                print(out)
+            rendered += 1
+    if rendered == 0:
+        print("trace_view: no traces found", file=sys.stderr)
+    return 0
+
+
+def main(argv):
+    args = list(argv[1:])
+    if args and args[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0
+    if args and args[0] == "--diff":
+        if len(args) != 3:
+            print("usage: trace_view.py --diff A B", file=sys.stderr)
+            return 2
+        return run_diff(args[1], args[2])
+    if len(args) > 1:
+        print("usage: trace_view.py [FILE|-] | --diff A B", file=sys.stderr)
+        return 2
+    return run_timeline(args[0] if args else "-")
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
