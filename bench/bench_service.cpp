@@ -162,9 +162,9 @@ struct SocketReport
 {
     int workers = 0;
     int connections = 0;
-    /** Mean accept -> handler-thread-start latency, from the server's
-     * own server.accept_ms histogram (the OS + thread-spawn half of
-     * what used to be a single client-side conn_setup number). */
+    /** Mean accept -> handler-start latency, from the server's own
+     * server.accept_ms histogram: the server-controlled half of
+     * connection setup (emitted as accept_ms_avg). */
     double acceptMsAvg = 0.0;
     /** Mean accept -> first request byte, from server.first_byte_ms:
      * adds the client's connect round-trip and first write. */

@@ -5,6 +5,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -286,6 +287,78 @@ getBoundedLine(std::istream &in, std::string &line, std::size_t max_bytes,
 
 } // namespace
 
+// ----------------------------------------------------------- LineFramer
+
+void
+LineFramer::feed(const char *data, std::size_t n)
+{
+    if (discarding_) {
+        // Inside the tail of an oversized line (already answered):
+        // drop bytes unbuffered until its newline goes by.
+        const auto *nl =
+            static_cast<const char *>(std::memchr(data, '\n', n));
+        if (nl == nullptr)
+            return;
+        discarding_ = false;
+        const std::size_t skip = static_cast<std::size_t>(nl - data) + 1;
+        data += skip;
+        n -= skip;
+        if (n == 0)
+            return;
+    }
+    buf_.append(data, n);
+}
+
+bool
+LineFramer::next(Line &out)
+{
+    const std::size_t pos = buf_.find('\n', start_);
+    if (pos == std::string::npos) {
+        if (!discarding_ && buf_.size() - start_ > maxLine_) {
+            // Oversized line still missing its newline: fail it now
+            // (bounded memory) and drop bytes until the newline
+            // arrives. feed() handles the rest of the discard.
+            out = Line{std::string(), ++lineno_, true};
+            buf_.clear();
+            start_ = 0;
+            discarding_ = true;
+            return true;
+        }
+        if (start_ > 0) { // one compaction per feed/drain cycle
+            buf_.erase(0, start_);
+            start_ = 0;
+        }
+        return false;
+    }
+    std::string text = buf_.substr(start_, pos - start_);
+    start_ = pos + 1;
+    if (start_ >= buf_.size()) {
+        buf_.clear();
+        start_ = 0;
+    }
+    out.lineno = ++lineno_;
+    // A whole oversized line can arrive in one burst before the
+    // partial-buffer bound trips: same oversize verdict either way.
+    out.oversized = text.size() > maxLine_;
+    out.text = out.oversized ? std::string() : std::move(text);
+    return true;
+}
+
+bool
+LineFramer::tail(Line &out)
+{
+    if (discarding_ || start_ >= buf_.size())
+        return false;
+    // A partial line over the bound already came back oversized from
+    // next(), so a surviving tail is always within it.
+    out.text = buf_.substr(start_);
+    out.lineno = ++lineno_;
+    out.oversized = false;
+    buf_.clear();
+    start_ = 0;
+    return true;
+}
+
 StreamStats
 runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
                const StreamLimits &limits)
@@ -353,23 +426,68 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
 
 // --------------------------------------------------------------- Server
 
-/** Per-connection state shared between the read loop and the result
- * callbacks still in flight on worker threads. */
+/** Per-connection state shared between the read loop (a dedicated
+ * thread or an event-loop shard) and the result callbacks still in
+ * flight on worker threads. */
 struct Server::Connection
 {
     int fd = -1;
     /** When accept() returned this connection, anchoring the
      * accept_ms / first_byte_ms setup-latency split. */
     Clock::time_point acceptedAt;
-    /** First-byte latency recorded yet? Only the reader thread touches
-     * it. */
+    /** First-byte latency recorded yet? Only the reader (thread or
+     * shard) touches it. */
     bool sawFirstByte = false;
-    /** Serializes result lines (callbacks fire on worker threads). */
+    /** Serializes result lines (callbacks fire on worker threads). In
+     * event mode it also guards fd teardown, outBuf/outOff, and
+     * lastWriteProgress. */
     std::mutex writeMu;
     /** This connection's jobs accepted but not yet written back. */
     std::atomic<long> inflight{0};
     /** Set when a write hit a dead peer; stops further writes early. */
     std::atomic<bool> broken{false};
+    /** disconnectCancels already counted for this connection? Both the
+     * read-error and failed-write paths can observe the same drop; the
+     * stat is exactly-once per connection. */
+    std::atomic<bool> disconnectCounted{false};
+
+    // ---- Event-loop state (unused in thread-per-connection mode).
+    // Owned by the shard thread except where a comment says otherwise.
+    /** Owning shard; non-null exactly in event mode. */
+    EventShard *shard = nullptr;
+    LineFramer framer;
+    /** Jobs accepted from this connection (per-connection limit). */
+    long served = 0;
+    /** Per-connection request limit hit: remaining buffered lines get
+     * rejections, then the connection finishes. */
+    bool limitClose = false;
+    /** No more requests will be read (EOF, idle close, limit close, or
+     * drain); the connection finishes once in-flight results flush. */
+    bool readClosed = false;
+    /** SHUT_WR sent; waiting (bounded) for the peer's close so the
+     * flushed results are not RST-discarded — the event-loop
+     * equivalent of drainAndClose. */
+    bool wrShutdown = false;
+    Clock::time_point closeDeadline;
+    /** Idle-timeout clock. */
+    Clock::time_point lastActivity;
+    /** Parked over-capacity request (--queue-wait): reading pauses so
+     * at most one request per connection waits and TCP backpressure
+     * reaches the sender — the non-blocking twin of holding the
+     * reader thread. */
+    bool parked = false;
+    SolveJob parkedJob;
+    double parkedBudgetMs = 0.0;
+    Clock::time_point parkedAt;
+    /** Outbound bytes send(2) could not take, resumed via POLLOUT.
+     * Guarded by writeMu; outOff is the consumed prefix. */
+    std::string outBuf;
+    std::size_t outOff = 0;
+    /** Last time a send made progress (stall detection). writeMu. */
+    Clock::time_point lastWriteProgress;
+
+    /** Pending unsent bytes. writeMu must be held. */
+    std::size_t pendingOutLocked() const { return outBuf.size() - outOff; }
 
     /** Cancellation tokens of this connection's in-flight jobs. The
      * token is registered before submit() and removed by the result
@@ -402,6 +520,34 @@ struct Server::Connection
         for (const auto &t : tokens)
             t->requestCancel(reason);
         return static_cast<int>(tokens.size());
+    }
+};
+
+/**
+ * One event-loop shard: a poll(2) thread owning a private connection
+ * table. The only cross-thread surface is the incoming queue (accept
+ * loop hands new connections over) and the self-pipe that interrupts
+ * poll when another thread changes state the shard should notice (new
+ * connection, buffered output, a job completion).
+ */
+struct Server::EventShard
+{
+    std::thread thread;
+    /** Self-pipe: [0] read end polled by the shard, [1] written by
+     * wakeShard. Both non-blocking. */
+    int wakeRd = -1;
+    int wakeWr = -1;
+    std::mutex mu; // guards incoming
+    std::vector<std::shared_ptr<Connection>> incoming;
+    /** Shard-thread private. */
+    std::vector<std::shared_ptr<Connection>> conns;
+
+    ~EventShard()
+    {
+        if (wakeRd >= 0)
+            ::close(wakeRd);
+        if (wakeWr >= 0)
+            ::close(wakeWr);
     }
 };
 
@@ -453,6 +599,31 @@ Server::start()
     socklen_t len = sizeof addr;
     ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr), &len);
     port_ = ntohs(addr.sin_port);
+
+    if (opts_.eventLoop) {
+        const int n = std::max(1, opts_.eventLoopShards);
+        for (int i = 0; i < n; ++i) {
+            auto sh = std::make_unique<EventShard>();
+            int pipefd[2];
+            if (::pipe(pipefd) != 0) {
+                ::close(listenFd_);
+                listenFd_ = -1;
+                shards_.clear();
+                CHOCOQ_FATAL("pipe(): " << std::strerror(errno));
+            }
+            ::fcntl(pipefd[0], F_SETFL,
+                    ::fcntl(pipefd[0], F_GETFL, 0) | O_NONBLOCK);
+            ::fcntl(pipefd[1], F_SETFL,
+                    ::fcntl(pipefd[1], F_GETFL, 0) | O_NONBLOCK);
+            sh->wakeRd = pipefd[0];
+            sh->wakeWr = pipefd[1];
+            shards_.push_back(std::move(sh));
+        }
+        for (auto &sh : shards_) {
+            EventShard *raw = sh.get();
+            raw->thread = std::thread([this, raw] { eventShardLoop(*raw); });
+        }
+    }
 
     started_ = true;
     acceptThread_ = std::thread([this] { acceptLoop(); });
@@ -516,6 +687,9 @@ Server::acceptLoop()
         // Result lines are small and latency-sensitive; don't batch them.
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        if (opts_.sendBufferBytes > 0)
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &opts_.sendBufferBytes,
+                         sizeof opts_.sendBufferBytes);
         // Bound result writes: a client that stops reading must cost a
         // broken connection, not a solver worker blocked in send().
         if (opts_.sendTimeoutMs > 0) {
@@ -551,9 +725,29 @@ Server::acceptLoop()
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         conn->acceptedAt = Clock::now();
-        connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
+        const long accepted =
+            connectionsAccepted_.fetch_add(1, std::memory_order_relaxed);
         connectionsOpen_.fetch_add(1, std::memory_order_relaxed);
         connOpenGauge_.add(1.0);
+
+        if (!shards_.empty()) {
+            // Event mode: non-blocking fd, round-robin shard handoff.
+            // No thread spawn, no shared connection table — the shard
+            // owns it from here.
+            ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+            conn->framer = LineFramer(opts_.maxLineBytes);
+            conn->lastActivity = Clock::now();
+            EventShard &sh = *shards_[static_cast<std::size_t>(accepted)
+                                      % shards_.size()];
+            conn->shard = &sh;
+            {
+                std::lock_guard<std::mutex> lock(sh.mu);
+                sh.incoming.push_back(std::move(conn));
+            }
+            wakeShard(sh);
+            continue;
+        }
+
         std::lock_guard<std::mutex> lock(mu_);
         connThreads_.emplace_back();
         const auto self = std::prev(connThreads_.end());
@@ -587,42 +781,112 @@ Server::acceptLoop()
 }
 
 void
+Server::wakeShard(EventShard &sh)
+{
+    // Self-pipe: interrupt the shard's poll. Non-blocking write; a
+    // full pipe already has a wake pending, so EAGAIN is success.
+    const char b = 1;
+    [[maybe_unused]] const ssize_t n = ::write(sh.wakeWr, &b, 1);
+}
+
+void
+Server::markBrokenLocked(const std::shared_ptr<Connection> &conn)
+{
+    conn->broken.store(true, std::memory_order_relaxed);
+    // The peer is provably gone: nobody will read this connection's
+    // remaining results, so stop computing them.
+    cancelConnectionJobs(conn);
+    if (conn->shard != nullptr)
+        wakeShard(*conn->shard); // let the shard close and unregister
+}
+
+bool
+Server::flushOutputLocked(const std::shared_ptr<Connection> &conn)
+{
+    while (conn->outOff < conn->outBuf.size()) {
+        const ssize_t n =
+            ::send(conn->fd, conn->outBuf.data() + conn->outOff,
+                   conn->outBuf.size() - conn->outOff,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+        if (n > 0) {
+            conn->outOff += static_cast<std::size_t>(n);
+            conn->lastWriteProgress = Clock::now();
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // kernel buffer full: resume via POLLOUT
+        markBrokenLocked(conn);
+        return false;
+    }
+    conn->outBuf.clear();
+    conn->outOff = 0;
+    return true;
+}
+
+void
 Server::writeLine(const std::shared_ptr<Connection> &conn,
                   const std::string &line)
 {
     if (conn->broken.load(std::memory_order_relaxed))
         return;
     std::lock_guard<std::mutex> lock(conn->writeMu);
-    std::string framed = line;
-    framed.push_back('\n');
-    if (!sendAll(conn->fd, framed.data(), framed.size())) {
-        conn->broken.store(true, std::memory_order_relaxed);
-        // The peer is provably gone (a write failed): nobody will read
-        // this connection's remaining results, so stop computing them.
-        if (conn->cancelAll(CancelReason::Disconnected) > 0)
-            disconnectCancels_.fetch_add(1, std::memory_order_relaxed);
+
+    if (conn->shard == nullptr) {
+        // Thread-per-connection: a plain blocking send, bounded by the
+        // socket's SO_SNDTIMEO.
+        std::string framed = line;
+        framed.push_back('\n');
+        if (!sendAll(conn->fd, framed.data(), framed.size())) {
+            conn->broken.store(true, std::memory_order_relaxed);
+            cancelConnectionJobs(conn);
+            return;
+        }
+        resultsWritten_.fetch_add(1, std::memory_order_relaxed);
         return;
     }
+
+    // Event mode: append, then flush opportunistically — the common
+    // case completes right here and the loop never sees POLLOUT. A
+    // partial send leaves the remainder buffered; the shard resumes it
+    // when the socket drains (never blocking this worker thread).
+    if (conn->fd < 0)
+        return; // already finalized
+    const bool hadPending = conn->outOff < conn->outBuf.size();
+    conn->outBuf.append(line);
+    conn->outBuf.push_back('\n');
     resultsWritten_.fetch_add(1, std::memory_order_relaxed);
+    if (!hadPending) {
+        conn->lastWriteProgress = Clock::now();
+        if (!flushOutputLocked(conn))
+            return;
+        if (conn->outOff < conn->outBuf.size()) {
+            partialWrites_.fetch_add(1, std::memory_order_relaxed);
+            wakeShard(*conn->shard); // start polling POLLOUT
+        }
+    }
+}
+
+bool
+Server::tryReserveInflight()
+{
+    // Reserve the slot first (fetch_add, not load-then-add): concurrent
+    // readers racing a plain check could all pass it and overshoot the
+    // bound by readers-1 jobs.
+    const long reserved = inflight_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.maxInflight > 0
+        && reserved >= static_cast<long>(opts_.maxInflight)) {
+        inflight_.fetch_sub(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
 }
 
 bool
 Server::reserveInflightSlot(SolveJob &job)
 {
-    // Reserve the slot first (fetch_add, not load-then-add): concurrent
-    // reader threads racing a plain check could all pass it and
-    // overshoot the bound by connections-1 jobs.
-    const auto tryReserve = [this] {
-        const long reserved =
-            inflight_.fetch_add(1, std::memory_order_relaxed);
-        if (opts_.maxInflight > 0
-            && reserved >= static_cast<long>(opts_.maxInflight)) {
-            inflight_.fetch_sub(1, std::memory_order_relaxed);
-            return false;
-        }
-        return true;
-    };
-    if (tryReserve())
+    if (tryReserveInflight())
         return true;
     if (opts_.queueWaitMs <= 0)
         return false;
@@ -643,7 +907,7 @@ Server::reserveInflightSlot(SolveJob &job)
         std::this_thread::sleep_for(std::chrono::milliseconds(
             std::min<long long>(opts_.pollTickMs,
                                 static_cast<long long>(left) + 1)));
-        if (!tryReserve())
+        if (!tryReserveInflight())
             continue;
         if (job.deadlineMs > 0.0) {
             // Queue time counts against the deadline; a slot that
@@ -711,6 +975,9 @@ Server::handleControl(const std::shared_ptr<Connection> &conn,
                    static_cast<double>(ss.disconnectCancels));
         server.set("fault_conn_resets",
                    static_cast<double>(ss.faultConnResets));
+        server.set("partial_writes",
+                   static_cast<double>(ss.partialWrites));
+        server.set("event_loop", opts_.eventLoop);
         server.set("inflight",
                    static_cast<double>(
                        inflight_.load(std::memory_order_relaxed)));
@@ -732,8 +999,89 @@ Server::handleControl(const std::shared_ptr<Connection> &conn,
 void
 Server::cancelConnectionJobs(const std::shared_ptr<Connection> &conn)
 {
-    if (conn->cancelAll(CancelReason::Disconnected) > 0)
+    // Requesting cancellation is idempotent per token; the *stat* is
+    // exactly-once per connection — the read-error and failed-write
+    // paths can both observe the same drop, and only the first counts.
+    if (conn->cancelAll(CancelReason::Disconnected) > 0
+        && !conn->disconnectCounted.exchange(true,
+                                             std::memory_order_relaxed))
         disconnectCancels_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Server::rejectCapacity(const std::shared_ptr<Connection> &conn,
+                       const std::string &id)
+{
+    SolveResult r;
+    r.id = id;
+    r.status = "rejected";
+    r.error = "server at capacity (" + std::to_string(opts_.maxInflight)
+              + " jobs in flight"
+              + (opts_.queueWaitMs > 0 ? ", wait queue timed out" : "")
+              + "); retry later";
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    writeLine(conn, resultToJson(r).dump());
+}
+
+void
+Server::rejectAtLimit(const std::shared_ptr<Connection> &conn,
+                      const std::string &line, long lineno)
+{
+    // Echo the request id when the over-limit line parses, so the
+    // client can correlate the rejection. Only the id is read — this is
+    // the load-shedding path, so it must not pay full request
+    // validation (in particular not inline-problem parsing and
+    // canonicalization) for a line it is about to reject.
+    std::string id;
+    if (utf8Valid(line)) { // never echo invalid bytes back out
+        try {
+            id = Json::parse(line).getString("id", "");
+            if (id.empty())
+                id = "job-" + std::to_string(lineno);
+        } catch (const std::exception &) {
+            // fall through to the synthesized line id
+        }
+    }
+    SolveResult r;
+    r.id = id.empty() ? "line-" + std::to_string(lineno) : id;
+    r.status = "rejected";
+    r.error = "per-connection request limit ("
+              + std::to_string(opts_.maxRequestsPerConn)
+              + ") reached; open a new connection";
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    writeLine(conn, resultToJson(r).dump());
+}
+
+void
+Server::submitAccepted(const std::shared_ptr<Connection> &conn,
+                       SolveJob &&job)
+{
+    requestsAccepted_.fetch_add(1, std::memory_order_relaxed);
+    conn->inflight.fetch_add(1, std::memory_order_relaxed);
+    // Track the token before submitting so there is no window where the
+    // job runs but a connection drop cannot reach it.
+    auto token = std::make_shared<CancelToken>();
+    conn->addToken(token);
+    service_.submit(std::move(job),
+                    [this, conn, raw_token = token.get()](
+                        const SolveResult &r) {
+                        conn->removeToken(raw_token);
+                        if (r.status != "ok")
+                            jobsFailed_.fetch_add(
+                                1, std::memory_order_relaxed);
+                        if (r.status == "cancelled")
+                            jobsCancelled_.fetch_add(
+                                1, std::memory_order_relaxed);
+                        writeLine(conn, resultToJson(r).dump());
+                        conn->inflight.fetch_sub(1,
+                                                 std::memory_order_release);
+                        inflight_.fetch_sub(1, std::memory_order_relaxed);
+                        // Completion changes the finish/park calculus;
+                        // don't leave it to the next tick.
+                        if (conn->shard != nullptr)
+                            wakeShard(*conn->shard);
+                    },
+                    token);
 }
 
 bool
@@ -760,39 +1108,10 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     // immediately by default, after the bounded wait queue when
     // --queue-wait is configured.
     if (!reserveInflightSlot(parsed.job)) {
-        SolveResult r;
-        r.id = parsed.job.id;
-        r.status = "rejected";
-        r.error = "server at capacity (" + std::to_string(opts_.maxInflight)
-                  + " jobs in flight"
-                  + (opts_.queueWaitMs > 0 ? ", wait queue timed out" : "")
-                  + "); retry later";
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        writeLine(conn, resultToJson(r).dump());
+        rejectCapacity(conn, parsed.job.id);
         return false;
     }
-    requestsAccepted_.fetch_add(1, std::memory_order_relaxed);
-    conn->inflight.fetch_add(1, std::memory_order_relaxed);
-    // Track the token before submitting so there is no window where the
-    // job runs but a connection drop cannot reach it.
-    auto token = std::make_shared<CancelToken>();
-    conn->addToken(token);
-    service_.submit(std::move(parsed.job),
-                    [this, conn, raw_token = token.get()](
-                        const SolveResult &r) {
-                        conn->removeToken(raw_token);
-                        if (r.status != "ok")
-                            jobsFailed_.fetch_add(
-                                1, std::memory_order_relaxed);
-                        if (r.status == "cancelled")
-                            jobsCancelled_.fetch_add(
-                                1, std::memory_order_relaxed);
-                        writeLine(conn, resultToJson(r).dump());
-                        conn->inflight.fetch_sub(1,
-                                                 std::memory_order_release);
-                        inflight_.fetch_sub(1, std::memory_order_relaxed);
-                    },
-                    token);
+    submitAccepted(conn, std::move(parsed.job));
     return true;
 }
 
@@ -800,52 +1119,26 @@ void
 Server::serveConnection(const std::shared_ptr<Connection> &conn)
 {
     // accept -> handler-thread start: thread-spawn plus scheduling
-    // latency, the part of the old conflated conn_setup number the
-    // server controls. The remainder to the first received byte is the
-    // client's connect-to-send turnaround plus the network.
+    // latency, the server-controlled half of connection setup
+    // (server.accept_ms / accept_ms_avg). The remainder to the first
+    // received byte (server.first_byte_ms) is the client's
+    // connect-to-send turnaround plus the network.
     acceptMs_.record(millisSince(conn->acceptedAt));
-    std::string buf;
-    long lineno = 0;
+    // The bounded framing state machine is shared with the event loop
+    // (and with batch mode's istream reader in spirit): oversized
+    // lines fail per-line without unbounded buffering, and a truncated
+    // final line is still a request.
+    LineFramer framer(opts_.maxLineBytes);
     long served = 0;
-    bool discarding = false; // inside the tail of an oversized line
     /** A buffered partial line must still be answered when the read
      * loop ends without its newline (EOF half-close or idle close) —
      * never silence for received bytes. */
     bool answer_tail = false;
     auto last_activity = Clock::now();
-    // The socket path always bounds request lines (a peer that never
-    // sends a newline must not grow the buffer without limit).
-    const std::size_t max_line =
-        opts_.maxLineBytes > 0 ? opts_.maxLineBytes : (std::size_t{1} << 20);
 
     const auto atConnLimit = [&] {
         return opts_.maxRequestsPerConn > 0
                && served >= opts_.maxRequestsPerConn;
-    };
-    // Echo the request id when the over-limit line parses, so the
-    // client can correlate the rejection. Only the id is read — this is
-    // the load-shedding path, so it must not pay full request
-    // validation (in particular not inline-problem parsing and
-    // canonicalization) for a line it is about to reject.
-    const auto rejectAtLimit = [&](const std::string &line, long n) {
-        std::string id;
-        if (utf8Valid(line)) { // never echo invalid bytes back out
-            try {
-                id = Json::parse(line).getString("id", "");
-                if (id.empty())
-                    id = "job-" + std::to_string(n);
-            } catch (const std::exception &) {
-                // fall through to the synthesized line id
-            }
-        }
-        SolveResult r;
-        r.id = id.empty() ? "line-" + std::to_string(n) : id;
-        r.status = "rejected";
-        r.error = "per-connection request limit ("
-                  + std::to_string(opts_.maxRequestsPerConn)
-                  + ") reached; open a new connection";
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        writeLine(conn, resultToJson(r).dump());
     };
 
     while (!stop_.load(std::memory_order_relaxed)) {
@@ -901,80 +1194,49 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
             conn->sawFirstByte = true;
             firstByteMs_.record(millisSince(conn->acceptedAt));
         }
-        buf.append(chunk, static_cast<std::size_t>(n));
+        framer.feed(chunk, static_cast<std::size_t>(n));
 
-        // Frame complete lines with an offset walk (one erase per recv,
-        // not one per line — a pipelined burst would otherwise memmove
-        // the buffer tail quadratically).
         bool close_now = false;
-        std::size_t start = 0;
-        std::size_t pos;
-        while ((pos = buf.find('\n', start)) != std::string::npos) {
-            std::string line = buf.substr(start, pos - start);
-            start = pos + 1;
-            if (discarding) { // remainder of an oversized line
-                discarding = false;
-                continue;
-            }
-            ++lineno;
-            if (line.size() > max_line) {
-                // The whole line arrived in one read burst before the
-                // partial-buffer bound could trip: same oversize error.
+        LineFramer::Line ln;
+        while (framer.next(ln)) {
+            if (ln.oversized) {
                 lineErrors_.fetch_add(1, std::memory_order_relaxed);
                 writeLine(conn,
-                          resultToJson(parseRequestLine("", lineno,
+                          resultToJson(parseRequestLine("", ln.lineno,
                                                         /*oversized=*/true)
                                            .error)
                               .dump());
                 continue;
             }
-            if (isSkippableLine(line))
+            if (isSkippableLine(ln.text))
                 continue;
             if (close_now || atConnLimit()) {
                 // Never silence: every pipelined request at or behind
                 // the limit gets its own rejection before the close (a
                 // partial tail died unreceived — the close itself is
                 // its answer).
-                rejectAtLimit(line, lineno);
+                rejectAtLimit(conn, ln.text, ln.lineno);
                 close_now = true;
                 continue;
             }
             // Only accepted jobs consume the per-connection budget
             // (malformed and capacity-rejected lines do not).
-            if (handleLine(conn, line, lineno))
+            if (handleLine(conn, ln.text, ln.lineno))
                 ++served;
         }
-        buf.erase(0, start);
         if (close_now)
             break;
-        if (!discarding && buf.size() > max_line) {
-            // Oversized line still missing its newline: fail it now and
-            // drop bytes until the newline arrives.
-            ++lineno;
-            lineErrors_.fetch_add(1, std::memory_order_relaxed);
-            writeLine(
-                conn,
-                resultToJson(
-                    parseRequestLine("", lineno, /*oversized=*/true).error)
-                    .dump());
-            buf.clear();
-            discarding = true;
-        } else if (discarding) {
-            buf.clear(); // still inside the oversized line's tail
-        }
     }
 
     // Truncated final line (EOF or idle close without a newline) is
     // still a request: a half-written job must produce a response — an
     // error, or the limit rejection — never silence.
-    if (answer_tail && !discarding && !buf.empty()) {
-        ++lineno;
-        if (!isSkippableLine(buf)) {
-            if (atConnLimit())
-                rejectAtLimit(buf, lineno);
-            else
-                handleLine(conn, buf, lineno);
-        }
+    LineFramer::Line tail;
+    if (answer_tail && framer.tail(tail) && !isSkippableLine(tail.text)) {
+        if (atConnLimit())
+            rejectAtLimit(conn, tail.text, tail.lineno);
+        else
+            handleLine(conn, tail.text, tail.lineno);
     }
 
     // Flush before close: every accepted job's result reaches the wire
@@ -986,6 +1248,409 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
     conn->fd = -1;
     connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
     connOpenGauge_.add(-1.0);
+}
+
+// ------------------------------------------------- event-loop front-end
+//
+// Connection state machine (one instance per connection, advanced only
+// by its owning shard thread; docs/service.md#event-loop-front-end has
+// the operator-facing version):
+//
+//   OPEN --(EOF / idle / limit / drain)--> READ_CLOSED
+//   OPEN --(full server + --queue-wait)--> PARKED --> OPEN
+//   READ_CLOSED --(inflight==0 && outBuf empty)--> WR_SHUTDOWN
+//   WR_SHUTDOWN --(peer EOF | linger deadline)--> CLOSED
+//   any --(recv error / failed write / write stall)--> BROKEN --> CLOSED
+//
+// Writes are the only cross-thread traffic: worker callbacks append
+// under writeMu and flush opportunistically; what the kernel refuses
+// rides in outBuf until the shard sees POLLOUT.
+
+void
+Server::eventHandleReadable(EventShard &sh,
+                            const std::shared_ptr<Connection> &conn)
+{
+    (void)sh;
+    if (conn->fd < 0 || conn->broken.load(std::memory_order_relaxed))
+        return;
+    char chunk[65536];
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            return;
+        // ECONNRESET and kin: the client is gone; nobody will read
+        // this connection's results, so cancel its in-flight jobs.
+        cancelConnectionJobs(conn);
+        conn->broken.store(true, std::memory_order_relaxed);
+        eventFinalize(conn);
+        return;
+    }
+    if (conn->wrShutdown) {
+        if (n == 0)
+            eventFinalize(conn); // clean close handshake complete
+        return; // discard late bytes, like drainAndClose's sink
+    }
+    if (n == 0) {
+        // EOF is a half-close, not a drop: answer the truncated tail,
+        // then let in-flight jobs finish and their results flush.
+        if (!conn->readClosed) {
+            eventAnswerTail(conn);
+            conn->readClosed = true;
+        }
+        return;
+    }
+    if (conn->readClosed)
+        return; // no longer reading; late bytes die at close
+    // Fault site read_delay: a pause after the socket read, modeling a
+    // saturated or lossy link. It deliberately stalls the whole shard —
+    // that is exactly what saturation does to an event loop.
+    if (opts_.fault && opts_.fault->fire(FaultInjector::Site::ReadDelay))
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            opts_.fault->durationMs(FaultInjector::Site::ReadDelay)));
+    conn->lastActivity = Clock::now();
+    if (!conn->sawFirstByte) {
+        conn->sawFirstByte = true;
+        firstByteMs_.record(millisSince(conn->acceptedAt));
+    }
+    conn->framer.feed(chunk, static_cast<std::size_t>(n));
+    eventProcessBuffer(conn);
+}
+
+void
+Server::eventProcessBuffer(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0 || conn->broken.load(std::memory_order_relaxed)
+        || conn->parked)
+        return;
+    const auto atConnLimit = [&] {
+        return opts_.maxRequestsPerConn > 0
+               && conn->served >= opts_.maxRequestsPerConn;
+    };
+    LineFramer::Line ln;
+    while (!conn->parked && !conn->broken.load(std::memory_order_relaxed)
+           && conn->framer.next(ln)) {
+        if (ln.oversized) {
+            lineErrors_.fetch_add(1, std::memory_order_relaxed);
+            writeLine(conn,
+                      resultToJson(parseRequestLine("", ln.lineno,
+                                                    /*oversized=*/true)
+                                       .error)
+                          .dump());
+            continue;
+        }
+        if (isSkippableLine(ln.text))
+            continue;
+        if (conn->limitClose || atConnLimit()) {
+            // Never silence: every buffered request at or behind the
+            // limit gets its own rejection before the close.
+            rejectAtLimit(conn, ln.text, ln.lineno);
+            conn->limitClose = true;
+            continue;
+        }
+        eventDispatchLine(conn, std::move(ln));
+    }
+    if (conn->limitClose)
+        conn->readClosed = true;
+}
+
+void
+Server::eventDispatchLine(const std::shared_ptr<Connection> &conn,
+                          LineFramer::Line &&ln)
+{
+    ParsedLine parsed =
+        parseRequestLine(ln.text, ln.lineno, false, opts_.specLimits);
+    if (parsed.skip)
+        return;
+    if (!parsed.ok) {
+        lineErrors_.fetch_add(1, std::memory_order_relaxed);
+        writeLine(conn, resultToJson(parsed.error).dump());
+        return;
+    }
+    if (parsed.control != ControlKind::None) {
+        // Control requests never consume an in-flight slot or the
+        // per-connection budget: they must work on a loaded server.
+        handleControl(conn, parsed);
+        return;
+    }
+    if (tryReserveInflight()) {
+        ++conn->served;
+        submitAccepted(conn, std::move(parsed.job));
+        return;
+    }
+    if (opts_.queueWaitMs > 0 && !stop_.load(std::memory_order_relaxed)) {
+        // Park instead of blocking a reader thread: reading pauses so
+        // at most one request per connection is in limbo (TCP
+        // backpressure reaches the sender, exactly like the threaded
+        // mode holding its reader), and the shard retries every tick.
+        conn->parked = true;
+        conn->parkedBudgetMs = opts_.queueWaitMs;
+        if (parsed.job.deadlineMs > 0.0)
+            conn->parkedBudgetMs =
+                std::min(conn->parkedBudgetMs, parsed.job.deadlineMs);
+        conn->parkedJob = std::move(parsed.job);
+        conn->parkedAt = Clock::now();
+        return;
+    }
+    rejectCapacity(conn, parsed.job.id);
+}
+
+void
+Server::eventAnswerTail(const std::shared_ptr<Connection> &conn)
+{
+    // A parked request precedes any tail bytes; they stay buffered
+    // until the park resolves (EOF is then re-observed by the loop).
+    LineFramer::Line tail;
+    if (conn->parked || !conn->framer.tail(tail)
+        || isSkippableLine(tail.text))
+        return;
+    if (conn->limitClose
+        || (opts_.maxRequestsPerConn > 0
+            && conn->served >= opts_.maxRequestsPerConn)) {
+        rejectAtLimit(conn, tail.text, tail.lineno);
+        return;
+    }
+    eventDispatchLine(conn, std::move(tail));
+}
+
+void
+Server::eventResolveParked(const std::shared_ptr<Connection> &conn,
+                           bool draining)
+{
+    const double waited = millisSince(conn->parkedAt);
+    if (!draining && waited < conn->parkedBudgetMs) {
+        if (!tryReserveInflight())
+            return; // budget left: keep waiting
+        SolveJob job = std::move(conn->parkedJob);
+        conn->parked = false;
+        conn->parkedJob = SolveJob{};
+        if (job.deadlineMs > 0.0) {
+            // Queue time counts against the deadline; a slot that
+            // frees exactly as the deadline passes is still a timeout.
+            job.deadlineMs -= waited;
+            if (job.deadlineMs <= 0.0) {
+                inflight_.fetch_sub(1, std::memory_order_relaxed);
+                rejectCapacity(conn, job.id);
+                eventProcessBuffer(conn);
+                return;
+            }
+        }
+        queueWaited_.fetch_add(1, std::memory_order_relaxed);
+        ++conn->served;
+        submitAccepted(conn, std::move(job));
+        eventProcessBuffer(conn); // resume lines queued behind the park
+        return;
+    }
+    // Budget exhausted (or drain): the bounded wait ends in rejection,
+    // like the threaded mode's reserveInflightSlot giving up.
+    SolveJob job = std::move(conn->parkedJob);
+    conn->parked = false;
+    conn->parkedJob = SolveJob{};
+    rejectCapacity(conn, job.id);
+    eventProcessBuffer(conn);
+}
+
+void
+Server::eventHousekeep(EventShard &sh,
+                       const std::shared_ptr<Connection> &conn,
+                       bool draining)
+{
+    (void)sh;
+    if (conn->fd < 0)
+        return;
+    if (conn->broken.load(std::memory_order_relaxed)) {
+        eventFinalize(conn);
+        return;
+    }
+    const auto now = Clock::now();
+
+    // Drain: stop reading new requests (the threaded loop's stop_
+    // break); in-flight jobs still finish and flush below.
+    if (draining && !conn->readClosed)
+        conn->readClosed = true;
+
+    if (conn->parked)
+        eventResolveParked(conn, draining);
+
+    // Write-stall detection: pending output making no progress for the
+    // send timeout means the client stopped reading — the event-mode
+    // SO_SNDTIMEO (kernel timeouts don't apply to non-blocking sends).
+    if (opts_.sendTimeoutMs > 0) {
+        std::lock_guard<std::mutex> lock(conn->writeMu);
+        if (conn->pendingOutLocked() > 0
+            && millisSince(conn->lastWriteProgress) > opts_.sendTimeoutMs)
+            markBrokenLocked(conn);
+    }
+    if (conn->broken.load(std::memory_order_relaxed)) {
+        eventFinalize(conn);
+        return;
+    }
+
+    // Idle timeout, only while still reading. A running or parked job
+    // counts as activity: the idle window starts from (at most one
+    // tick after) its last result.
+    if (!conn->readClosed) {
+        if (conn->inflight.load(std::memory_order_acquire) > 0
+            || conn->parked) {
+            conn->lastActivity = now;
+        } else if (opts_.idleTimeoutMs > 0
+                   && millisSince(conn->lastActivity)
+                          > opts_.idleTimeoutMs) {
+            idleCloses_.fetch_add(1, std::memory_order_relaxed);
+            eventAnswerTail(conn);
+            conn->readClosed = true;
+        }
+    }
+
+    if (conn->wrShutdown) {
+        if (now >= conn->closeDeadline)
+            eventFinalize(conn); // stale peer: the bounded wait is up
+        return;
+    }
+
+    // Finished: nothing more will be read and everything accepted has
+    // flushed. Half-close and wait (bounded) for the peer's close so
+    // the flushed results are not RST-discarded — drainAndClose, event
+    // style.
+    bool pending_out;
+    {
+        std::lock_guard<std::mutex> lock(conn->writeMu);
+        pending_out = conn->pendingOutLocked() > 0;
+    }
+    if (conn->readClosed && !conn->parked && !pending_out
+        && conn->inflight.load(std::memory_order_acquire) == 0) {
+        ::shutdown(conn->fd, SHUT_WR);
+        conn->wrShutdown = true;
+        conn->closeDeadline =
+            now + std::chrono::milliseconds(kCloseLingerMs);
+    }
+}
+
+void
+Server::eventFinalize(const std::shared_ptr<Connection> &conn)
+{
+    if (conn->fd < 0)
+        return;
+    // A non-graceful close (broken/reset) can still have jobs in
+    // flight: cancel them (exactly-once stat inside). Graceful closes
+    // only get here at inflight == 0.
+    if (conn->broken.load(std::memory_order_relaxed))
+        cancelConnectionJobs(conn);
+    {
+        // fd teardown under writeMu: a worker mid-writeLine must never
+        // see the fd recycled under it.
+        std::lock_guard<std::mutex> lock(conn->writeMu);
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conn->parked = false;
+    connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+    connOpenGauge_.add(-1.0);
+}
+
+void
+Server::eventShardLoop(EventShard &sh)
+{
+    std::vector<pollfd> pfds;
+    std::vector<std::shared_ptr<Connection>> polled;
+    while (true) {
+        // Intake connections the accept loop handed over.
+        {
+            std::vector<std::shared_ptr<Connection>> fresh;
+            {
+                std::lock_guard<std::mutex> lock(sh.mu);
+                fresh.swap(sh.incoming);
+            }
+            for (auto &c : fresh) {
+                // accept -> shard pickup: the event-mode analogue of
+                // the thread-spawn latency this histogram was built to
+                // expose.
+                acceptMs_.record(millisSince(c->acceptedAt));
+                sh.conns.push_back(std::move(c));
+            }
+        }
+        const bool draining = stop_.load(std::memory_order_relaxed);
+
+        // Housekeep every connection, drop the finalized ones, and
+        // build the poll set from what remains.
+        pfds.clear();
+        polled.clear();
+        pfds.push_back(pollfd{sh.wakeRd, POLLIN, 0});
+        for (std::size_t i = 0; i < sh.conns.size();) {
+            const auto conn = sh.conns[i]; // keep alive across erase
+            eventHousekeep(sh, conn, draining);
+            if (conn->fd < 0) {
+                sh.conns[i] = std::move(sh.conns.back());
+                sh.conns.pop_back();
+                continue;
+            }
+            short ev = 0;
+            std::size_t pending;
+            {
+                std::lock_guard<std::mutex> lock(conn->writeMu);
+                pending = conn->pendingOutLocked();
+            }
+            if (pending > 0)
+                ev |= POLLOUT;
+            // Write backpressure: a connection whose output buffer is
+            // over the bound stops being read until it drains (TCP
+            // then pushes back on the sender).
+            const bool paused = opts_.maxWriteBufferBytes > 0
+                                && pending >= opts_.maxWriteBufferBytes;
+            if (conn->wrShutdown) {
+                ev |= POLLIN; // drainAndClose sink: read to peer EOF
+            } else if (!conn->readClosed && !conn->parked && !paused) {
+                ev |= POLLIN;
+            }
+            if (ev != 0) {
+                // A connection wanting nothing stays out of the poll
+                // set entirely: poll(2) reports POLLHUP/POLLERR even
+                // for events=0 entries, which would busy-spin the loop
+                // on a dropped-but-parked peer.
+                pfds.push_back(pollfd{conn->fd, ev, 0});
+                polled.push_back(conn);
+            }
+            ++i;
+        }
+
+        if (draining && sh.conns.empty()) {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            if (sh.incoming.empty())
+                break; // drained: every connection finished and closed
+            continue;
+        }
+
+        const int pr = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                              opts_.pollTickMs);
+        if (pr < 0) {
+            if (errno != EINTR)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1)); // transient; keep ticking
+            continue;
+        }
+        if (pr == 0)
+            continue; // tick: housekeeping runs at the loop top
+        if ((pfds[0].revents & POLLIN) != 0) {
+            char sink[256];
+            while (::read(sh.wakeRd, sink, sizeof sink) > 0) {}
+        }
+        for (std::size_t k = 0; k < polled.size(); ++k) {
+            const short re = pfds[k + 1].revents;
+            if (re == 0)
+                continue;
+            const auto &conn = polled[k];
+            if ((re & POLLOUT) != 0) {
+                std::lock_guard<std::mutex> lock(conn->writeMu);
+                if (conn->fd >= 0
+                    && !conn->broken.load(std::memory_order_relaxed))
+                    flushOutputLocked(conn);
+            }
+            // Read only when this pass asked for POLLIN — unrequested
+            // POLLERR/POLLHUP is left to whichever direction is active.
+            if ((pfds[k + 1].events & POLLIN) != 0
+                && (re & (POLLIN | POLLERR | POLLHUP)) != 0)
+                eventHandleReadable(sh, conn);
+        }
+    }
 }
 
 void
@@ -1001,6 +1666,31 @@ Server::drain()
     if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
+    }
+    // Event mode: wake the shards so they notice the drain, then join
+    // them — each keeps flushing until every connection has finished
+    // and closed.
+    if (!shards_.empty()) {
+        for (auto &sh : shards_)
+            wakeShard(*sh);
+        for (auto &sh : shards_)
+            if (sh->thread.joinable())
+                sh->thread.join();
+        for (auto &sh : shards_) {
+            // A connection accepted in the stop window can land in the
+            // incoming queue after its shard exited: close it here
+            // (the client sees a FIN with no response, the same as
+            // connecting a moment later and being refused).
+            std::lock_guard<std::mutex> lock(sh->mu);
+            for (auto &conn : sh->incoming) {
+                ::close(conn->fd);
+                conn->fd = -1;
+                connectionsOpen_.fetch_sub(1, std::memory_order_relaxed);
+                connOpenGauge_.add(-1.0);
+            }
+            sh->incoming.clear();
+        }
+        shards_.clear();
     }
     // No new connections past this point; join the readers (each waits
     // for its own in-flight results to flush). Joining everything left
@@ -1050,6 +1740,7 @@ Server::stats() const
     s.disconnectCancels =
         disconnectCancels_.load(std::memory_order_relaxed);
     s.faultConnResets = faultConnResets_.load(std::memory_order_relaxed);
+    s.partialWrites = partialWrites_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -4,10 +4,24 @@
  * speaking the JSONL protocol (docs/protocol.md) per connection, plus
  * the shared request-stream plumbing the stdin batch mode is built on.
  *
- * Design: one lightweight thread per connection (job granularity is
- * milliseconds-to-seconds, so connection counts are small compared to
- * job counts and the thread-per-connection model keeps the read loop,
- * idle-timeout bookkeeping, and per-connection write ordering trivial).
+ * Design: two front-end modes over one worker pool and one wire
+ * contract (results are bit-identical between them — the tests enforce
+ * it).
+ *
+ * - Thread-per-connection (the default, ServerOptions::eventLoop =
+ *   false): one lightweight reader thread per connection. Trivial to
+ *   reason about and fine for tens of connections; connection setup
+ *   serializes with the workers (thread spawn) and each idle
+ *   connection costs a thread.
+ * - Event loop (eventLoop = true): non-blocking sockets multiplexed by
+ *   a small fixed set of poll(2) shard threads, each owning a private
+ *   connection table (no cross-shard lock on the hot path). Reads are
+ *   level-triggered into a per-connection LineFramer; writes that
+ *   cannot complete in one send(2) are buffered and resumed when the
+ *   loop reports POLLOUT, so a slow reader costs buffered bytes, never
+ *   a blocked thread. This is the mode for hundreds-to-thousands of
+ *   concurrent connections (docs/service.md#event-loop-front-end).
+ *
  * Requests are parsed off the socket and fed into the shared
  * SolveService scheduler; each result is serialized back on the
  * connection that submitted it, in completion order, under a
@@ -129,6 +143,56 @@ Json healthToJson(const SolveService::Health &h);
 Json statsToJson(const SolveService &service);
 
 /**
+ * Bounded line-framing state machine shared by the socket front-ends:
+ * the runJsonlStream framing rules — oversized lines fail per-line and
+ * are discarded through their newline without ever buffering more than
+ * the bound, and a truncated final "tail" line is still a request —
+ * applied to an incrementally fed byte buffer instead of an istream.
+ * Single-threaded by design: each connection owns one.
+ */
+class LineFramer
+{
+  public:
+    /** @p maxLineBytes 0 falls back to the 1 MiB socket default. */
+    explicit LineFramer(std::size_t maxLineBytes = 1 << 20)
+        : maxLine_(maxLineBytes > 0 ? maxLineBytes : (std::size_t{1} << 20))
+    {}
+
+    /** One framed line. An oversized line comes back with empty text
+     * and oversized set — its bytes are already discarded. */
+    struct Line
+    {
+        std::string text;
+        long lineno = 0;
+        bool oversized = false;
+    };
+
+    /** Append raw received bytes. While inside the tail of an
+     * oversized line, bytes up to its newline are dropped unbuffered. */
+    void feed(const char *data, std::size_t n);
+
+    /** Pop the next complete line (or an oversized verdict the moment
+     * the partial buffer exceeds the bound). False = need more bytes. */
+    bool next(Line &out);
+
+    /** The truncated final line at EOF/close, if any. Consumes it. */
+    bool tail(Line &out);
+
+    /** Inside the unterminated tail of an oversized line? */
+    bool discarding() const { return discarding_; }
+
+    /** Bytes buffered awaiting a newline. */
+    std::size_t buffered() const { return buf_.size() - start_; }
+
+  private:
+    std::string buf_;
+    std::size_t start_ = 0;
+    std::size_t maxLine_;
+    long lineno_ = 0;
+    bool discarding_ = false;
+};
+
+/**
  * The stdin/file batch front-end: read JSONL requests from @p in until
  * EOF (with a bounded line reader — oversized lines fail per-line, a
  * truncated final line without a newline is still processed), submit
@@ -207,6 +271,33 @@ struct ServerOptions
      * stop flag and idle clocks can get. */
     int pollTickMs = 20;
     /**
+     * Front-end mode: false = one reader thread per connection (the
+     * original design, simplest to debug), true = the poll(2) event
+     * loop (sharded connection tables, non-blocking reads/writes) for
+     * large connection counts. Identical wire behavior either way.
+     */
+    bool eventLoop = false;
+    /** Event-loop shard threads (connections are distributed
+     * round-robin at accept). Clamped to >= 1. Only read when
+     * eventLoop is set. */
+    int eventLoopShards = 2;
+    /**
+     * Event-loop write backpressure: once a connection's buffered
+     * unsent output exceeds this many bytes, the loop stops reading
+     * its requests until the buffer drains below the bound (TCP
+     * backpressure then reaches the sender). Results of already
+     * accepted jobs still append past the bound — the true cap is
+     * this plus maxInflight result lines — so a slow reader can never
+     * deadlock its own completions. 0 = never pause reads.
+     */
+    std::size_t maxWriteBufferBytes = std::size_t{4} << 20;
+    /**
+     * SO_SNDBUF override on accepted connections, in bytes (0 = OS
+     * default). Shrinking it makes write backpressure trip early —
+     * used by the torture tests; rarely useful in production.
+     */
+    int sendBufferBytes = 0;
+    /**
      * Optional fault injector shared with the service (non-owning).
      * Wire-level sites: conn_reset (an accepted connection is RST
      * before serving) and read_delay (a pause after each socket read).
@@ -246,16 +337,22 @@ struct ServerStats
     long statsProbes = 0;
     /** Jobs that finished "cancelled" (explicit cancel or disconnect). */
     long jobsCancelled = 0;
-    /** Connections dropped mid-job, cancelling their in-flight work. */
+    /** Connections dropped mid-job, cancelling their in-flight work.
+     * Counted at most once per connection, whichever of the read-error
+     * or failed-write paths observes the drop first. */
     long disconnectCancels = 0;
+    /** Event loop only: result writes send(2) could not complete in
+     * one call — the remainder was buffered and resumed via POLLOUT. */
+    long partialWrites = 0;
     /** Accepted connections reset by fault injection (conn_reset). */
     long faultConnResets = 0;
 };
 
 /**
  * The TCP front-end. Owns the listening socket, the accept thread, and
- * one thread per live connection; jobs run on the SolveService passed
- * in (shared compile cache and worker pool across connections).
+ * either one thread per live connection or the event-loop shard
+ * threads (ServerOptions::eventLoop); jobs run on the SolveService
+ * passed in (shared compile cache and worker pool across connections).
  */
 class Server
 {
@@ -292,6 +389,7 @@ class Server
 
   private:
     struct Connection;
+    struct EventShard;
 
     void acceptLoop();
     void serveConnection(const std::shared_ptr<Connection> &conn);
@@ -306,14 +404,65 @@ class Server
     void handleControl(const std::shared_ptr<Connection> &conn,
                        const ParsedLine &parsed);
     /** Cancel every job this connection still has in flight (the
-     * client dropped: nobody is left to read the results). */
+     * client dropped: nobody is left to read the results). Counts
+     * disconnectCancels at most once per connection. */
     void cancelConnectionJobs(const std::shared_ptr<Connection> &conn);
+    /** One non-blocking attempt at an in-flight slot. */
+    bool tryReserveInflight();
     /** Reserve an in-flight slot, waiting up to the queue-wait budget
      * (bounded by @p job's remaining deadline, which is decremented by
-     * the time spent waiting). False = caller must reject. */
+     * the time spent waiting). Thread-per-connection mode only — the
+     * event loop parks instead of blocking. False = caller must
+     * reject. */
     bool reserveInflightSlot(SolveJob &job);
+    /** Counters + cancellation token + scheduler submit for a job that
+     * already holds an in-flight slot (both front-ends). */
+    void submitAccepted(const std::shared_ptr<Connection> &conn,
+                        SolveJob &&job);
+    /** Answer a status "rejected" over-capacity line for @p id. */
+    void rejectCapacity(const std::shared_ptr<Connection> &conn,
+                        const std::string &id);
+    /** Answer a per-connection request-limit rejection, echoing the
+     * request id when @p line parses (load shedding: id only, never
+     * full validation). */
+    void rejectAtLimit(const std::shared_ptr<Connection> &conn,
+                       const std::string &line, long lineno);
     void writeLine(const std::shared_ptr<Connection> &conn,
                    const std::string &line);
+
+    // Event-loop front-end (all run on the owning shard's thread
+    // unless noted; see the connection state machine in
+    // docs/service.md#event-loop-front-end).
+    void eventShardLoop(EventShard &sh);
+    /** Frame and dispatch every complete buffered line; stops early
+     * when the connection parks on a full server. */
+    void eventProcessBuffer(const std::shared_ptr<Connection> &conn);
+    /** Classify and dispatch one framed line (submit / control /
+     * per-line error / park / reject). */
+    void eventDispatchLine(const std::shared_ptr<Connection> &conn,
+                           LineFramer::Line &&ln);
+    /** Answer the truncated final line at EOF / idle close. */
+    void eventAnswerTail(const std::shared_ptr<Connection> &conn);
+    /** One recv(2) worth of progress on a readable connection. */
+    void eventHandleReadable(EventShard &sh,
+                             const std::shared_ptr<Connection> &conn);
+    /** Timers + state transitions: parked-job retry, idle timeout,
+     * write-stall detection, finish (half-close) and close deadlines. */
+    void eventHousekeep(EventShard &sh,
+                        const std::shared_ptr<Connection> &conn,
+                        bool draining);
+    /** Retry / expire a parked over-capacity request. */
+    void eventResolveParked(const std::shared_ptr<Connection> &conn,
+                            bool draining);
+    /** Close the fd and undo the open-connection accounting. */
+    void eventFinalize(const std::shared_ptr<Connection> &conn);
+    /** Flush buffered output; writeMu must be held. False = peer gone
+     * (the connection was marked broken). */
+    bool flushOutputLocked(const std::shared_ptr<Connection> &conn);
+    /** Mark broken + cancel in-flight jobs; writeMu must be held. */
+    void markBrokenLocked(const std::shared_ptr<Connection> &conn);
+    /** Interrupt a shard's poll(2) (self-pipe). Any thread. */
+    void wakeShard(EventShard &sh);
 
     SolveService &service_;
     ServerOptions opts_;
@@ -335,6 +484,9 @@ class Server
     std::atomic<long> inflight_{0};
 
     std::thread acceptThread_;
+    /** Event-loop shard threads (empty in thread-per-connection mode;
+     * sized and started by start(), joined by drain()). */
+    std::vector<std::unique_ptr<EventShard>> shards_;
     std::mutex mu_; // guards connThreads_ and finishedConns_
     /** Live + not-yet-reaped connection reader threads (std::list:
      * stable iterators let a thread mark itself finished). */
@@ -363,6 +515,7 @@ class Server
     std::atomic<long> jobsCancelled_{0};
     std::atomic<long> disconnectCancels_{0};
     std::atomic<long> faultConnResets_{0};
+    std::atomic<long> partialWrites_{0};
 };
 
 /**
@@ -402,6 +555,10 @@ class JsonlClient
      * line.
      */
     bool readLine(std::string &out, int timeout_ms = 10000);
+
+    /** Raw socket fd, for tests that need pathological I/O patterns
+     * (byte-at-a-time reads, tiny SO_RCVBUF) the line API hides. */
+    int fd() const { return fd_; }
 
   private:
     int fd_ = -1;

@@ -17,8 +17,16 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <thread>
+
+// Raw sockets for the wire-torture tests: pathological byte patterns
+// (one-byte reads, tiny SO_RCVBUF) the JsonlClient line API hides.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/error.hpp"
 #include "core/chocoq_solver.hpp"
@@ -721,6 +729,68 @@ TEST(BatchStream, HostileInputFailsPerLineNeverTheStream)
         << "a truncated final line is a request, not silence";
 }
 
+// ------------------------------------------------- line framing (wire)
+
+TEST(LineFramer, ReassemblesLinesAcrossArbitrarySplits)
+{
+    // The same byte stream must frame identically no matter how the
+    // kernel fragments it: feed one byte at a time.
+    const std::string stream = "{\"a\":1}\n\n{\"b\":2}\r\n";
+    service::LineFramer framer(64);
+    std::vector<std::string> lines;
+    service::LineFramer::Line ln;
+    for (char c : stream) {
+        framer.feed(&c, 1);
+        while (framer.next(ln))
+            lines.push_back(ln.text);
+    }
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "{\"a\":1}");
+    EXPECT_EQ(lines[1], "");
+    EXPECT_EQ(lines[2], "{\"b\":2}\r")
+        << "framing is byte-faithful; the JSON parser owns whitespace";
+    EXPECT_FALSE(framer.tail(ln)) << "no partial bytes remain";
+}
+
+TEST(LineFramer, OversizedLineFailsOnceAndDiscardsUnbuffered)
+{
+    service::LineFramer framer(8);
+    // 32 bytes without a newline: the verdict must arrive as soon as
+    // the buffer exceeds the bound, and the rest of the line must be
+    // dropped without growing the buffer.
+    const std::string big(32, 'x');
+    framer.feed(big.data(), big.size());
+    service::LineFramer::Line ln;
+    ASSERT_TRUE(framer.next(ln));
+    EXPECT_TRUE(ln.oversized);
+    EXPECT_EQ(ln.lineno, 1);
+    EXPECT_TRUE(framer.discarding());
+    EXPECT_LE(framer.buffered(), 8u) << "discard must not buffer the tail";
+
+    // More tail bytes, then the newline ends the discard; the next
+    // line frames normally with the next line number.
+    framer.feed("yyyy\n{\"ok\":1}\n", 14);
+    ASSERT_TRUE(framer.next(ln));
+    EXPECT_FALSE(ln.oversized);
+    EXPECT_EQ(ln.text, "{\"ok\":1}");
+    EXPECT_EQ(ln.lineno, 2);
+    EXPECT_FALSE(framer.next(ln));
+}
+
+TEST(LineFramer, TailYieldsTheTruncatedFinalLine)
+{
+    service::LineFramer framer(64);
+    framer.feed("{\"id\":\"a\"}\n{\"id\":\"tr", 20);
+    service::LineFramer::Line ln;
+    ASSERT_TRUE(framer.next(ln));
+    EXPECT_EQ(ln.text, "{\"id\":\"a\"}");
+    ASSERT_FALSE(framer.next(ln));
+    ASSERT_TRUE(framer.tail(ln)) << "a truncated final line is a request";
+    EXPECT_EQ(ln.text, "{\"id\":\"tr");
+    EXPECT_EQ(ln.lineno, 2);
+    EXPECT_FALSE(framer.tail(ln)) << "tail consumes";
+}
+
 // -------------------------------------------------- socket front end
 
 namespace
@@ -751,9 +821,109 @@ expectMatchesBatch(const service::Json &line,
         << r.id;
 }
 
+/** Raw loopback TCP connect for the wire-torture tests. @p rcvbufBytes
+ * shrinks SO_RCVBUF before connect (it must be set pre-handshake to
+ * bound the advertised window) so the server's send side fills fast. */
+int
+rawConnect(int port, int rcvbufBytes = 0)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    if (rcvbufBytes > 0)
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbufBytes,
+                     sizeof rcvbufBytes);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    return fd;
+}
+
+/** Blocking send of every byte of @p bytes. */
+void
+rawSendAll(int fd, const std::string &bytes)
+{
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const auto n =
+            ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        ASSERT_GT(n, 0) << "send failed at offset " << off;
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * Read until @p nlines complete lines arrived (newline stripped) or
+ * @p timeout_ms passed. The first @p slowPrefixBytes bytes are read one
+ * byte per @p slowDelayMs — the torture-test slow-reader pattern that
+ * keeps the server's send side trickling while results queue behind it.
+ */
+std::vector<std::string>
+rawReadLines(int fd, int nlines, int timeout_ms, int slowPrefixBytes = 0,
+             int slowDelayMs = 10)
+{
+    const auto deadline = std::chrono::steady_clock::now()
+                          + std::chrono::milliseconds(timeout_ms);
+    std::vector<std::string> lines;
+    std::string buf;
+    std::size_t start = 0;
+    long bytes_read = 0;
+    char chunk[4096];
+    while (static_cast<int>(lines.size()) < nlines
+           && std::chrono::steady_clock::now() < deadline) {
+        const bool slow = bytes_read < slowPrefixBytes;
+        timeval tv{};
+        tv.tv_sec = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        const auto n = ::recv(fd, chunk, slow ? 1 : sizeof chunk, 0);
+        if (n == 0)
+            break; // server closed
+        if (n < 0)
+            continue; // timeout tick: re-check the deadline
+        bytes_read += n;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t pos;
+        while ((pos = buf.find('\n', start)) != std::string::npos) {
+            lines.push_back(buf.substr(start, pos - start));
+            start = pos + 1;
+        }
+        if (slow)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slowDelayMs));
+    }
+    return lines;
+}
+
 } // namespace
 
-TEST(SocketServer, BitIdenticalToBatchUnderConcurrentConnections)
+/**
+ * Both front-ends must behave identically on the wire: every socket
+ * test runs against thread-per-connection (false) and the poll(2)
+ * event loop (true). The bit-identity and reconciliation assertions
+ * inside are the regression oracles for the event-loop rewrite.
+ */
+class SocketFrontEnd : public ::testing::TestWithParam<bool>
+{
+  protected:
+    /** Server options with the front-end mode under test applied. */
+    service::ServerOptions baseOpts() const
+    {
+        service::ServerOptions opts;
+        opts.eventLoop = GetParam();
+        return opts;
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(FrontEnds, SocketFrontEnd, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool> &info) {
+                             return info.param ? "EventLoop"
+                                               : "ThreadPerConn";
+                         });
+
+TEST_P(SocketFrontEnd, BitIdenticalToBatchUnderConcurrentConnections)
 {
     const auto jobs = determinismSuite(); // 12 jobs, 3 structures
 
@@ -765,7 +935,7 @@ TEST(SocketServer, BitIdenticalToBatchUnderConcurrentConnections)
     // Socket mode: a fresh service behind the TCP front-end, the same
     // jobs spread over 4 concurrent client connections.
     service::SolveService svc(so);
-    service::Server server(svc, service::ServerOptions{});
+    service::Server server(svc, baseOpts());
     server.start();
 
     constexpr int kConns = 4;
@@ -810,10 +980,10 @@ TEST(SocketServer, BitIdenticalToBatchUnderConcurrentConnections)
     EXPECT_EQ(stats.rejected, 0);
 }
 
-TEST(SocketServer, HostileInputFailsPerLineAndKeepsTheConnection)
+TEST_P(SocketFrontEnd, HostileInputFailsPerLineAndKeepsTheConnection)
 {
     service::SolveService svc{service::ServiceOptions{}};
-    service::ServerOptions opts;
+    auto opts = baseOpts();
     opts.maxLineBytes = 4096;
     service::Server server(svc, opts);
     server.start();
@@ -849,7 +1019,7 @@ TEST(SocketServer, HostileInputFailsPerLineAndKeepsTheConnection)
     EXPECT_EQ(server.stats().requestsAccepted, 1);
 }
 
-TEST(SocketServer, OverloadAnswersRejectedInsteadOfQueueing)
+TEST_P(SocketFrontEnd, OverloadAnswersRejectedInsteadOfQueueing)
 {
     // One worker, in-flight bound 1: while the slow job occupies the
     // worker, every further request on the burst must be answered with
@@ -857,7 +1027,7 @@ TEST(SocketServer, OverloadAnswersRejectedInsteadOfQueueing)
     service::ServiceOptions so;
     so.workers = 1;
     service::SolveService svc(so);
-    service::ServerOptions opts;
+    auto opts = baseOpts();
     opts.maxInflight = 1;
     service::Server server(svc, opts);
     server.start();
@@ -891,10 +1061,10 @@ TEST(SocketServer, OverloadAnswersRejectedInsteadOfQueueing)
     EXPECT_EQ(server.stats().rejected, 2);
 }
 
-TEST(SocketServer, PerConnectionRequestLimit)
+TEST_P(SocketFrontEnd, PerConnectionRequestLimit)
 {
     service::SolveService svc{service::ServiceOptions{}};
-    service::ServerOptions opts;
+    auto opts = baseOpts();
     opts.maxRequestsPerConn = 2;
     service::Server server(svc, opts);
     server.start();
@@ -951,10 +1121,10 @@ TEST(SocketServer, PerConnectionRequestLimit)
     server.drain();
 }
 
-TEST(SocketServer, ConnectionCapRefusesWithARejectedLine)
+TEST_P(SocketFrontEnd, ConnectionCapRefusesWithARejectedLine)
 {
     service::SolveService svc{service::ServiceOptions{}};
-    service::ServerOptions opts;
+    auto opts = baseOpts();
     opts.maxConnections = 1;
     service::Server server(svc, opts);
     server.start();
@@ -985,10 +1155,10 @@ TEST(SocketServer, ConnectionCapRefusesWithARejectedLine)
     EXPECT_EQ(server.stats().connectionsRejected, 1);
 }
 
-TEST(SocketServer, IdleTimeoutClosesQuietConnections)
+TEST_P(SocketFrontEnd, IdleTimeoutClosesQuietConnections)
 {
     service::SolveService svc{service::ServiceOptions{}};
-    service::ServerOptions opts;
+    auto opts = baseOpts();
     opts.idleTimeoutMs = 150;
     service::Server server(svc, opts);
     server.start();
@@ -1007,12 +1177,12 @@ TEST(SocketServer, IdleTimeoutClosesQuietConnections)
     EXPECT_EQ(server.stats().connectionsOpen, 0);
 }
 
-TEST(SocketServer, GracefulDrainCompletesAcceptedJobs)
+TEST_P(SocketFrontEnd, GracefulDrainCompletesAcceptedJobs)
 {
     service::ServiceOptions so;
     so.workers = 2;
     service::SolveService svc(so);
-    service::Server server(svc, service::ServerOptions{});
+    service::Server server(svc, baseOpts());
     server.start();
 
     service::JsonlClient client(server.port());
@@ -1358,12 +1528,12 @@ TEST(RequestLine, ClassifiesControlRequests)
               std::string::npos);
 }
 
-TEST(SocketServer, CancelAndHealthControlRequests)
+TEST_P(SocketFrontEnd, CancelAndHealthControlRequests)
 {
     service::ServiceOptions so;
     so.workers = 1;
     service::SolveService svc(so);
-    service::Server server(svc, service::ServerOptions{});
+    service::Server server(svc, baseOpts());
     server.start();
 
     service::JsonlClient submitter(server.port());
@@ -1403,12 +1573,12 @@ TEST(SocketServer, CancelAndHealthControlRequests)
     EXPECT_EQ(stats.jobsCancelled, 1);
 }
 
-TEST(SocketServer, ClientDisconnectCancelsItsJobsAndFreesTheWorker)
+TEST_P(SocketFrontEnd, ClientDisconnectCancelsItsJobsAndFreesTheWorker)
 {
     service::ServiceOptions so;
     so.workers = 1;
     service::SolveService svc(so);
-    service::Server server(svc, service::ServerOptions{});
+    service::Server server(svc, baseOpts());
     server.start();
 
     {
@@ -1476,12 +1646,12 @@ TEST(RequestLine, ClassifiesStatsControlRequest)
     EXPECT_EQ(stats.control, service::ControlKind::Stats);
 }
 
-TEST(Observability, StatsProbeJsonShapeOverSocket)
+TEST_P(SocketFrontEnd, StatsProbeJsonShapeOverSocket)
 {
     service::ServiceOptions so;
     so.workers = 2;
     service::SolveService svc(so);
-    service::Server server(svc, service::ServerOptions{});
+    service::Server server(svc, baseOpts());
     server.start();
 
     // Two jobs through the wire, then the probe reads the registry.
@@ -1525,7 +1695,7 @@ TEST(Observability, StatsProbeJsonShapeOverSocket)
     EXPECT_EQ(server.stats().statsProbes, 1);
 }
 
-TEST(Observability, StatsProbeNeverConsumesAnInflightSlot)
+TEST_P(SocketFrontEnd, StatsProbeNeverConsumesAnInflightSlot)
 {
     // One worker, in-flight bound 1, the worker pinned by a slow job:
     // a stats probe must still answer "ok" (like health, it bypasses
@@ -1533,7 +1703,7 @@ TEST(Observability, StatsProbeNeverConsumesAnInflightSlot)
     service::ServiceOptions so;
     so.workers = 1;
     service::SolveService svc(so);
-    service::ServerOptions server_options;
+    auto server_options = baseOpts();
     server_options.maxInflight = 1;
     service::Server server(svc, server_options);
     server.start();
@@ -1721,4 +1891,281 @@ TEST(BatchStream, AnswersStatsInline)
             v.find("counters")->getNumber("jobs.submitted", -1.0), 1.0);
     }
     EXPECT_TRUE(saw_stats);
+}
+
+// ------------------------------------------------ wire torture tests
+
+TEST_P(SocketFrontEnd, WireTortureBytewiseSplitsSlowReadsAndHalfCloses)
+{
+    // Three hostile clients at once, each violating a different framing
+    // assumption. Every line must be answered on the connection that
+    // sent it — per-line errors for garbage, results for jobs, no
+    // cross-connection corruption, both front-ends.
+    service::ServiceOptions so;
+    so.workers = 2;
+    service::SolveService svc(so);
+    service::Server server(svc, baseOpts());
+    server.start();
+    const int port = server.port();
+
+    std::vector<std::thread> clients;
+
+    // Client 0: sends one byte at a time (every recv on the server sees
+    // a 1-byte fragment) and reads the responses one byte per 10 ms for
+    // the first 40 bytes — the pathological slow reader.
+    clients.emplace_back([&] {
+        const int fd = rawConnect(port);
+        std::string req;
+        req += "\x01\x02 binary garbage\n"; // line 1: per-line error
+        req += service::jobToJsonRequest(quickJob("t0", 21)).dump() + "\n";
+        for (char c : req)
+            rawSendAll(fd, std::string(1, c));
+        ::shutdown(fd, SHUT_WR);
+        const auto lines =
+            rawReadLines(fd, 2, 60000, /*slowPrefixBytes=*/40);
+        ::close(fd);
+        ASSERT_EQ(lines.size(), 2u);
+        const auto err = service::Json::parse(lines[0]);
+        EXPECT_EQ(err.getString("id", ""), "line-1");
+        EXPECT_EQ(err.getString("status", ""), "error");
+        const auto ok = service::Json::parse(lines[1]);
+        EXPECT_EQ(ok.getString("id", ""), "t0");
+        EXPECT_EQ(ok.getString("status", ""), "ok") << lines[1];
+    });
+
+    // Client 1: splits one JSON request across two TCP segments with a
+    // pause in between, then half-closes before the response arrives
+    // (a patient client's EOF must not cancel its job).
+    clients.emplace_back([&] {
+        service::JsonlClient client(port);
+        const std::string line =
+            service::jobToJsonRequest(quickJob("t1", 22)).dump();
+        client.sendRaw(line.substr(0, line.size() / 2));
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        client.sendRaw(line.substr(line.size() / 2) + "\n");
+        client.shutdownWrite(); // mid-response half-close
+        std::string out;
+        ASSERT_TRUE(client.readLine(out, 60000));
+        const auto v = service::Json::parse(out);
+        EXPECT_EQ(v.getString("id", ""), "t1");
+        EXPECT_EQ(v.getString("status", ""), "ok") << out;
+    });
+
+    // Client 2: pipelines two jobs plus a truncated final line and
+    // half-closes; the tail must be answered as a request, the jobs
+    // must both run.
+    clients.emplace_back([&] {
+        service::JsonlClient client(port);
+        client.sendLine(service::jobToJsonRequest(quickJob("t2a", 23)).dump());
+        client.sendLine(service::jobToJsonRequest(quickJob("t2b", 24)).dump());
+        client.sendRaw(R"({"id":"t2c","scale":"F1)"); // no newline
+        client.shutdownWrite();
+        std::map<std::string, std::string> by_id;
+        for (int i = 0; i < 3; ++i) {
+            std::string out;
+            ASSERT_TRUE(client.readLine(out, 60000)) << "response " << i;
+            by_id[service::Json::parse(out).getString("id", "")] = out;
+        }
+        ASSERT_EQ(by_id.count("t2a"), 1u);
+        ASSERT_EQ(by_id.count("t2b"), 1u);
+        ASSERT_EQ(by_id.count("line-3"), 1u)
+            << "truncated tail must be answered";
+        EXPECT_EQ(service::Json::parse(by_id["t2a"]).getString("status", ""),
+                  "ok");
+        EXPECT_EQ(service::Json::parse(by_id["t2b"]).getString("status", ""),
+                  "ok");
+        EXPECT_EQ(
+            service::Json::parse(by_id["line-3"]).getString("status", ""),
+            "error");
+    });
+
+    for (auto &t : clients)
+        t.join();
+    server.drain();
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.connectionsAccepted, 3);
+    EXPECT_EQ(stats.requestsAccepted, 4);
+    EXPECT_EQ(stats.lineErrors, 2); // garbage + truncated tail
+    EXPECT_EQ(stats.resultsWritten, 6);
+    EXPECT_EQ(stats.disconnectCancels, 0)
+        << "half-closes are patient clients, never disconnects";
+}
+
+TEST_P(SocketFrontEnd, MassDisconnectCancelsExactlyOncePerConnection)
+{
+    // 200 connections submit one job each behind a pinned worker, then
+    // 100 of them RST mid-flight. The disconnect-cancellation path must
+    // fire exactly once per dropped connection — the read-error and
+    // failed-write paths race for the same connection and must not
+    // double-count — and the books must still balance exactly.
+    constexpr int kConns = 200;
+    constexpr int kDropped = 100;
+
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    auto opts = baseOpts();
+    opts.maxConnections = 0; // the test IS the thousand-client shape
+    opts.maxInflight = 0;
+    service::Server server(svc, opts);
+    server.start();
+
+    // Pin the only worker so every connection's job stays queued (and
+    // therefore cancellable-before-start) at RST time. The blocker must
+    // outlast the whole test on its own — only cancellation ends it.
+    service::JsonlClient control(server.port());
+    auto blocker = longJob("blocker");
+    blocker.maxIterations = 1 << 28;
+    control.sendLine(service::jobToJsonRequest(blocker).dump());
+    ASSERT_TRUE(waitFor([&] { return svc.health().running >= 1; }));
+
+    std::vector<std::unique_ptr<service::JsonlClient>> conns;
+    conns.reserve(kConns);
+    for (int i = 0; i < kConns; ++i) {
+        conns.push_back(
+            std::make_unique<service::JsonlClient>(server.port()));
+        conns.back()->sendLine(
+            service::jobToJsonRequest(quickJob("m" + std::to_string(i)))
+                .dump());
+    }
+    ASSERT_TRUE(waitFor(
+        [&] { return server.stats().requestsAccepted == kConns + 1; },
+        60000))
+        << "accepted " << server.stats().requestsAccepted;
+
+    // Queued-job cancellation is lazy (the tally lands when a worker
+    // dequeues the job), and the only worker is pinned — so wait on the
+    // server's own disconnect stat, which fires eagerly at RST time.
+    for (int i = 0; i < kDropped; ++i)
+        conns[static_cast<std::size_t>(i)]->abortConnection();
+    ASSERT_TRUE(waitFor(
+        [&] { return server.stats().disconnectCancels >= kDropped; },
+        60000))
+        << "every dropped connection must trip disconnect-cancel, got "
+        << server.stats().disconnectCancels;
+
+    // Unpin the worker; the 100 surviving jobs must all complete ok.
+    control.sendLine(R"({"type":"cancel","id":"blocker"})");
+    std::string line;
+    ASSERT_TRUE(control.readLine(line, 30000)); // cancel ack
+    ASSERT_TRUE(control.readLine(line, 60000)); // blocker's result
+    EXPECT_EQ(service::Json::parse(line).getString("status", ""),
+              "cancelled");
+
+    for (int i = kDropped; i < kConns; ++i) {
+        ASSERT_TRUE(
+            conns[static_cast<std::size_t>(i)]->readLine(line, 60000))
+            << "survivor " << i;
+        const auto v = service::Json::parse(line);
+        EXPECT_EQ(v.getString("id", ""), "m" + std::to_string(i));
+        EXPECT_EQ(v.getString("status", ""), "ok") << line;
+    }
+    server.drain();
+
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.disconnectCancels, kDropped)
+        << "exactly once per dropped connection, no double counting";
+    EXPECT_EQ(stats.jobsCancelled, kDropped + 1); // + the blocker
+    EXPECT_EQ(stats.requestsAccepted, kConns + 1);
+
+    // The PR 7 reconciliation contract holds through the carnage.
+    auto &m = svc.metrics();
+    EXPECT_EQ(m.counter("jobs.submitted").value(),
+              static_cast<std::uint64_t>(kConns + 1));
+    EXPECT_EQ(m.counter("jobs.completed").value(),
+              m.counter("jobs.submitted").value());
+    EXPECT_EQ(m.counter("jobs.ok").value(),
+              static_cast<std::uint64_t>(kConns - kDropped));
+    EXPECT_EQ(m.counter("jobs.ok").value() + m.counter("jobs.error").value()
+                  + m.counter("jobs.cancelled").value()
+                  + m.counter("jobs.expired").value(),
+              m.counter("jobs.completed").value());
+}
+
+// -------------------------- event-loop-only write-backpressure tests
+
+TEST(SocketServerEventLoop, SlowReaderBuffersWritesAndEventuallyDrains)
+{
+    // A 4 KiB send buffer against a 4 KiB receive window: kilobytes of
+    // traced results cannot leave in one send(2). Workers must never
+    // block on the socket — jobs complete while the client reads
+    // nothing — and every buffered byte must surface once it reads.
+    service::ServiceOptions so;
+    so.workers = 2;
+    service::SolveService svc(so);
+    service::ServerOptions opts;
+    opts.eventLoop = true;
+    opts.sendBufferBytes = 4096;
+    opts.maxInflight = 0;
+    opts.sendTimeoutMs = 120000; // a slow CI box must not trip the stall
+    service::Server server(svc, opts);
+    server.start();
+
+    const int fd = rawConnect(server.port(), /*rcvbufBytes=*/4096);
+    constexpr int kJobs = 64;
+    std::string burst;
+    for (int i = 0; i < kJobs; ++i) {
+        auto job = quickJob("bp" + std::to_string(i));
+        job.trace = true; // traced result lines are kilobytes each
+        burst += service::jobToJsonRequest(job).dump() + "\n";
+    }
+    rawSendAll(fd, burst);
+
+    ASSERT_TRUE(waitFor(
+        [&] {
+            return svc.metrics().counter("jobs.completed").value() == kJobs;
+        },
+        120000))
+        << "an unread client must not block the workers";
+
+    const auto lines = rawReadLines(fd, kJobs, 120000);
+    ::close(fd);
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(kJobs));
+    std::set<std::string> ids;
+    for (const auto &l : lines) {
+        const auto v = service::Json::parse(l); // throws on corruption
+        EXPECT_EQ(v.getString("status", ""), "ok") << l;
+        ids.insert(v.getString("id", ""));
+    }
+    EXPECT_EQ(ids.size(), static_cast<std::size_t>(kJobs))
+        << "every result surfaced exactly once";
+    server.drain();
+    EXPECT_GT(server.stats().partialWrites, 0)
+        << "kilobytes into a 4 KiB window must need POLLOUT resumption";
+}
+
+TEST(SocketServerEventLoop, WriteStallBreaksTheConnectionInsteadOfWedging)
+{
+    // A client that stops reading entirely: once no byte has left for
+    // sendTimeoutMs the loop must declare the connection broken and
+    // close it — a stalled reader costs a buffer, never a wedged server
+    // (the event-loop analogue of the SO_SNDTIMEO kill in the threaded
+    // front-end).
+    service::ServiceOptions so;
+    so.workers = 1;
+    service::SolveService svc(so);
+    service::ServerOptions opts;
+    opts.eventLoop = true;
+    opts.sendBufferBytes = 4096;
+    opts.sendTimeoutMs = 300;
+    opts.maxInflight = 0;
+    service::Server server(svc, opts);
+    server.start();
+
+    const int fd = rawConnect(server.port(), /*rcvbufBytes=*/4096);
+    constexpr int kJobs = 48;
+    std::string burst;
+    for (int i = 0; i < kJobs; ++i) {
+        auto job = quickJob("ws" + std::to_string(i));
+        job.trace = true;
+        burst += service::jobToJsonRequest(job).dump() + "\n";
+    }
+    rawSendAll(fd, burst);
+
+    ASSERT_TRUE(waitFor(
+        [&] { return server.stats().connectionsOpen == 0; }, 120000))
+        << "the stalled connection must be torn down";
+    ::close(fd);
+    server.drain();
 }
