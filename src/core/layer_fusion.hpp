@@ -97,6 +97,42 @@ void applyFusedObjectivePhase(sim::StateVector &state,
 void applyFusedCommuteLayer(sim::StateVector &state,
                             const FusedLayerPlan &plan, double beta);
 
+/**
+ * One whole fused ansatz layer exp(-i gamma H_o) then the commute
+ * driver. When the plan's objective table is value-compressed and at
+ * least one commute group exists, the objective-phase gather is folded
+ * into the first group's subspace sweep
+ * (sim::StateVector::applyPhasedPairRotationGroup) — saving one full
+ * read+write pass over the state per layer; otherwise falls back to
+ * applyFusedObjectivePhase + applyFusedCommuteLayer. Bit-identical to
+ * the two-call sequence in either case.
+ */
+void applyFusedLayer(sim::StateVector &state, const FusedLayerPlan &plan,
+                     const std::vector<double> &cost_table, double gamma,
+                     double beta, std::vector<sim::Cplx> &phase_scratch);
+
+/** Per-lane applyFusedObjectivePhase: lane b uses angle gammas[b]. */
+void applyFusedObjectivePhaseBatched(sim::BatchedStateVector &batch,
+                                     const FusedLayerPlan &plan,
+                                     const std::vector<double> &cost_table,
+                                     const double *gammas,
+                                     std::vector<sim::Cplx> &phase_scratch);
+
+/** Per-lane applyFusedCommuteLayer: lane b uses angle betas[b].
+ * @p cs_scratch backs the per-lane cos/sin (reused across calls). */
+void applyFusedCommuteLayerBatched(sim::BatchedStateVector &batch,
+                                   const FusedLayerPlan &plan,
+                                   const double *betas,
+                                   std::vector<double> &cs_scratch);
+
+/** Per-lane applyFusedLayer (same fusion rule and fallback). */
+void applyFusedLayerBatched(sim::BatchedStateVector &batch,
+                            const FusedLayerPlan &plan,
+                            const std::vector<double> &cost_table,
+                            const double *gammas, const double *betas,
+                            std::vector<sim::Cplx> &phase_scratch,
+                            std::vector<double> &cs_scratch);
+
 } // namespace chocoq::core
 
 #endif // CHOCOQ_CORE_LAYER_FUSION_HPP

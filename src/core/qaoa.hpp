@@ -52,16 +52,18 @@ struct SubRun
     std::function<void(sim::StateVector &, const std::vector<double> &)>
         evolve;
     /**
-     * Optional lockstep batch evolution: states[b] becomes the output at
-     * thetas[b]. Must perform, per state, exactly the kernel sequence of
-     * evolve() — only interleaved across states layer by layer so shared
-     * read-only data (phase tables, commute terms) stays cache-hot across
-     * the batch — making the two paths bit-identical (tested property).
-     * Same per-state contract as evolve(): the caller fixes each state's
-     * dimension, the callee establishes the initial state.
+     * Optional SoA batch evolution: lane b of @p batch becomes the output
+     * at *thetas[b]. The caller sizes the batch (resizeScratch) to
+     * thetas.size() lanes; the callee establishes every lane's initial
+     * state (batch.reset(init)). Must perform, per lane, exactly the
+     * per-amplitude arithmetic of evolve() — the SoA kernels interleave
+     * B lanes inside one pass of index arithmetic and table loads, but
+     * each lane's expression tree and enumeration order are identical to
+     * the scalar kernels — making the two paths bit-identical for every
+     * lane count (tested property).
      */
-    std::function<void(const std::vector<sim::StateVector *> &,
-                       const std::vector<std::vector<double>> &)>
+    std::function<void(sim::BatchedStateVector &,
+                       const std::vector<const std::vector<double> *> &)>
         evolveBatch;
     /** Map a measured instance-space state to the full variable space. */
     std::function<Basis(Basis)> lift;
@@ -70,6 +72,16 @@ struct SubRun
      * (must equal cost(lift(x)) pointwise); avoids per-state callbacks.
      */
     std::shared_ptr<const std::vector<double>> costTable;
+    /**
+     * Optional value-compressed form of costTable (see FusedLayerPlan):
+     * costTable[i] == (*costDistinct)[(*costIndex)[i]] bit-for-bit. When
+     * both are set the engine computes expectations through the
+     * compressed table — the same products and summation order as the
+     * expanded sweep, so results are bit-identical (tested property) —
+     * reading 2 bytes per amplitude instead of 8.
+     */
+    std::shared_ptr<const std::vector<double>> costDistinct;
+    std::shared_ptr<const std::vector<std::uint16_t>> costIndex;
     /** Relative weight in the merged distribution. */
     double weight = 1.0;
 };
@@ -97,11 +109,34 @@ struct EngineOptions
      */
     int multiStartKeep = 0;
     /**
+     * SoA lane count for batched evaluation (screening sweeps and the
+     * lockstep racing driver). 0 (the default) resolves to an automatic
+     * width (currently 8); 1 forces the scalar path. Results are
+     * bit-identical across every width (tested property) — the width
+     * only decides how many lanes share one pass of index arithmetic —
+     * so this is purely a performance/footprint knob. Compile-relevant
+     * only insofar as the service hashes it into the compile-cache key
+     * (artifact reuse across widths is still sound; the key split is
+     * conservative).
+     */
+    int batchWidth = 0;
+    /**
+     * Racing multi-start elimination: when > 0 and several starts are
+     * in flight, every raceEliminateEvery optimizer iterations the
+     * worse half of the surviving starts (by incumbent best value, ties
+     * keep submission order) is halted, and only the survivors keep
+     * evaluating. Elimination decisions depend only on per-start
+     * incumbents at the milestone, never on batch width or evaluation
+     * interleaving, so outcomes are bit-identical across widths (tested
+     * property). 0 (default) runs every kept start to completion.
+     */
+    int raceEliminateEvery = 0;
+    /**
      * Optional external scratch pool (one per worker thread). Slot 0 is
-     * the objective scratch, higher slots back the batched multi-start
-     * sweep; a service worker reuses the pool across jobs so steady-state
-     * solves allocate no state vectors. When null, the engine uses a
-     * call-local pool.
+     * the objective scratch and the batch() slot backs SoA lockstep
+     * sweeps; a service worker reuses the pool across jobs so
+     * steady-state solves allocate no state vectors. When null, the
+     * engine uses a call-local pool.
      */
     sim::ScratchPool *scratchPool = nullptr;
     /**

@@ -22,8 +22,8 @@ class Cobyla : public Optimizer
   public:
     std::string name() const override { return "cobyla"; }
 
-    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
-                       const OptOptions &opts) const override;
+    std::unique_ptr<OptimizerRun> start(const std::vector<double> &x0,
+                                        const OptOptions &opts) const override;
 };
 
 } // namespace chocoq::optimize

@@ -8,6 +8,16 @@
 namespace chocoq::optimize
 {
 
+OptResult
+Optimizer::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                    const OptOptions &opts) const
+{
+    auto run = start(x0, opts);
+    while (!run->finished())
+        run->supply(f(run->pending()));
+    return run->result();
+}
+
 std::unique_ptr<Optimizer>
 makeOptimizer(const std::string &name, std::uint64_t seed)
 {

@@ -17,8 +17,8 @@ class NelderMead : public Optimizer
   public:
     std::string name() const override { return "nelder-mead"; }
 
-    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
-                       const OptOptions &opts) const override;
+    std::unique_ptr<OptimizerRun> start(const std::vector<double> &x0,
+                                        const OptOptions &opts) const override;
 };
 
 } // namespace chocoq::optimize

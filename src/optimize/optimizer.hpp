@@ -66,6 +66,50 @@ struct OptOptions
     std::function<void()> checkpoint;
 };
 
+/**
+ * Resumable optimizer execution (step machine). A run exposes the next
+ * parameter point it needs evaluated; the driver computes f(pending())
+ * however it likes — sequentially, or batched across several racing
+ * runs — and feeds the value back through supply(), which advances the
+ * internal state machine to the next point or to completion.
+ *
+ * The machine performs exactly the computation of the corresponding
+ * sequential algorithm in exactly the same order (iterate updates,
+ * random draws, trace pushes, checkpoint invocations at iteration
+ * tops), so driving a run one value at a time is bit-identical to the
+ * pre-machine minimize() loops — and a lockstep driver interleaving
+ * several runs leaves each run's arithmetic untouched (tested
+ * property). OptOptions::checkpoint fires inside supply() at iteration
+ * boundaries and may throw; the run is then unusable except for
+ * result()/halt().
+ */
+class OptimizerRun
+{
+  public:
+    virtual ~OptimizerRun() = default;
+
+    /** True once the run has produced its final result. */
+    virtual bool finished() const = 0;
+
+    /** Parameter point awaiting evaluation (valid while !finished();
+     * invalidated by the next supply call). */
+    virtual const std::vector<double> &pending() const = 0;
+
+    /** Feed back f(pending()); advances to the next point or finishes. */
+    virtual void supply(double value) = 0;
+
+    /**
+     * Stop early (racing-start elimination): finalizes result() from
+     * the incumbent state — best point seen so far, partial
+     * evaluation/iteration totals — and marks the run finished.
+     * Meaningful once at least one iteration completed.
+     */
+    virtual void halt() = 0;
+
+    /** Accumulated result; final once finished(). */
+    virtual const OptResult &result() const = 0;
+};
+
 /** Abstract derivative-free minimizer. */
 class Optimizer
 {
@@ -75,10 +119,15 @@ class Optimizer
     /** Algorithm name for reports. */
     virtual std::string name() const = 0;
 
-    /** Minimize @p f starting from @p x0. */
-    virtual OptResult minimize(const ObjectiveFn &f,
-                               const std::vector<double> &x0,
-                               const OptOptions &opts) const = 0;
+    /** Begin a resumable run from @p x0 (performs no evaluations; the
+     * first pending() is the initial point the algorithm probes). */
+    virtual std::unique_ptr<OptimizerRun>
+    start(const std::vector<double> &x0, const OptOptions &opts) const = 0;
+
+    /** Minimize @p f starting from @p x0: drives start() to completion
+     * with one synchronous evaluation per pending point. */
+    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
+                       const OptOptions &opts) const;
 };
 
 /**

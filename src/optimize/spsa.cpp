@@ -8,69 +8,161 @@
 namespace chocoq::optimize
 {
 
-OptResult
-Spsa::minimize(const ObjectiveFn &f, const std::vector<double> &x0,
-               const OptOptions &opts) const
+namespace
 {
-    const std::size_t m = x0.size();
-    CHOCOQ_ASSERT(m >= 1, "spsa needs at least one parameter");
 
-    OptResult out;
-    // Both seeds feed the stream: the per-call options seed (distinct per
-    // multi-start restart) and the construction seed (distinct per job).
-    Rng rng(seed_ == 0 ? opts.seed
-                       : opts.seed ^ (seed_ * 0x9E3779B97F4A7C15ull));
-    auto eval = [&](const std::vector<double> &x) {
-        ++out.evaluations;
-        return f(x);
-    };
+/**
+ * SPSA step machine. Stage flow:
+ *   Init (evaluate x0) -> per iteration k: checkpoint, draw delta,
+ *   Plus (evaluate x + ck delta) -> Minus (evaluate x - ck delta),
+ *   update x / best / trace -> next iteration or Final (evaluate the
+ *   final iterate) -> Done.
+ * The evaluation sequence, random draws, and update arithmetic are
+ * verbatim the pre-machine sequential loop, so driving this machine is
+ * bit-identical to it (evaluations = 1 + 2*iterations + 1).
+ */
+class SpsaRun final : public OptimizerRun
+{
+  public:
+    SpsaRun(std::uint64_t ctor_seed, const std::vector<double> &x0,
+            const OptOptions &opts)
+        : opts_(opts),
+          // Both seeds feed the stream: the per-call options seed
+          // (distinct per multi-start restart) and the construction
+          // seed (distinct per job).
+          rng_(ctor_seed == 0
+                   ? opts.seed
+                   : opts.seed ^ (ctor_seed * 0x9E3779B97F4A7C15ull)),
+          m_(x0.size()), x_(x0), best_(x0), a_(opts.initialStep),
+          c_(std::max(0.1 * opts.initialStep, 1e-3)),
+          big_a_(0.1 * opts.maxIterations), delta_(m_), xp_(m_), xm_(m_)
+    {
+        CHOCOQ_ASSERT(m_ >= 1, "spsa needs at least one parameter");
+    }
 
-    std::vector<double> x = x0;
-    std::vector<double> best = x0;
-    double best_val = eval(x0);
+    bool finished() const override { return stage_ == Stage::Done; }
 
-    const double a = opts.initialStep;
-    const double c = std::max(0.1 * opts.initialStep, 1e-3);
-    const double big_a = 0.1 * opts.maxIterations;
-
-    std::vector<double> delta(m), xp(m), xm(m);
-    for (int k = 0; k < opts.maxIterations; ++k) {
-        if (opts.checkpoint)
-            opts.checkpoint();
-        ++out.iterations;
-        const double ak = a / std::pow(k + 1.0 + big_a, 0.602);
-        const double ck = c / std::pow(k + 1.0, 0.101);
-        for (std::size_t i = 0; i < m; ++i)
-            delta[i] = rng.chance(0.5) ? 1.0 : -1.0;
-        for (std::size_t i = 0; i < m; ++i) {
-            xp[i] = x[i] + ck * delta[i];
-            xm[i] = x[i] - ck * delta[i];
+    const std::vector<double> &
+    pending() const override
+    {
+        CHOCOQ_ASSERT(stage_ != Stage::Done, "pending() on finished run");
+        switch (stage_) {
+        case Stage::Plus:
+            return xp_;
+        case Stage::Minus:
+            return xm_;
+        default:
+            // Init probes x0 (== x_) and Final probes the last iterate.
+            return x_;
         }
-        const double fp = eval(xp);
-        const double fm = eval(xm);
-        for (std::size_t i = 0; i < m; ++i)
-            x[i] -= ak * (fp - fm) / (2.0 * ck * delta[i]);
+    }
 
-        const double fx = std::min(fp, fm);
-        const auto &cand = fp < fm ? xp : xm;
-        if (fx < best_val) {
-            best_val = fx;
-            best = cand;
-        }
-        out.trace.push_back({out.iterations, best_val});
-        if (ak < opts.tolerance)
+    void
+    supply(double value) override
+    {
+        CHOCOQ_ASSERT(stage_ != Stage::Done, "supply() on finished run");
+        ++out_.evaluations;
+        switch (stage_) {
+        case Stage::Init:
+            best_val_ = value;
+            beginIteration();
             break;
+        case Stage::Plus:
+            fp_ = value;
+            stage_ = Stage::Minus;
+            break;
+        case Stage::Minus: {
+            const double fm = value;
+            for (std::size_t i = 0; i < m_; ++i)
+                x_[i] -= ak_ * (fp_ - fm) / (2.0 * ck_ * delta_[i]);
+            const double fx = std::min(fp_, fm);
+            const auto &cand = fp_ < fm ? xp_ : xm_;
+            if (fx < best_val_) {
+                best_val_ = fx;
+                best_ = cand;
+            }
+            out_.trace.push_back({out_.iterations, best_val_});
+            if (ak_ < opts_.tolerance) {
+                stage_ = Stage::Final;
+            } else {
+                ++k_;
+                beginIteration();
+            }
+            break;
+        }
+        case Stage::Final:
+            // Final candidate may beat the best perturbed point.
+            if (value < best_val_) {
+                best_val_ = value;
+                best_ = x_;
+            }
+            out_.best = best_;
+            out_.bestValue = best_val_;
+            stage_ = Stage::Done;
+            break;
+        case Stage::Done:
+            break;
+        }
     }
 
-    // Final candidate may beat the best perturbed point.
-    const double final_val = eval(x);
-    if (final_val < best_val) {
-        best_val = final_val;
-        best = x;
+    void
+    halt() override
+    {
+        if (stage_ == Stage::Done)
+            return;
+        out_.best = best_;
+        out_.bestValue = best_val_;
+        stage_ = Stage::Done;
     }
-    out.best = best;
-    out.bestValue = best_val;
-    return out;
+
+    const OptResult &result() const override { return out_; }
+
+  private:
+    enum class Stage { Init, Plus, Minus, Final, Done };
+
+    void
+    beginIteration()
+    {
+        if (k_ >= opts_.maxIterations) {
+            stage_ = Stage::Final;
+            return;
+        }
+        if (opts_.checkpoint)
+            opts_.checkpoint();
+        ++out_.iterations;
+        ak_ = a_ / std::pow(k_ + 1.0 + big_a_, 0.602);
+        ck_ = c_ / std::pow(k_ + 1.0, 0.101);
+        for (std::size_t i = 0; i < m_; ++i)
+            delta_[i] = rng_.chance(0.5) ? 1.0 : -1.0;
+        for (std::size_t i = 0; i < m_; ++i) {
+            xp_[i] = x_[i] + ck_ * delta_[i];
+            xm_[i] = x_[i] - ck_ * delta_[i];
+        }
+        stage_ = Stage::Plus;
+    }
+
+    const OptOptions opts_;
+    Rng rng_;
+    const std::size_t m_;
+    std::vector<double> x_;
+    std::vector<double> best_;
+    double best_val_ = 0.0;
+    const double a_;
+    const double c_;
+    const double big_a_;
+    std::vector<double> delta_, xp_, xm_;
+    int k_ = 0;
+    double ak_ = 0.0, ck_ = 0.0, fp_ = 0.0;
+    Stage stage_ = Stage::Init;
+    OptResult out_;
+};
+
+} // namespace
+
+std::unique_ptr<OptimizerRun>
+Spsa::start(const std::vector<double> &x0, const OptOptions &opts) const
+{
+    return std::make_unique<SpsaRun>(seed_, x0, opts);
 }
 
 } // namespace chocoq::optimize

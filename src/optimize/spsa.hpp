@@ -26,8 +26,8 @@ class Spsa : public Optimizer
 
     std::string name() const override { return "spsa"; }
 
-    OptResult minimize(const ObjectiveFn &f, const std::vector<double> &x0,
-                       const OptOptions &opts) const override;
+    std::unique_ptr<OptimizerRun> start(const std::vector<double> &x0,
+                                        const OptOptions &opts) const override;
 
   private:
     std::uint64_t seed_;

@@ -72,6 +72,13 @@ struct SolveJob
      */
     int keepStarts = 0;
     /**
+     * SoA batch width (EngineOptions::batchWidth): lanes per batched
+     * evaluation sweep. 0 defers to the service default (auto). Results
+     * are bit-identical across widths (tested property); the value is
+     * hashed into the compile-cache key conservatively.
+     */
+    int batchWidth = 0;
+    /**
      * Gate fusion (EngineOptions::fusion): fused layer application in
      * the variational loop. On by default; the off switch keeps the
      * cross-checked per-term kernels reachable from the wire. Part of
@@ -166,7 +173,7 @@ struct SolveResult
 /**
  * Parse one JSONL request line. Recognized keys: id, solver, scale,
  * case, problem, problem_ref, seed, shots, device, layers, iters,
- * keep_starts, fusion, deadline_ms.
+ * keep_starts, batch_width, fusion, deadline_ms.
  * Missing keys take the SolveJob defaults. Throws FatalError on
  * malformed JSON, an unknown scale/solver name, a problem spec that
  * fails validation or a resource guard in @p limits, or a request

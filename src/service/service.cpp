@@ -35,8 +35,8 @@ millisSince(Clock::time_point t0)
  */
 void
 configureEngine(core::EngineOptions &engine, const SolveJob &job,
-                int default_iterations, WorkerContext &ctx,
-                CancelToken *token, obs::Trace *trace)
+                int default_iterations, int default_batch_width,
+                WorkerContext &ctx, CancelToken *token, obs::Trace *trace)
 {
     engine.seed = job.seed;
     engine.opt.seed = deriveSeed(job.seed, 1);
@@ -48,6 +48,8 @@ configureEngine(core::EngineOptions &engine, const SolveJob &job,
     if (!job.device.empty())
         engine.noise = device::noiseOf(device::deviceByName(job.device));
     engine.multiStartKeep = job.keepStarts;
+    engine.batchWidth =
+        job.batchWidth > 0 ? job.batchWidth : default_batch_width;
     engine.fusion = job.fusion;
     engine.scratchPool = &ctx.scratch;
     // The cooperative-cancellation hook: the engine polls it at
@@ -274,8 +276,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             core::ChocoQOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token, trace);
+            configureEngine(o.engine, job, opts_.defaultIterations,
+                            opts_.defaultBatchWidth, ctx, token, trace);
             const core::ChocoQSolver solver(o);
             if (trace)
                 openSpan = trace->begin("compile");
@@ -296,8 +298,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             solvers::PenaltyOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token, trace);
+            configureEngine(o.engine, job, opts_.defaultIterations,
+                            opts_.defaultBatchWidth, ctx, token, trace);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::PenaltyQaoaSolver(o).solve(p);
@@ -308,8 +310,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             solvers::CyclicOptions o;
             if (job.layers > 0)
                 o.layers = job.layers;
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token, trace);
+            configureEngine(o.engine, job, opts_.defaultIterations,
+                            opts_.defaultBatchWidth, ctx, token, trace);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::CyclicQaoaSolver(o).solve(p);
@@ -319,8 +321,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             if (job.layers > 0)
                 o.layers = job.layers;
             o.seed = deriveSeed(job.seed, 2);
-            configureEngine(o.engine, job, opts_.defaultIterations, ctx,
-                            token, trace);
+            configureEngine(o.engine, job, opts_.defaultIterations,
+                            opts_.defaultBatchWidth, ctx, token, trace);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::HeaSolver(o).solve(p);

@@ -56,6 +56,11 @@ struct ServiceOptions
     /** Optimizer iteration budget for jobs that don't set their own;
      * 0 keeps each solver's default. */
     int defaultIterations = 0;
+    /** SoA batch width for jobs that don't set their own
+     * (EngineOptions::batchWidth); 0 keeps the engine's automatic
+     * width. Purely a performance knob: results are bit-identical
+     * across widths (tested property). */
+    int defaultBatchWidth = 0;
     /**
      * Watchdog threshold: a worker busy on one job for longer than
      * this is flagged as stalled (counted once per stuck task, surfaced

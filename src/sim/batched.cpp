@@ -1,0 +1,398 @@
+#include "sim/batched.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/subspace.hpp"
+
+namespace chocoq::sim
+{
+
+void
+BatchedStateVector::resizeScratch(int num_qubits, std::size_t lanes)
+{
+    CHOCOQ_ASSERT(num_qubits >= 1 && num_qubits <= 30,
+                  "qubit count out of supported range");
+    CHOCOQ_ASSERT(lanes >= 1 && lanes <= kMaxBatchLanes,
+                  "lane count out of supported range");
+    n_ = num_qubits;
+    dim_ = std::size_t{1} << num_qubits;
+    lanes_ = lanes;
+    amp_.resize(dim_ * lanes_);
+}
+
+void
+BatchedStateVector::reset(Basis idx)
+{
+    CHOCOQ_ASSERT(idx < dim_, "reset state out of range");
+    std::fill(amp_.begin(), amp_.begin() + dim_ * lanes_, Cplx{0.0, 0.0});
+    for (std::size_t b = 0; b < lanes_; ++b)
+        amp_[idx * lanes_ + b] = 1.0;
+}
+
+void
+BatchedStateVector::loadLane(std::size_t lane, const CVec &src)
+{
+    CHOCOQ_ASSERT(lane < lanes_, "lane out of range");
+    CHOCOQ_ASSERT(src.size() == dim_, "lane source size mismatch");
+    for (std::size_t i = 0; i < dim_; ++i)
+        amp_[i * lanes_ + lane] = src[i];
+}
+
+void
+BatchedStateVector::copyLane(std::size_t lane, CVec &out) const
+{
+    CHOCOQ_ASSERT(lane < lanes_, "lane out of range");
+    out.resize(dim_);
+    for (std::size_t i = 0; i < dim_; ++i)
+        out[i] = amp_[i * lanes_ + lane];
+}
+
+void
+BatchedStateVector::applyPhaseTable(const std::vector<double> &table,
+                                    const double *gammas)
+{
+    CHOCOQ_ASSERT(table.size() == dim_, "phase table size mismatch");
+    Cplx *amp = amp_.data();
+    const double *tab = table.data();
+    const double *g = gammas;
+    const std::size_t L = lanes_;
+    parallelFor(dim_, [=](std::size_t i) {
+        Cplx *a = amp + i * L;
+        const double v = tab[i];
+        for (std::size_t b = 0; b < L; ++b) {
+            const double phi = -g[b] * v;
+            a[b] *= Cplx{std::cos(phi), std::sin(phi)};
+        }
+    });
+}
+
+void
+BatchedStateVector::applyPhaseTableCompressed(
+    const std::vector<double> &distinct,
+    const std::vector<std::uint16_t> &index, const double *gammas,
+    std::vector<Cplx> &phase_scratch)
+{
+    CHOCOQ_ASSERT(index.size() == dim_,
+                  "compressed phase index size mismatch");
+    const std::size_t L = lanes_;
+    // Lane-minor LUT: entry d of lane b at [d * L + b]; phi matches the
+    // scalar kernel's -gamma * value expression per lane.
+    phase_scratch.resize(distinct.size() * L);
+    for (std::size_t d = 0; d < distinct.size(); ++d)
+        for (std::size_t b = 0; b < L; ++b) {
+            const double phi = -gammas[b] * distinct[d];
+            phase_scratch[d * L + b] = Cplx{std::cos(phi), std::sin(phi)};
+        }
+    Cplx *amp = amp_.data();
+    const Cplx *phases = phase_scratch.data();
+    const std::uint16_t *idx = index.data();
+    parallelFor(dim_, [=](std::size_t i) {
+        Cplx *a = amp + i * L;
+        const Cplx *ph = phases + static_cast<std::size_t>(idx[i]) * L;
+        for (std::size_t b = 0; b < L; ++b)
+            a[b] *= ph[b];
+    });
+}
+
+void
+BatchedStateVector::applyPhaseMask(Basis mask, const double *phis)
+{
+    const std::size_t L = lanes_;
+    lane_factor_scratch_.resize(L);
+    for (std::size_t b = 0; b < L; ++b)
+        lane_factor_scratch_[b] = Cplx{std::cos(phis[b]), std::sin(phis[b])};
+    Cplx *amp = amp_.data();
+    const Cplx *ph = lane_factor_scratch_.data();
+    forEachInSubspace(freeMask(mask), mask, [=](Basis i) {
+        Cplx *a = amp + static_cast<std::size_t>(i) * L;
+        for (std::size_t b = 0; b < L; ++b)
+            a[b] *= ph[b];
+    });
+}
+
+void
+BatchedStateVector::applyDiagonal1q(int q, const Cplx *d0, const Cplx *d1)
+{
+    const std::size_t stride = std::size_t{1} << q;
+    Cplx *amp = amp_.data();
+    const std::size_t L = lanes_;
+    parallelFor(dim_ >> 1, [=](std::size_t t) {
+        const std::size_t low = t & (stride - 1);
+        const std::size_t i0 = ((t - low) << 1) | low;
+        Cplx *a0 = amp + i0 * L;
+        Cplx *a1 = amp + (i0 + stride) * L;
+        for (std::size_t b = 0; b < L; ++b) {
+            a0[b] *= d0[b];
+            a1[b] *= d1[b];
+        }
+    });
+}
+
+void
+BatchedStateVector::applyParityPhase(Basis mask, const Cplx *even,
+                                     const Cplx *odd)
+{
+    Cplx *amp = amp_.data();
+    const std::size_t L = lanes_;
+    parallelFor(dim_, [=](std::size_t i) {
+        Cplx *a = amp + i * L;
+        const Cplx *f =
+            (popcount(static_cast<Basis>(i) & mask) & 1) ? odd : even;
+        for (std::size_t b = 0; b < L; ++b)
+            a[b] *= f[b];
+    });
+}
+
+void
+BatchedStateVector::applyPairRotation(Basis support_mask, Basis v_bits,
+                                      const double *c, const double *s)
+{
+    CHOCOQ_ASSERT((v_bits & ~support_mask) == 0,
+                  "v pattern outside support");
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-term support");
+    Cplx *amp = amp_.data();
+    const std::size_t L = lanes_;
+    // Same enumeration as the scalar kernel; the pair partners of a run
+    // are the lane blocks of the run at base XOR support_mask. Per lane
+    // the real-component mixing expression is verbatim the scalar one.
+    forEachSubspaceRun(
+        freeMask(support_mask), v_bits, [=](Basis base, std::size_t len) {
+            Cplx *__restrict pv = amp + static_cast<std::size_t>(base) * L;
+            Cplx *__restrict pw =
+                amp + static_cast<std::size_t>(base ^ support_mask) * L;
+            for (std::size_t t = 0; t < len; ++t) {
+                Cplx *__restrict ev = pv + t * L;
+                Cplx *__restrict ew = pw + t * L;
+                for (std::size_t b = 0; b < L; ++b) {
+                    const double cc = c[b];
+                    const double ss = s[b];
+                    const Cplx a = ev[b];
+                    const Cplx w = ew[b];
+                    ev[b] = Cplx{cc * a.real() + ss * w.imag(),
+                                 cc * a.imag() - ss * w.real()};
+                    ew[b] = Cplx{ss * a.imag() + cc * w.real(),
+                                 cc * w.imag() - ss * a.real()};
+                }
+            }
+        });
+}
+
+void
+BatchedStateVector::applyPairRotationGroup(Basis support_mask,
+                                           const Basis *vbits,
+                                           std::size_t count, const double *c,
+                                           const double *s)
+{
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-group support");
+    for (std::size_t g = 0; g < count; ++g)
+        CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
+                      "v pattern outside group support");
+    Cplx *amp = amp_.data();
+    const std::size_t L = lanes_;
+    forEachSubspaceRun(
+        freeMask(support_mask), 0, [=](Basis base, std::size_t len) {
+            for (std::size_t g = 0; g < count; ++g) {
+                const std::size_t ov =
+                    static_cast<std::size_t>(base | vbits[g]);
+                Cplx *__restrict pv = amp + ov * L;
+                Cplx *__restrict pw =
+                    amp
+                    + static_cast<std::size_t>((base | vbits[g])
+                                               ^ support_mask)
+                          * L;
+                for (std::size_t t = 0; t < len; ++t) {
+                    Cplx *__restrict ev = pv + t * L;
+                    Cplx *__restrict ew = pw + t * L;
+                    for (std::size_t b = 0; b < L; ++b) {
+                        const double cc = c[b];
+                        const double ss = s[b];
+                        const Cplx a = ev[b];
+                        const Cplx w = ew[b];
+                        ev[b] = Cplx{cc * a.real() + ss * w.imag(),
+                                     cc * a.imag() - ss * w.real()};
+                        ew[b] = Cplx{ss * a.imag() + cc * w.real(),
+                                     cc * w.imag() - ss * a.real()};
+                    }
+                }
+            }
+        });
+}
+
+void
+BatchedStateVector::applyPhasedPairRotationGroup(
+    Basis support_mask, const Basis *vbits, std::size_t count,
+    const double *c, const double *s, const Cplx *phases,
+    const std::uint16_t *index)
+{
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-group support");
+    for (std::size_t g = 0; g < count; ++g)
+        CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
+                      "v pattern outside group support");
+    Cplx *amp = amp_.data();
+    const std::size_t L = lanes_;
+    const std::size_t patterns = subspaceCount(support_mask);
+    // The support-pattern tiles {base | p} + [0, len) of one span tile
+    // the index space exactly once across all spans, so step 1 applies
+    // the full objective-phase gather; step 2's rotations read only
+    // indices whose free part lies in this span, all phased in step 1.
+    // Thread chunks own disjoint free-part ranges, so both steps stay
+    // race-free under either forEachSubspaceRun parallel branch.
+    forEachSubspaceRun(
+        freeMask(support_mask), 0, [=](Basis base, std::size_t len) {
+            Basis p = 0;
+            for (std::size_t q = 0; q < patterns; ++q) {
+                const std::size_t off = static_cast<std::size_t>(base | p);
+                Cplx *__restrict pa = amp + off * L;
+                const std::uint16_t *__restrict pi = index + off;
+                for (std::size_t t = 0; t < len; ++t) {
+                    Cplx *__restrict a = pa + t * L;
+                    const Cplx *__restrict ph =
+                        phases + static_cast<std::size_t>(pi[t]) * L;
+                    for (std::size_t b = 0; b < L; ++b)
+                        a[b] *= ph[b];
+                }
+                p = subspaceNext(p, support_mask, 0);
+            }
+            for (std::size_t g = 0; g < count; ++g) {
+                Cplx *__restrict pv =
+                    amp + static_cast<std::size_t>(base | vbits[g]) * L;
+                Cplx *__restrict pw =
+                    amp
+                    + static_cast<std::size_t>((base | vbits[g])
+                                               ^ support_mask)
+                          * L;
+                for (std::size_t t = 0; t < len; ++t) {
+                    Cplx *__restrict ev = pv + t * L;
+                    Cplx *__restrict ew = pw + t * L;
+                    for (std::size_t b = 0; b < L; ++b) {
+                        const double cc = c[b];
+                        const double ss = s[b];
+                        const Cplx a = ev[b];
+                        const Cplx w = ew[b];
+                        ev[b] = Cplx{cc * a.real() + ss * w.imag(),
+                                     cc * a.imag() - ss * w.real()};
+                        ew[b] = Cplx{ss * a.imag() + cc * w.real(),
+                                     cc * w.imag() - ss * a.real()};
+                    }
+                }
+            }
+        });
+}
+
+void
+BatchedStateVector::applyMaskPhaseProduct(const Basis *masks,
+                                          const Cplx *phases,
+                                          std::size_t count,
+                                          const Cplx *global)
+{
+    // Lane-minor variant of the scalar byte-blocked kernel: slice b's
+    // 256-entry factor table stores the B lane factors of each entry
+    // contiguously. Per lane the factor product is accumulated in the
+    // scalar kernel's association order (block 0, blocks 1.., residual
+    // terms) before the single multiply into the amplitude.
+    const int blocks = (n_ + 7) / 8;
+    const std::size_t L = lanes_;
+    mask_phase_tables_.assign(static_cast<std::size_t>(blocks) * 256 * L,
+                              Cplx{1.0, 0.0});
+    mask_phase_res_masks_.clear();
+    mask_phase_res_phases_.clear();
+    Cplx *tables = mask_phase_tables_.data();
+    for (std::size_t t = 0; t < count; ++t) {
+        bool folded = false;
+        for (int b = 0; b < blocks; ++b) {
+            const Basis block_mask = Basis{0xFF} << (8 * b);
+            if ((masks[t] & ~block_mask) != 0)
+                continue;
+            const unsigned local =
+                static_cast<unsigned>(masks[t] >> (8 * b));
+            Cplx *table = tables + static_cast<std::size_t>(b) * 256 * L;
+            for (unsigned v = 0; v < 256; ++v)
+                if ((v & local) == local)
+                    for (std::size_t l = 0; l < L; ++l)
+                        table[v * L + l] *= phases[t * L + l];
+            folded = true;
+            break;
+        }
+        if (!folded) {
+            mask_phase_res_masks_.push_back(masks[t]);
+            for (std::size_t l = 0; l < L; ++l)
+                mask_phase_res_phases_.push_back(phases[t * L + l]);
+        }
+    }
+    for (unsigned v = 0; v < 256; ++v)
+        for (std::size_t l = 0; l < L; ++l)
+            tables[v * L + l] *= global[l];
+
+    Cplx *amp = amp_.data();
+    const std::size_t res_count = mask_phase_res_masks_.size();
+    const Basis *rm = mask_phase_res_masks_.data();
+    const Cplx *rp = mask_phase_res_phases_.data();
+    if (blocks == 1 && res_count == 0) {
+        const Cplx *t0 = tables;
+        parallelFor(dim_, [=](std::size_t i) {
+            Cplx *a = amp + i * L;
+            const Cplx *f = t0 + (i & 0xFF) * L;
+            for (std::size_t b = 0; b < L; ++b)
+                a[b] *= f[b];
+        });
+        return;
+    }
+    const Cplx *tabs = tables;
+    parallelFor(dim_, [=](std::size_t i) {
+        Cplx *a = amp + i * L;
+        for (std::size_t b = 0; b < L; ++b) {
+            Cplx f = tabs[(i & 0xFF) * L + b];
+            for (int blk = 1; blk < blocks; ++blk)
+                f *= tabs[(static_cast<std::size_t>(blk) * 256
+                           + ((i >> (8 * blk)) & 0xFF))
+                              * L
+                          + b];
+            for (std::size_t t = 0; t < res_count; ++t)
+                if ((static_cast<Basis>(i) & rm[t]) == rm[t])
+                    f *= rp[t * L + b];
+            a[b] *= f;
+        }
+    });
+}
+
+void
+BatchedStateVector::expectationTable(const std::vector<double> &table,
+                                     double *out) const
+{
+    CHOCOQ_ASSERT(table.size() == dim_, "expectation table size mismatch");
+    const Cplx *amp = amp_.data();
+    const double *tab = table.data();
+    const std::size_t L = lanes_;
+    reducePerLane(
+        [=](std::size_t i, double *acc) {
+            const Cplx *a = amp + i * L;
+            for (std::size_t b = 0; b < L; ++b)
+                acc[b] += std::norm(a[b]) * tab[i];
+        },
+        out);
+}
+
+void
+BatchedStateVector::expectationTableCompressed(
+    const std::vector<double> &distinct,
+    const std::vector<std::uint16_t> &index, double *out) const
+{
+    CHOCOQ_ASSERT(index.size() == dim_,
+                  "compressed expectation index size mismatch");
+    const Cplx *amp = amp_.data();
+    const double *dv = distinct.data();
+    const std::uint16_t *idx = index.data();
+    const std::size_t L = lanes_;
+    reducePerLane(
+        [=](std::size_t i, double *acc) {
+            const Cplx *a = amp + i * L;
+            const double v = dv[idx[i]];
+            for (std::size_t b = 0; b < L; ++b)
+                acc[b] += std::norm(a[b]) * v;
+        },
+        out);
+}
+
+} // namespace chocoq::sim

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * SoA-batched state vector: B multi-start lanes interleaved
+ * amplitude-major.
+ *
+ * Lane b of basis state i lives at amp[i * lanes + b], so every masked
+ * kernel performs its index arithmetic (subspace enumeration, pair
+ * partner lookup, table gathers) once per basis index and then streams
+ * B contiguous lanes per memory touch. The subspace kernels are
+ * memory-bound at width 1; lane-sharing the index work and the table
+ * loads turns one sweep into B evaluations at close to the cost of one.
+ *
+ * Bit-identity contract: for every kernel here, lane b computes the
+ * exact per-amplitude expression of the corresponding StateVector
+ * kernel evaluated with lane b's scalar parameters, enumerated in the
+ * same index order and partitioned by the same deterministic thread
+ * chunking (planThreads over the *index* count, identical to the scalar
+ * kernels). A lane therefore produces byte-for-byte the amplitudes of a
+ * sequential evolution, for any lane count — the property test_batch
+ * checks differentially. Per-lane reductions mirror parallelReduce:
+ * fixed chunks over the index domain, one partial per (thread, lane),
+ * summed in thread order.
+ */
+
+#ifndef CHOCOQ_SIM_BATCHED_HPP
+#define CHOCOQ_SIM_BATCHED_HPP
+
+#include <complex>
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "linalg/matrix.hpp"
+#include "sim/parallel.hpp"
+
+namespace chocoq::sim
+{
+
+using linalg::Cplx;
+using linalg::CVec;
+
+/** Upper bound on lanes (matches the wire-level batch_width cap). */
+constexpr std::size_t kMaxBatchLanes = 4096;
+
+/**
+ * B-lane SoA state vector scratch. Per-lane kernel parameters are
+ * passed as arrays of lanes() entries; table/index arguments are shared
+ * across lanes exactly as in the scalar kernels.
+ */
+class BatchedStateVector
+{
+  public:
+    BatchedStateVector() = default;
+
+    /**
+     * Re-dimension to @p num_qubits qubits and @p lanes lanes, leaving
+     * amplitudes unspecified (callers reset()). Reuses the allocation
+     * whenever capacity allows, like StateVector::resizeScratch.
+     */
+    void resizeScratch(int num_qubits, std::size_t lanes);
+
+    int numQubits() const { return n_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t lanes() const { return lanes_; }
+
+    Cplx *data() { return amp_.data(); }
+    const Cplx *data() const { return amp_.data(); }
+
+    /** Lane @p lane of basis state @p i. */
+    Cplx &
+    at(std::size_t i, std::size_t lane)
+    {
+        return amp_[i * lanes_ + lane];
+    }
+    const Cplx &
+    at(std::size_t i, std::size_t lane) const
+    {
+        return amp_[i * lanes_ + lane];
+    }
+
+    /** Reset every lane to the computational basis state |idx>. */
+    void reset(Basis idx = 0);
+
+    /** Copy a scalar state into lane @p lane (dim() amplitudes). */
+    void loadLane(std::size_t lane, const CVec &src);
+
+    /** Extract lane @p lane into @p out (resized to dim()). */
+    void copyLane(std::size_t lane, CVec &out) const;
+
+    /** Per-lane applyPhaseTable: lane b uses angle gammas[b]. */
+    void applyPhaseTable(const std::vector<double> &table,
+                         const double *gammas);
+
+    /**
+     * Per-lane value-compressed phase table. The per-value phase LUT is
+     * built lane-minor (entry d of lane b at phase_scratch[d * lanes + b])
+     * so the per-amplitude gather loads the index once and streams the
+     * B lane factors contiguously.
+     */
+    void applyPhaseTableCompressed(const std::vector<double> &distinct,
+                                   const std::vector<std::uint16_t> &index,
+                                   const double *gammas,
+                                   std::vector<Cplx> &phase_scratch);
+
+    /** Per-lane applyPhaseMask: lane b multiplies by e^{i phis[b]}. */
+    void applyPhaseMask(Basis mask, const double *phis);
+
+    /** Per-lane applyDiagonal1q: lane b uses diag(d0[b], d1[b]). */
+    void applyDiagonal1q(int q, const Cplx *d0, const Cplx *d1);
+
+    /** Per-lane applyParityPhase: lane b uses (even[b], odd[b]). */
+    void applyParityPhase(Basis mask, const Cplx *even, const Cplx *odd);
+
+    /** Per-lane pair rotation: lane b mixes with (c[b], s[b]). */
+    void applyPairRotation(Basis support_mask, Basis v_bits,
+                           const double *c, const double *s);
+
+    /** Per-lane applyPairRotationGroup (fused commute-layer groups). */
+    void applyPairRotationGroup(Basis support_mask, const Basis *vbits,
+                                std::size_t count, const double *c,
+                                const double *s);
+
+    /**
+     * Fused objective-phase gather + first commute-group sweep, per
+     * lane: within each enumerated free-bit span, first multiply every
+     * support-pattern tile by its compressed phase factor
+     * (phases[index[i] * lanes + b], the lane-minor LUT of
+     * applyPhaseTableCompressed), then rotate every term's pairs. The
+     * tiles partition the full index space, each rotation reads only
+     * amplitudes phased in the same span, and the per-amplitude
+     * arithmetic is unchanged — so the result is bit-identical to
+     * applyPhaseTableCompressed followed by applyPairRotationGroup.
+     */
+    void applyPhasedPairRotationGroup(Basis support_mask,
+                                      const Basis *vbits, std::size_t count,
+                                      const double *c, const double *s,
+                                      const Cplx *phases,
+                                      const std::uint16_t *index);
+
+    /**
+     * Per-lane applyMaskPhaseProduct: term t's lane-b phase at
+     * phases[t * lanes + b], lane-b global factor at global[b]. Factor
+     * tables are rebuilt per call into lane-minor scratch owned by this
+     * state (allocation persists across angle-only calls, as in the
+     * scalar kernel).
+     */
+    void applyMaskPhaseProduct(const Basis *masks, const Cplx *phases,
+                               std::size_t count, const Cplx *global);
+
+    /** Per-lane expectation of a diagonal table -> out[lanes()]. */
+    void expectationTable(const std::vector<double> &table,
+                          double *out) const;
+
+    /** Per-lane compressed-table expectation -> out[lanes()]. */
+    void expectationTableCompressed(const std::vector<double> &distinct,
+                                    const std::vector<std::uint16_t> &index,
+                                    double *out) const;
+
+    /**
+     * Per-lane <state| diag(f) |state> -> out[lanes()]. @p f must be
+     * thread-safe under CHOCOQ_THREADS > 1 (same contract as
+     * StateVector::expectationDiagonal); it is invoked at most once per
+     * basis index (lanes share the value, which is float-exact since f
+     * is deterministic).
+     */
+    template <class F>
+    void
+    expectationDiagonal(F &&f, double *out) const
+    {
+        const Cplx *amp = amp_.data();
+        const std::size_t L = lanes_;
+        reducePerLane(
+            [=, &f](std::size_t i, double *acc) {
+                const Cplx *a = amp + i * L;
+                bool have = false;
+                double fv = 0.0;
+                for (std::size_t b = 0; b < L; ++b) {
+                    const double p = std::norm(a[b]);
+                    if (p > 0.0) {
+                        if (!have) {
+                            fv = f(static_cast<Basis>(i));
+                            have = true;
+                        }
+                        acc[b] += p * fv;
+                    }
+                }
+            },
+            out);
+    }
+
+  private:
+    /** Free (spectator) bit mask complementing @p fixed_mask. */
+    Basis freeMask(Basis fixed_mask) const { return (dim_ - 1) & ~fixed_mask; }
+
+    /**
+     * Per-lane deterministic reduction mirroring parallelReduce:
+     * body(i, acc) accumulates index i's contribution into acc[b] per
+     * lane; chunks are count*tid/team over the index domain with
+     * planThreads(dim()) — the scalar reduce's partitioning — and
+     * per-thread lane partials are summed in thread order.
+     */
+    template <class Body>
+    void
+    reducePerLane(Body &&body, double *out) const
+    {
+        const std::size_t count = dim_;
+        const std::size_t L = lanes_;
+#ifdef _OPENMP
+        const int nt = planThreads(count);
+        if (nt > 1) {
+            reduce_scratch_.assign(static_cast<std::size_t>(nt) * L, 0.0);
+            double *partial = reduce_scratch_.data();
+            std::exception_ptr error;
+#pragma omp parallel num_threads(nt)
+            {
+                const int team = omp_get_num_threads();
+                const int tid = omp_get_thread_num();
+                const std::size_t begin =
+                    count * static_cast<std::size_t>(tid) / team;
+                const std::size_t end =
+                    count * (static_cast<std::size_t>(tid) + 1) / team;
+                double *acc = partial + static_cast<std::size_t>(tid) * L;
+                try {
+                    for (std::size_t i = begin; i < end; ++i)
+                        body(i, acc);
+                } catch (...) {
+#pragma omp critical(chocoq_parallel_error)
+                    if (!error)
+                        error = std::current_exception();
+                }
+            }
+            if (error)
+                std::rethrow_exception(error);
+            for (std::size_t b = 0; b < L; ++b) {
+                double total = 0.0;
+                for (int t = 0; t < nt; ++t)
+                    total += partial[static_cast<std::size_t>(t) * L + b];
+                out[b] = total;
+            }
+            return;
+        }
+#endif
+        for (std::size_t b = 0; b < L; ++b)
+            out[b] = 0.0;
+        for (std::size_t i = 0; i < count; ++i)
+            body(i, out);
+    }
+
+    int n_ = 0;
+    std::size_t dim_ = 0;
+    std::size_t lanes_ = 0;
+    CVec amp_;
+
+    /** Small per-lane factor scratch (applyPhaseMask). */
+    CVec lane_factor_scratch_;
+
+    /** applyMaskPhaseProduct scratch, lane-minor (see scalar kernel). */
+    CVec mask_phase_tables_;
+    std::vector<Basis> mask_phase_res_masks_;
+    CVec mask_phase_res_phases_;
+
+    /** reducePerLane per-(thread, lane) partials. */
+    mutable std::vector<double> reduce_scratch_;
+};
+
+} // namespace chocoq::sim
+
+#endif // CHOCOQ_SIM_BATCHED_HPP

@@ -4,9 +4,10 @@
  *
  * A worker thread that solves many jobs in sequence keeps one pool and
  * hands it to every engine invocation (EngineOptions::scratchPool): slot
- * 0 backs the objective-evaluation scratch and slots 1..B-1 back the
- * batched multi-start sweep. Slots keep their largest-ever allocation
- * (StateVector::prepare / resizeScratch reuse capacity), so a worker in
+ * 0 backs the objective-evaluation scratch and the SoA batch() slot
+ * backs the lockstep multi-start sweep. Slots keep their largest-ever
+ * allocation (StateVector::prepare / resizeScratch and
+ * BatchedStateVector::resizeScratch reuse capacity), so a worker in
  * steady state performs no per-job state-vector allocation.
  */
 
@@ -17,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/batched.hpp"
 #include "sim/statevector.hpp"
 
 namespace chocoq::sim
@@ -48,8 +50,24 @@ class ScratchPool
     /** Number of slots materialized so far. */
     std::size_t size() const { return states_.size(); }
 
+    /**
+     * SoA batch scratch backing the lockstep multi-start sweep (lazily
+     * created; dimension/lanes are whatever the last user left, callers
+     * re-dimension via resizeScratch). One slot suffices: the batched
+     * sweep evaluates its lanes in-place instead of spreading starts
+     * over scalar slots.
+     */
+    BatchedStateVector &
+    batch()
+    {
+        if (!batch_)
+            batch_ = std::make_unique<BatchedStateVector>();
+        return *batch_;
+    }
+
   private:
     std::vector<std::unique_ptr<StateVector>> states_;
+    std::unique_ptr<BatchedStateVector> batch_;
 };
 
 } // namespace chocoq::sim

@@ -204,6 +204,52 @@ StateVector::applyPairRotationGroup(Basis support_mask, const Basis *vbits,
 }
 
 void
+StateVector::applyPhasedPairRotationGroup(Basis support_mask,
+                                          const Basis *vbits,
+                                          std::size_t count, double c,
+                                          double s, const Cplx *phases,
+                                          const std::uint16_t *index)
+{
+    CHOCOQ_ASSERT(support_mask != 0, "empty commute-group support");
+    for (std::size_t g = 0; g < count; ++g)
+        CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
+                      "v pattern outside group support");
+    Cplx *amp = amp_.data();
+    const std::size_t patterns = subspaceCount(support_mask);
+    // Step 1 walks the support patterns p of this span's free-bit base:
+    // tiles {base | p} + [0, len) cover every index exactly once across
+    // all spans (i decomposes uniquely into i & support_mask and its
+    // free part). Step 2's rotations only read indices whose free part
+    // lies in the same span, so they see fully phased amplitudes; and
+    // since thread chunks own disjoint free-part ranges, both steps are
+    // race-free under either parallel branch of forEachSubspaceRun.
+    forEachSubspaceRun(
+        freeMask(support_mask), 0, [=](Basis base, std::size_t len) {
+            Basis p = 0;
+            for (std::size_t q = 0; q < patterns; ++q) {
+                Cplx *__restrict pa = amp + (base | p);
+                const std::uint16_t *__restrict pi = index + (base | p);
+                for (std::size_t t = 0; t < len; ++t)
+                    pa[t] *= phases[pi[t]];
+                p = subspaceNext(p, support_mask, 0);
+            }
+            for (std::size_t g = 0; g < count; ++g) {
+                Cplx *__restrict pv = amp + (base | vbits[g]);
+                Cplx *__restrict pw =
+                    amp + ((base | vbits[g]) ^ support_mask);
+                for (std::size_t t = 0; t < len; ++t) {
+                    const Cplx a = pv[t];
+                    const Cplx b = pw[t];
+                    pv[t] = Cplx{c * a.real() + s * b.imag(),
+                                 c * a.imag() - s * b.real()};
+                    pw[t] = Cplx{s * a.imag() + c * b.real(),
+                                 c * b.imag() - s * a.real()};
+                }
+            }
+        });
+}
+
+void
 StateVector::applyXY(int a, int b, double beta)
 {
     CHOCOQ_ASSERT(a != b, "XY on identical qubits");
@@ -364,6 +410,21 @@ StateVector::expectationTable(const std::vector<double> &table) const
     const double *tab = table.data();
     return parallelReduce(amp_.size(), [=](std::size_t i) {
         return std::norm(amp[i]) * tab[i];
+    });
+}
+
+double
+StateVector::expectationTableCompressed(
+    const std::vector<double> &distinct,
+    const std::vector<std::uint16_t> &index) const
+{
+    CHOCOQ_ASSERT(index.size() == amp_.size(),
+                  "compressed expectation index size mismatch");
+    const Cplx *amp = amp_.data();
+    const double *dv = distinct.data();
+    const std::uint16_t *idx = index.data();
+    return parallelReduce(amp_.size(), [=](std::size_t i) {
+        return std::norm(amp[i]) * dv[idx[i]];
     });
 }
 

@@ -212,6 +212,23 @@ class StateVector
     void applyPairRotationGroup(Basis support_mask, const Basis *vbits,
                                 std::size_t count, double c, double s);
 
+    /**
+     * Fused objective-phase gather + commute-group sweep: within each
+     * enumerated free-bit span of @p support_mask, first multiply every
+     * support-pattern tile by its compressed phase factor
+     * phases[index[i]] (the LUT layout of applyPhaseTableCompressed),
+     * then rotate every term's pairs with (c, s). The pattern tiles
+     * partition the index space exactly once across spans and every
+     * amplitude a rotation reads was phased in the same span, so the
+     * result is bit-identical to applyPhaseTableCompressed followed by
+     * applyPairRotationGroup — while saving one full read+write sweep
+     * of the state per fused layer.
+     */
+    void applyPhasedPairRotationGroup(Basis support_mask,
+                                      const Basis *vbits, std::size_t count,
+                                      double c, double s, const Cplx *phases,
+                                      const std::uint16_t *index);
+
     /** exp(-i beta (X_a X_b + Y_a Y_b)) on the {01, 10} block. */
     void applyXY(int a, int b, double beta);
 
@@ -238,6 +255,19 @@ class StateVector
 
     /** Expectation of a precomputed diagonal observable table. */
     double expectationTable(const std::vector<double> &table) const;
+
+    /**
+     * Value-compressed expectation: the observable table is stored as
+     * its distinct values plus a per-basis-state index (the layout of
+     * applyPhaseTableCompressed). The per-amplitude contribution is
+     * |amp|^2 * distinct[index[i]] summed in the identical reduce
+     * order, so the result is bit-identical to expectationTable on the
+     * expanded table — while reading 2 bytes per amplitude of
+     * observable data instead of 8.
+     */
+    double
+    expectationTableCompressed(const std::vector<double> &distinct,
+                               const std::vector<std::uint16_t> &index) const;
 
     /** Exact probability distribution restricted to |amp|^2 > eps. */
     std::map<Basis, double> distribution(double eps = 1e-12) const;

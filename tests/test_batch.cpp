@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Differential property suite for the SoA batched evolution path.
+ *
+ * The contract under test: BatchedStateVector interleaves B start-lanes
+ * amplitude-major and processes them inside one pass of index
+ * arithmetic, but every lane's per-amplitude expression tree, kernel
+ * enumeration order, and reduction partitioning are exactly the scalar
+ * StateVector's — so batched evolution, per-lane expectations, and the
+ * lockstep racing optimizer driver are all byte-for-byte identical to
+ * the sequential path, for every batch width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/commute.hpp"
+#include "core/layer_fusion.hpp"
+#include "core/qaoa.hpp"
+#include "sim/batched.hpp"
+#include "sim/parallel.hpp"
+#include "sim/statevector.hpp"
+
+using namespace chocoq;
+using linalg::Cplx;
+using linalg::CVec;
+using sim::BatchedStateVector;
+using sim::StateVector;
+
+namespace
+{
+
+constexpr std::size_t kWidths[] = {1, 2, 4, 8};
+
+CVec
+randomState(Rng &rng, int n)
+{
+    CVec psi(std::size_t{1} << n);
+    double norm2 = 0;
+    for (auto &a : psi) {
+        a = Cplx{rng.normal(), rng.normal()};
+        norm2 += std::norm(a);
+    }
+    for (auto &a : psi)
+        a /= std::sqrt(norm2);
+    return psi;
+}
+
+void
+expectLaneBitwiseEqual(const BatchedStateVector &batch, std::size_t lane,
+                       const CVec &want)
+{
+    CVec got;
+    batch.copyLane(lane, got);
+    ASSERT_EQ(got.size(), want.size());
+    ASSERT_EQ(0, std::memcmp(got.data(), want.data(),
+                             want.size() * sizeof(Cplx)))
+        << "lane " << lane;
+}
+
+/** A small Choco-Q-shaped layer problem: cost table + commute terms. */
+struct LayerProblem
+{
+    int n = 0;
+    Basis x0 = 0;
+    std::vector<double> table;
+    std::vector<core::CommuteTerm> terms;
+    core::FusedLayerPlan plan;
+};
+
+LayerProblem
+randomLayerProblem(Rng &rng, int n)
+{
+    LayerProblem p;
+    p.n = n;
+    const std::size_t dim = std::size_t{1} << n;
+    p.x0 = rng.intIn(0, static_cast<int>(dim) - 1);
+    p.table.resize(dim);
+    // A handful of distinct values, like integer-coefficient objectives.
+    for (auto &v : p.table)
+        v = static_cast<double>(rng.intIn(-4, 4)) * 0.75;
+    const int nterms = rng.intIn(1, 2 * n);
+    for (int t = 0; t < nterms; ++t) {
+        std::vector<int> move(static_cast<std::size_t>(n), 0);
+        int weight = 0;
+        while (weight == 0)
+            for (int q = 0; q < n; ++q) {
+                move[static_cast<std::size_t>(q)] = rng.intIn(-1, 1);
+                if (move[static_cast<std::size_t>(q)] != 0)
+                    ++weight;
+            }
+        p.terms.push_back(core::makeCommuteTerm(move));
+    }
+    p.plan = core::buildFusedLayerPlan(p.table, p.terms);
+    return p;
+}
+
+std::vector<std::vector<double>>
+randomThetas(Rng &rng, std::size_t count, std::size_t layers)
+{
+    std::vector<std::vector<double>> thetas(count);
+    for (auto &t : thetas)
+        for (std::size_t l = 0; l < 2 * layers; ++l)
+            t.push_back(rng.uniform(-3.0, 3.0));
+    return thetas;
+}
+
+/** Scalar reference evolution (unfused kernels). */
+CVec
+scalarEvolve(const LayerProblem &p, const std::vector<double> &theta)
+{
+    StateVector sv(p.n);
+    sv.reset(p.x0);
+    for (std::size_t l = 0; l < theta.size() / 2; ++l) {
+        sv.applyPhaseTable(p.table, theta[2 * l]);
+        core::applyCommuteLayer(sv, p.terms, theta[2 * l + 1]);
+    }
+    return sv.amplitudes();
+}
+
+/** Scalar reference evolution (fused phased-group path). */
+CVec
+scalarEvolveFused(const LayerProblem &p, const std::vector<double> &theta)
+{
+    StateVector sv(p.n);
+    sv.reset(p.x0);
+    std::vector<Cplx> scratch;
+    for (std::size_t l = 0; l < theta.size() / 2; ++l)
+        core::applyFusedLayer(sv, p.plan, p.table, theta[2 * l],
+                              theta[2 * l + 1], scratch);
+    return sv.amplitudes();
+}
+
+/** Fixture parameterized over the kernel thread count. */
+class Batch : public ::testing::TestWithParam<int>
+{
+  protected:
+    void SetUp() override { sim::setSimThreads(GetParam()); }
+    void TearDown() override { sim::setSimThreads(0); }
+};
+
+TEST_P(Batch, UnfusedEvolutionBitwiseAcrossWidths)
+{
+    Rng rng(101);
+    for (int trial = 0; trial < 12; ++trial) {
+        const auto p = randomLayerProblem(rng, rng.intIn(3, 8));
+        const std::size_t layers = static_cast<std::size_t>(rng.intIn(1, 4));
+        BatchedStateVector batch;
+        std::vector<double> cs_scratch;
+        for (const std::size_t width : kWidths) {
+            const auto thetas = randomThetas(rng, width, layers);
+            batch.resizeScratch(p.n, width);
+            batch.reset(p.x0);
+            std::vector<double> gammas(width), betas(width);
+            for (std::size_t l = 0; l < layers; ++l) {
+                for (std::size_t b = 0; b < width; ++b) {
+                    gammas[b] = thetas[b][2 * l];
+                    betas[b] = thetas[b][2 * l + 1];
+                }
+                batch.applyPhaseTable(p.table, gammas.data());
+                core::applyCommuteLayerBatched(batch, p.terms, betas.data(),
+                                               cs_scratch);
+            }
+            for (std::size_t b = 0; b < width; ++b)
+                expectLaneBitwiseEqual(batch, b, scalarEvolve(p, thetas[b]));
+        }
+    }
+}
+
+TEST_P(Batch, FusedEvolutionBitwiseAcrossWidths)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 12; ++trial) {
+        const auto p = randomLayerProblem(rng, rng.intIn(3, 8));
+        const std::size_t layers = static_cast<std::size_t>(rng.intIn(1, 4));
+        BatchedStateVector batch;
+        std::vector<Cplx> phase_scratch;
+        std::vector<double> cs_scratch;
+        for (const std::size_t width : kWidths) {
+            const auto thetas = randomThetas(rng, width, layers);
+            batch.resizeScratch(p.n, width);
+            batch.reset(p.x0);
+            std::vector<double> gammas(width), betas(width);
+            for (std::size_t l = 0; l < layers; ++l) {
+                for (std::size_t b = 0; b < width; ++b) {
+                    gammas[b] = thetas[b][2 * l];
+                    betas[b] = thetas[b][2 * l + 1];
+                }
+                core::applyFusedLayerBatched(batch, p.plan, p.table,
+                                             gammas.data(), betas.data(),
+                                             phase_scratch, cs_scratch);
+            }
+            for (std::size_t b = 0; b < width; ++b) {
+                // The fused scalar path is itself bit-identical to the
+                // unfused scalar path; both references must match.
+                const CVec want = scalarEvolveFused(p, thetas[b]);
+                const CVec unfused = scalarEvolve(p, thetas[b]);
+                ASSERT_EQ(0, std::memcmp(want.data(), unfused.data(),
+                                         want.size() * sizeof(Cplx)));
+                expectLaneBitwiseEqual(batch, b, want);
+            }
+        }
+    }
+}
+
+TEST_P(Batch, PerLaneExpectationsBitwiseMatchScalar)
+{
+    Rng rng(107);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto p = randomLayerProblem(rng, rng.intIn(3, 8));
+        for (const std::size_t width : kWidths) {
+            BatchedStateVector batch;
+            batch.resizeScratch(p.n, width);
+            std::vector<CVec> lanes(width);
+            StateVector sv(p.n);
+            for (std::size_t b = 0; b < width; ++b) {
+                lanes[b] = randomState(rng, p.n);
+                batch.loadLane(b, lanes[b]);
+            }
+            std::vector<double> got(width);
+            batch.expectationTable(p.table, got.data());
+            for (std::size_t b = 0; b < width; ++b) {
+                sv.amplitudes() = lanes[b];
+                const double want = sv.expectationTable(p.table);
+                ASSERT_EQ(0, std::memcmp(&got[b], &want, sizeof(double)));
+            }
+            ASSERT_TRUE(p.plan.compressedPhase);
+            batch.expectationTableCompressed(p.plan.distinctValues,
+                                             p.plan.valueIndex, got.data());
+            for (std::size_t b = 0; b < width; ++b) {
+                sv.amplitudes() = lanes[b];
+                const double want = sv.expectationTableCompressed(
+                    p.plan.distinctValues, p.plan.valueIndex);
+                const double expanded = sv.expectationTable(p.table);
+                ASSERT_EQ(0, std::memcmp(&want, &expanded, sizeof(double)));
+                ASSERT_EQ(0, std::memcmp(&got[b], &want, sizeof(double)));
+            }
+            const auto f = [&](Basis x) { return p.table[x] * 0.5 - 1.0; };
+            batch.expectationDiagonal(f, got.data());
+            for (std::size_t b = 0; b < width; ++b) {
+                sv.amplitudes() = lanes[b];
+                const double want = sv.expectationDiagonal(f);
+                ASSERT_EQ(0, std::memcmp(&got[b], &want, sizeof(double)));
+            }
+        }
+    }
+}
+
+// ------------------------------------------- racing optimizer driver
+
+/** SubRun over a layer problem with scalar + SoA evolution closures. */
+core::SubRun
+makeSubRun(const LayerProblem &p)
+{
+    core::SubRun run;
+    run.numQubits = p.n;
+    run.init = p.x0;
+    run.costTable = std::make_shared<const std::vector<double>>(p.table);
+    run.build = [&p](const std::vector<double> &) {
+        return circuit::Circuit(p.n);
+    };
+    run.evolve = [&p](StateVector &state, const std::vector<double> &theta) {
+        state.reset(p.x0);
+        for (std::size_t l = 0; l < theta.size() / 2; ++l) {
+            state.applyPhaseTable(p.table, theta[2 * l]);
+            core::applyCommuteLayer(state, p.terms, theta[2 * l + 1]);
+        }
+    };
+    run.evolveBatch =
+        [&p](BatchedStateVector &batch,
+             const std::vector<const std::vector<double> *> &thetas) {
+            batch.reset(p.x0);
+            const std::size_t lanes = batch.lanes();
+            std::vector<double> gammas(lanes), betas(lanes), cs;
+            for (std::size_t l = 0; l < thetas[0]->size() / 2; ++l) {
+                for (std::size_t b = 0; b < lanes; ++b) {
+                    gammas[b] = (*thetas[b])[2 * l];
+                    betas[b] = (*thetas[b])[2 * l + 1];
+                }
+                batch.applyPhaseTable(p.table, gammas.data());
+                core::applyCommuteLayerBatched(batch, p.terms, betas.data(),
+                                               cs);
+            }
+        };
+    run.lift = [](Basis x) { return x; };
+    return run;
+}
+
+core::EngineOptions
+racingOptions(const std::string &optimizer)
+{
+    core::EngineOptions opts;
+    opts.optimizer = optimizer;
+    opts.theta0 = {0.4, 0.7, 1.1, 0.3};
+    opts.extraStarts = {{0.8, 2.2, 0.2, 1.4},
+                        {2.4, 1.2, 2.8, 0.6},
+                        {1.2, 3.0, 0.9, 2.1},
+                        {0.1, 0.5, 1.7, 2.9}};
+    opts.opt.maxIterations = 15;
+    opts.seed = 99;
+    return opts;
+}
+
+void
+expectSameEngineResult(const core::EngineResult &a,
+                       const core::EngineResult &b)
+{
+    ASSERT_EQ(a.opt.best.size(), b.opt.best.size());
+    ASSERT_EQ(0, std::memcmp(a.opt.best.data(), b.opt.best.data(),
+                             a.opt.best.size() * sizeof(double)));
+    ASSERT_EQ(0, std::memcmp(&a.opt.bestValue, &b.opt.bestValue,
+                             sizeof(double)));
+    ASSERT_EQ(a.opt.evaluations, b.opt.evaluations);
+    ASSERT_EQ(a.opt.iterations, b.opt.iterations);
+    ASSERT_EQ(a.distribution.size(), b.distribution.size());
+    auto it_a = a.distribution.begin();
+    auto it_b = b.distribution.begin();
+    for (; it_a != a.distribution.end(); ++it_a, ++it_b) {
+        ASSERT_EQ(it_a->first, it_b->first);
+        ASSERT_EQ(0, std::memcmp(&it_a->second, &it_b->second,
+                                 sizeof(double)));
+    }
+}
+
+class BatchOptimizer : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BatchOptimizer, FinalOutputsBitwiseAcrossWidths)
+{
+    Rng rng(211);
+    const auto p = randomLayerProblem(rng, 5);
+    const core::SubRun run = makeSubRun(p);
+    const auto cost = [&p](Basis x) { return p.table[x]; };
+
+    core::EngineOptions base = racingOptions(GetParam());
+    base.batchWidth = 1;
+    const auto reference = core::runQaoa({run}, cost, base);
+    for (const std::size_t width : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+        core::EngineOptions opts = base;
+        opts.batchWidth = static_cast<int>(width);
+        expectSameEngineResult(reference, core::runQaoa({run}, cost, opts));
+    }
+}
+
+TEST_P(BatchOptimizer, EliminationDeterministicAcrossWidths)
+{
+    Rng rng(223);
+    const auto p = randomLayerProblem(rng, 5);
+    const core::SubRun run = makeSubRun(p);
+    const auto cost = [&p](Basis x) { return p.table[x]; };
+
+    core::EngineOptions base = racingOptions(GetParam());
+    base.raceEliminateEvery = 3;
+    base.batchWidth = 1;
+    const auto reference = core::runQaoa({run}, cost, base);
+    for (const std::size_t width : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+        core::EngineOptions opts = base;
+        opts.batchWidth = static_cast<int>(width);
+        expectSameEngineResult(reference, core::runQaoa({run}, cost, opts));
+    }
+    // Racing must cost strictly fewer evaluations than running every
+    // start to completion.
+    core::EngineOptions full = racingOptions(GetParam());
+    full.batchWidth = 1;
+    const auto exhaustive = core::runQaoa({run}, cost, full);
+    EXPECT_LT(reference.opt.evaluations, exhaustive.opt.evaluations);
+    // The racing winner can never beat the exhaustive winner (it is a
+    // subset of the same work), and the kept half must contain it here.
+    EXPECT_GE(reference.opt.bestValue, exhaustive.opt.bestValue);
+}
+
+TEST_P(BatchOptimizer, CheckpointNeverPerturbsLockstepResults)
+{
+    Rng rng(227);
+    const auto p = randomLayerProblem(rng, 4);
+    const core::SubRun run = makeSubRun(p);
+    const auto cost = [&p](Basis x) { return p.table[x]; };
+
+    core::EngineOptions plain = racingOptions(GetParam());
+    plain.batchWidth = 8;
+    plain.raceEliminateEvery = 2;
+    const auto reference = core::runQaoa({run}, cost, plain);
+
+    core::EngineOptions hooked = plain;
+    int calls = 0;
+    hooked.checkpoint = [&calls] { ++calls; };
+    expectSameEngineResult(reference, core::runQaoa({run}, cost, hooked));
+    EXPECT_GT(calls, 0);
+}
+
+TEST_P(BatchOptimizer, CancellationMidBatchPropagates)
+{
+    Rng rng(229);
+    const auto p = randomLayerProblem(rng, 4);
+    const core::SubRun run = makeSubRun(p);
+    const auto cost = [&p](Basis x) { return p.table[x]; };
+
+    // Count checkpoints on an unhooked run first, then cancel halfway:
+    // the throw must surface from inside the lockstep sweep.
+    core::EngineOptions probe = racingOptions(GetParam());
+    probe.batchWidth = 8;
+    int total = 0;
+    probe.checkpoint = [&total] { ++total; };
+    (void)core::runQaoa({run}, cost, probe);
+    ASSERT_GT(total, 2);
+
+    core::EngineOptions cancel = probe;
+    int calls = 0;
+    const int limit = total / 2;
+    cancel.checkpoint = [&calls, limit] {
+        if (++calls >= limit)
+            throw std::runtime_error("cancelled");
+    };
+    EXPECT_THROW((void)core::runQaoa({run}, cost, cancel),
+                 std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Optimizers, BatchOptimizer,
+                         ::testing::Values("cobyla", "nelder-mead", "spsa"));
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, Batch, ::testing::Values(1, 3));
+
+} // namespace

@@ -530,16 +530,21 @@ TEST(BatchedMultiStart, LockstepScreeningMatchesSequentialBitwise)
 
     core::SubRun batched = sequential;
     batched.evolveBatch =
-        [x0, table, terms](const std::vector<sim::StateVector *> &states,
-                           const std::vector<std::vector<double>> &thetas) {
-            for (auto *s : states)
-                s->reset(x0);
-            for (std::size_t l = 0; l < thetas[0].size() / 2; ++l) {
-                for (std::size_t b = 0; b < states.size(); ++b)
-                    states[b]->applyPhaseTable(*table, thetas[b][2 * l]);
-                for (std::size_t b = 0; b < states.size(); ++b)
-                    core::applyCommuteLayer(*states[b], *terms,
-                                            thetas[b][2 * l + 1]);
+        [x0, table, terms](
+            sim::BatchedStateVector &batch,
+            const std::vector<const std::vector<double> *> &thetas) {
+            batch.reset(x0);
+            const std::size_t lanes = batch.lanes();
+            std::vector<double> gammas(lanes), betas(lanes);
+            std::vector<double> cs_scratch;
+            for (std::size_t l = 0; l < thetas[0]->size() / 2; ++l) {
+                for (std::size_t b = 0; b < lanes; ++b) {
+                    gammas[b] = (*thetas[b])[2 * l];
+                    betas[b] = (*thetas[b])[2 * l + 1];
+                }
+                batch.applyPhaseTable(*table, gammas.data());
+                core::applyCommuteLayerBatched(batch, *terms, betas.data(),
+                                               cs_scratch);
             }
         };
 

@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Schema check for the service benchmark JSON outputs.
+"""Schema check for the benchmark JSON outputs.
 
 Validates BENCH_service.json and BENCH_load.json against the key sets
 documented in docs/benchmarks.md, so a rename (like the old
 conn_setup_ms_avg -> accept_ms_avg / first_byte_ms_avg split) can never
 silently ship half-applied: the moment a producer and this contract
-disagree, CI fails.
+disagree, CI fails. BENCH_kernels.json (google-benchmark format) is
+checked for the SoA batching probes: at least one BM_EvolveBatchSoA*
+entry must carry the per-amplitude counters.
 
 Usage:
     check_bench_schema.py [--service BENCH_service.json]
                           [--load BENCH_load.json]
+                          [--kernels BENCH_kernels.json]
 
 Files that are not given and do not exist in the working directory are
 skipped with a note; a file that exists but does not match the contract
@@ -34,10 +37,20 @@ SERVICE_TOP = {
     "hardware_concurrency",
     "deterministic_across_worker_counts",
     "speedup_max_vs_min_workers",
+    "batch_widths",
+    "deterministic_across_batch_widths",
     "runs",
     "socket",
     "inline_spec",
     "observability",
+}
+
+# Counters every SoA batching probe must attach (see bench_micro.cpp).
+KERNELS_SOA_COUNTERS = {
+    "ns_per_amp",
+    "bytes_per_amp",
+    "flops_per_amp",
+    "lanes_per_touch",
 }
 
 SERVICE_SOCKET = {
@@ -117,6 +130,29 @@ def check_service(path, errors):
         runs = doc.get("runs")
         if not isinstance(runs, list) or not runs:
             fail(errors, path, "runs must be a non-empty array")
+        widths = doc.get("batch_widths")
+        if not isinstance(widths, list) or not widths:
+            fail(errors, path, "batch_widths must be a non-empty array")
+
+
+def check_kernels(path, errors):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        fail(errors, path,
+             "expected google-benchmark JSON with a 'benchmarks' array")
+        return
+    soa = [b for b in doc["benchmarks"]
+           if isinstance(b, dict)
+           and str(b.get("name", "")).startswith("BM_EvolveBatchSoA")]
+    if not soa:
+        fail(errors, path, "no BM_EvolveBatchSoA* entries present")
+        return
+    for bench in soa:
+        where = f"{path}:{bench.get('name')}"
+        missing = sorted(KERNELS_SOA_COUNTERS - bench.keys())
+        if missing:
+            fail(errors, where, f"missing counters: {', '.join(missing)}")
 
 
 def check_load(path, errors):
@@ -144,12 +180,14 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--service", default="BENCH_service.json")
     parser.add_argument("--load", default="BENCH_load.json")
+    parser.add_argument("--kernels", default="BENCH_kernels.json")
     args = parser.parse_args()
 
     errors = []
     checked = 0
     for path, checker in ((args.service, check_service),
-                          (args.load, check_load)):
+                          (args.load, check_load),
+                          (args.kernels, check_kernels)):
         if not os.path.exists(path):
             print(f"check_bench_schema: {path} not present, skipped")
             continue
