@@ -434,6 +434,10 @@ struct StageReport
     bool sustainedAny = false;
     std::vector<RungResult> rungs;
     double acceptMsAvg = 0.0;
+    /** Client connect-to-send turnaround — open-loop clients hold
+     * connections idle, so this is large by design and kept separate
+     * from the server-latency first_byte_ms. */
+    double idleBeforeFirstRequestMsAvg = 0.0;
     double firstByteMsAvg = 0.0;
     double queueMsP50 = 0.0;
     double solveMsP50 = 0.0;
@@ -506,6 +510,8 @@ runStage(const Config &cfg, int conns)
     if (after.isObject()) {
         report.acceptMsAvg =
             histField(after, "server.accept_ms", "avg_ms");
+        report.idleBeforeFirstRequestMsAvg = histField(
+            after, "server.idle_before_first_request_ms", "avg_ms");
         report.firstByteMsAvg =
             histField(after, "server.first_byte_ms", "avg_ms");
         report.queueMsP50 = histField(after, "stage.queue_ms", "p50_ms");
@@ -699,6 +705,8 @@ main(int argc, char **argv)
         entry.set("reconciled", s.reconciled);
         service::Json server_doc = service::Json::object();
         server_doc.set("accept_ms_avg", s.acceptMsAvg);
+        server_doc.set("idle_before_first_request_ms_avg",
+                       s.idleBeforeFirstRequestMsAvg);
         server_doc.set("first_byte_ms_avg", s.firstByteMsAvg);
         server_doc.set("stage_queue_ms_p50", s.queueMsP50);
         server_doc.set("stage_solve_ms_p50", s.solveMsP50);

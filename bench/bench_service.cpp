@@ -171,8 +171,12 @@ struct SocketReport
      * server.accept_ms histogram: the server-controlled half of
      * connection setup (emitted as accept_ms_avg). */
     double acceptMsAvg = 0.0;
-    /** Mean accept -> first request byte, from server.first_byte_ms:
-     * adds the client's connect round-trip and first write. */
+    /** Mean accept -> first request byte, from
+     * server.idle_before_first_request_ms: the client's connect
+     * round-trip and first write (idle time, not server latency). */
+    double idleBeforeFirstRequestMsAvg = 0.0;
+    /** Mean first request byte -> first response byte, from
+     * server.first_byte_ms: the server-side first-response latency. */
     double firstByteMsAvg = 0.0;
     double wallSeconds = 0.0;
     double jobsPerSec = 0.0;
@@ -213,7 +217,8 @@ runSocketSuite(const std::vector<service::SolveJob> &jobs, int workers,
     // Connection setup amortization probes: connect/teardown with no
     // traffic. These populate server.accept_ms (every accepted
     // connection records it); only the real suite connections below
-    // carry bytes, so they alone feed server.first_byte_ms.
+    // carry bytes, so they alone feed the idle-before-first-request
+    // and first-byte histograms.
     constexpr int kSetupProbes = 32;
     for (int i = 0; i < kSetupProbes; ++i)
         service::JsonlClient probe(server.port());
@@ -258,9 +263,15 @@ runSocketSuite(const std::vector<service::SolveJob> &jobs, int workers,
     server.drain();
 
     // The setup split, read from the server's own span timestamps:
-    // accept -> handler start, and accept -> first request byte.
+    // accept -> handler start, accept -> first request byte (client
+    // idle), and first request byte -> first response byte.
     report.acceptMsAvg =
         svc.metrics().histogram("server.accept_ms").snapshot().avgMs();
+    report.idleBeforeFirstRequestMsAvg =
+        svc.metrics()
+            .histogram("server.idle_before_first_request_ms")
+            .snapshot()
+            .avgMs();
     report.firstByteMsAvg =
         svc.metrics().histogram("server.first_byte_ms").snapshot().avgMs();
 
@@ -667,6 +678,8 @@ main(int argc, char **argv)
     socket_doc.set("workers", socket.workers);
     socket_doc.set("connections", socket.connections);
     socket_doc.set("accept_ms_avg", socket.acceptMsAvg);
+    socket_doc.set("idle_before_first_request_ms_avg",
+                   socket.idleBeforeFirstRequestMsAvg);
     socket_doc.set("first_byte_ms_avg", socket.firstByteMsAvg);
     socket_doc.set("wall_seconds", socket.wallSeconds);
     socket_doc.set("jobs_per_sec", socket.jobsPerSec);

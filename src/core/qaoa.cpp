@@ -327,6 +327,25 @@ runQaoa(const std::vector<SubRun> &subruns,
     sim::ScratchPool &pool = opts.scratchPool ? *opts.scratchPool : local_pool;
     StateVector &scratch = pool.at(0, max_qubits);
 
+    // Kernel-mix accounting (zero-cost when opts.kernelCounters is
+    // null): the sink rides the two scratch states every kernel of this
+    // run executes through. Detach on every exit path — the pool is
+    // shared across jobs on a service worker, and a dangling sink would
+    // charge the next job's kernels to this job's books.
+    sim::BatchedStateVector &batch_scratch = pool.batch();
+    struct SinkGuard
+    {
+        StateVector &s;
+        sim::BatchedStateVector &b;
+        ~SinkGuard()
+        {
+            s.setCounterSink(nullptr);
+            b.setCounterSink(nullptr);
+        }
+    } sink_guard{scratch, batch_scratch};
+    scratch.setCounterSink(opts.kernelCounters);
+    batch_scratch.setCounterSink(opts.kernelCounters);
+
     // SoA lane count for batched sweeps: 0 resolves to the automatic
     // width. Purely a performance knob — results are bit-identical
     // across widths (tested property).

@@ -167,6 +167,15 @@ struct EngineOptions
     circuit::TranspileOptions transpile;
     std::uint64_t seed = 7;
     /**
+     * Optional kernel-mix sink (see obs/roofline.hpp). When set, the
+     * engine attaches it to its scratch states for the duration of the
+     * run — every simulator kernel the job executes records its
+     * invocation and touched-amplitude count — and detaches on exit
+     * (the scratch pool outlives the job). Null (the default) costs
+     * one untaken branch per kernel call and changes no amplitude bits.
+     */
+    obs::KernelCounterSink *kernelCounters = nullptr;
+    /**
      * Cooperative cancellation checkpoint. The engine installs it as
      * OptOptions::checkpoint on every optimizer run it launches (polled
      * at iteration boundaries), and additionally polls it around its

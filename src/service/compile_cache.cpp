@@ -92,34 +92,6 @@ compileKey(const model::Problem &p, const core::ChocoQOptions &opts)
     return key;
 }
 
-void
-CompileCache::touchLocked(Entry &entry)
-{
-    lru_.splice(lru_.begin(), lru_, entry.lruPos);
-}
-
-void
-CompileCache::evictLocked()
-{
-    if (opts_.maxBytes == 0)
-        return;
-    // Walk the cold end of the LRU list, skipping in-flight entries
-    // (their waiters hold the future; eviction would break the
-    // single-flight guarantee and re-run a compilation already paid
-    // for).
-    auto it = lru_.end();
-    while (bytes_ > opts_.maxBytes && it != lru_.begin()) {
-        --it;
-        auto map_it = map_.find(*it);
-        if (!map_it->second.ready)
-            continue;
-        bytes_ -= map_it->second.bytes;
-        ++evictions_;
-        map_.erase(map_it);
-        it = lru_.erase(it);
-    }
-}
-
 std::shared_ptr<const core::ChocoQArtifacts>
 CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
                   bool *hit)
@@ -132,22 +104,18 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
     std::uint64_t generation = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        auto it = map_.find(key);
-        if (it == map_.end()) {
+        if (Entry *entry = map_.find(key)) {
+            future = entry->future;
+            ++hits_;
+        } else {
             future = promise.get_future().share();
-            lru_.push_front(key);
-            Entry entry;
-            entry.future = future;
-            entry.generation = nextGeneration_++;
-            entry.lruPos = lru_.begin();
-            generation = entry.generation;
-            map_.emplace(key, std::move(entry));
+            Entry fresh;
+            fresh.future = future;
+            fresh.generation = nextGeneration_++;
+            generation = fresh.generation;
+            map_.insert(key, std::move(fresh));
             owner = true;
             ++misses_;
-        } else {
-            future = it->second.future;
-            touchLocked(it->second);
-            ++hits_;
         }
     }
     if (hit)
@@ -166,15 +134,21 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
         promise.set_value(artifacts);
         {
             std::lock_guard<std::mutex> lock(mu_);
-            auto it = map_.find(key);
             // Touch only our own insertion: clear() may have dropped it
             // mid-compile and a later request re-inserted the key with
             // a fresh in-flight entry that must stay unevictable.
-            if (it != map_.end() && it->second.generation == generation) {
-                it->second.bytes = artifacts->memoryBytes();
-                it->second.ready = true;
-                bytes_ += it->second.bytes;
-                evictLocked();
+            Entry *entry = map_.peek(key);
+            if (entry && entry->generation == generation) {
+                entry->ready = true;
+                map_.setBytes(key, artifacts->memoryBytes());
+                // Walk the cold end, skipping in-flight entries: their
+                // waiters hold the future, and eviction would re-run a
+                // compilation already paid for.
+                map_.evictOverBudget(
+                    [](const std::string &, const Entry &e) {
+                        return e.ready;
+                    },
+                    [](const std::string &, const Entry &) {});
             }
         }
         return artifacts;
@@ -183,11 +157,9 @@ CompileCache::get(const model::Problem &p, const core::ChocoQSolver &solver,
         // fixed) request recompiles, then propagate to every waiter.
         {
             std::lock_guard<std::mutex> lock(mu_);
-            auto it = map_.find(key);
-            if (it != map_.end() && it->second.generation == generation) {
-                lru_.erase(it->second.lruPos);
-                map_.erase(it);
-            }
+            Entry *entry = map_.peek(key);
+            if (entry && entry->generation == generation)
+                map_.erase(key);
         }
         promise.set_exception(std::current_exception());
         throw;
@@ -201,9 +173,9 @@ CompileCache::stats() const
     Stats s;
     s.hits = hits_;
     s.misses = misses_;
-    s.evictions = evictions_;
+    s.evictions = map_.evictions();
     s.entries = map_.size();
-    s.bytes = bytes_;
+    s.bytes = map_.bytes();
     s.maxBytes = opts_.maxBytes;
     return s;
 }
@@ -213,11 +185,8 @@ CompileCache::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
-    lru_.clear();
     hits_ = 0;
     misses_ = 0;
-    evictions_ = 0;
-    bytes_ = 0;
 }
 
 } // namespace chocoq::service

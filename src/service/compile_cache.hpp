@@ -30,12 +30,11 @@
 
 #include <cstdint>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 
+#include "common/lru.hpp"
 #include "core/chocoq_solver.hpp"
 
 namespace chocoq::obs
@@ -104,7 +103,10 @@ class CompileCache
         }
     };
 
-    explicit CompileCache(CompileCacheOptions opts = {}) : opts_(opts) {}
+    explicit CompileCache(CompileCacheOptions opts = {})
+        : opts_(opts), map_(common::LruMap<std::string, Entry>::Options{
+                           opts.maxBytes, /*minEntries=*/0})
+    {}
 
     /**
      * Artifacts for @p p compiled by @p solver, computing them on the
@@ -128,9 +130,9 @@ class CompileCache
     struct Entry
     {
         Future future;
-        /** memoryBytes estimate; meaningful once ready. */
-        std::size_t bytes = 0;
-        /** Set when the owner's compilation completed successfully. */
+        /** Set when the owner's compilation completed successfully.
+         * Only ready entries are evictable: in-flight waiters hold the
+         * future and eviction would break single-flight. */
         bool ready = false;
         /**
          * Insertion identity. An owner finishing a compile may find the
@@ -139,24 +141,16 @@ class CompileCache
          * bookkeeping off that newer in-flight entry.
          */
         std::uint64_t generation = 0;
-        /** Position in lru_ (front = most recently used). */
-        std::list<std::string>::iterator lruPos;
     };
-
-    /** Move @p it's entry to the front of the LRU list. Lock held. */
-    void touchLocked(Entry &entry);
-    /** Drop ready LRU-tail entries until the budget holds. Lock held. */
-    void evictLocked();
 
     CompileCacheOptions opts_;
     mutable std::mutex mu_;
-    std::unordered_map<std::string, Entry> map_;
-    std::list<std::string> lru_;
+    /** Recency + byte accounting live in the shared LRU core; this
+     * class layers single-flight and the ready-only eviction guard. */
+    common::LruMap<std::string, Entry> map_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
     std::uint64_t nextGeneration_ = 1;
-    std::size_t bytes_ = 0;
 };
 
 } // namespace chocoq::service

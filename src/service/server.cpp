@@ -432,16 +432,23 @@ runJsonlStream(std::istream &in, std::ostream &out, SolveService &service,
 struct Server::Connection
 {
     int fd = -1;
-    /** When accept() returned this connection, anchoring the
-     * accept_ms / first_byte_ms setup-latency split. */
+    /** When accept() returned this connection, anchoring accept_ms and
+     * idle_before_first_request_ms. */
     Clock::time_point acceptedAt;
-    /** First-byte latency recorded yet? Only the reader (thread or
-     * shard) touches it. */
+    /** Idle-before-first-request recorded yet? Only the reader (thread
+     * or shard) touches it. */
     bool sawFirstByte = false;
     /** Serializes result lines (callbacks fire on worker threads). In
      * event mode it also guards fd teardown, outBuf/outOff, and
      * lastWriteProgress. */
     std::mutex writeMu;
+    /** When the first request byte arrived, anchoring first_byte_ms
+     * (first request byte -> first response byte). Stamped once by the
+     * reader, read by the response path; writeMu guards the handoff
+     * because responses are written from worker threads. */
+    Clock::time_point firstByteAt;
+    bool firstByteStamped = false; // writeMu
+    bool sawFirstWrite = false;    // writeMu
     /** This connection's jobs accepted but not yet written back. */
     std::atomic<long> inflight{0};
     /** Set when a write hit a dead peer; stops further writes early. */
@@ -554,6 +561,8 @@ struct Server::EventShard
 Server::Server(SolveService &service, ServerOptions opts)
     : service_(service), opts_(opts),
       acceptMs_(service.metrics().histogram("server.accept_ms")),
+      idleBeforeFirstRequestMs_(service.metrics().histogram(
+          "server.idle_before_first_request_ms")),
       firstByteMs_(service.metrics().histogram("server.first_byte_ms")),
       connOpenGauge_(service.metrics().gauge("server.connections_open"))
 {}
@@ -844,6 +853,10 @@ Server::writeLine(const std::shared_ptr<Connection> &conn,
             return;
         }
         resultsWritten_.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->sawFirstWrite && conn->firstByteStamped) {
+            conn->sawFirstWrite = true;
+            firstByteMs_.record(millisSince(conn->firstByteAt));
+        }
         return;
     }
 
@@ -857,6 +870,10 @@ Server::writeLine(const std::shared_ptr<Connection> &conn,
     conn->outBuf.append(line);
     conn->outBuf.push_back('\n');
     resultsWritten_.fetch_add(1, std::memory_order_relaxed);
+    if (!conn->sawFirstWrite && conn->firstByteStamped) {
+        conn->sawFirstWrite = true;
+        firstByteMs_.record(millisSince(conn->firstByteAt));
+    }
     if (!hadPending) {
         conn->lastWriteProgress = Clock::now();
         if (!flushOutputLocked(conn))
@@ -1121,8 +1138,10 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
     // accept -> handler-thread start: thread-spawn plus scheduling
     // latency, the server-controlled half of connection setup
     // (server.accept_ms / accept_ms_avg). The remainder to the first
-    // received byte (server.first_byte_ms) is the client's
-    // connect-to-send turnaround plus the network.
+    // received byte (server.idle_before_first_request_ms) is the
+    // client's connect-to-send turnaround plus the network — open-loop
+    // harnesses stretch it arbitrarily, which is why it is split out of
+    // server.first_byte_ms (first request byte -> first response byte).
     acceptMs_.record(millisSince(conn->acceptedAt));
     // The bounded framing state machine is shared with the event loop
     // (and with batch mode's istream reader in spirit): oversized
@@ -1192,7 +1211,11 @@ Server::serveConnection(const std::shared_ptr<Connection> &conn)
         last_activity = Clock::now();
         if (!conn->sawFirstByte) {
             conn->sawFirstByte = true;
-            firstByteMs_.record(millisSince(conn->acceptedAt));
+            idleBeforeFirstRequestMs_.record(
+                millisSince(conn->acceptedAt));
+            std::lock_guard<std::mutex> lock(conn->writeMu);
+            conn->firstByteAt = Clock::now();
+            conn->firstByteStamped = true;
         }
         framer.feed(chunk, static_cast<std::size_t>(n));
 
@@ -1310,7 +1333,10 @@ Server::eventHandleReadable(EventShard &sh,
     conn->lastActivity = Clock::now();
     if (!conn->sawFirstByte) {
         conn->sawFirstByte = true;
-        firstByteMs_.record(millisSince(conn->acceptedAt));
+        idleBeforeFirstRequestMs_.record(millisSince(conn->acceptedAt));
+        std::lock_guard<std::mutex> lock(conn->writeMu);
+        conn->firstByteAt = Clock::now();
+        conn->firstByteStamped = true;
     }
     conn->framer.feed(chunk, static_cast<std::size_t>(n));
     eventProcessBuffer(conn);

@@ -466,12 +466,18 @@ class Server
 
     SolveService &service_;
     ServerOptions opts_;
-    /** Connection-setup latency, split at the point the ROADMAP item
-     * asked for: accept() to handler-thread start, and accept() to the
-     * connection's first received byte. Recorded into the service's
-     * metrics registry so the stats probe and bench_service's socket
-     * suite read one source of truth. */
+    /** Connection-setup and first-response latency, recorded into the
+     * service's metrics registry so the stats probe and bench_service's
+     * socket suite read one source of truth. accept_ms is accept() to
+     * handler start (server-controlled); idle_before_first_request_ms
+     * is accept() to the connection's first received byte — the
+     * client's connect-to-send turnaround, which open-loop harnesses
+     * stretch arbitrarily by holding idle connections; first_byte_ms is
+     * first received request byte to the first response byte written,
+     * the server-side latency that used to be polluted by that idle
+     * time when it was measured from accept(). */
     obs::Histogram &acceptMs_;
+    obs::Histogram &idleBeforeFirstRequestMs_;
     obs::Histogram &firstByteMs_;
     /** Live connection count as a gauge (mirrors connectionsOpen_). */
     obs::Gauge &connOpenGauge_;

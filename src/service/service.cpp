@@ -36,8 +36,10 @@ millisSince(Clock::time_point t0)
 void
 configureEngine(core::EngineOptions &engine, const SolveJob &job,
                 int default_iterations, int default_batch_width,
-                WorkerContext &ctx, CancelToken *token, obs::Trace *trace)
+                WorkerContext &ctx, CancelToken *token, obs::Trace *trace,
+                obs::KernelCounterSink *kernels)
 {
+    engine.kernelCounters = kernels;
     engine.seed = job.seed;
     engine.opt.seed = deriveSeed(job.seed, 1);
     if (job.maxIterations > 0)
@@ -103,6 +105,8 @@ SolveService::SolveService(ServiceOptions opts)
       stageCompileMs_(metrics_.histogram("stage.compile_ms")),
       stageSolveMs_(metrics_.histogram("stage.solve_ms")),
       stageTotalMs_(metrics_.histogram("stage.total_ms")),
+      kernelBytes_(metrics_.counter("kernels.bytes")),
+      kernelFlops_(metrics_.counter("kernels.flops")),
       cache_(CompileCacheOptions{
           opts.cacheMaxBytes, &metrics_.histogram("cache.compile_ms")}),
       registry_(spec::ProblemRegistryOptions{
@@ -110,6 +114,13 @@ SolveService::SolveService(ServiceOptions opts)
           &metrics_.histogram("registry.lower_ms")}),
       scheduler_(opts.workers)
 {
+    for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+        const std::string base =
+            std::string("kernels.")
+            + obs::kernelName(static_cast<obs::KernelId>(k));
+        kernelCounters_[k].calls = &metrics_.counter(base + ".calls");
+        kernelCounters_[k].amps = &metrics_.counter(base + ".amps");
+    }
     if (opts_.stallThresholdMs > 0)
         watchdog_ = std::thread([this] { watchdogLoop(); });
 }
@@ -239,6 +250,15 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
     r.solver = job.solver;
     jobsStarted_.add();
     Timer timer;
+    // Per-job kernel-mix sink. One sink per job: workers execute one
+    // job at a time and every kernel records on the calling thread
+    // before its OpenMP region opens, so plain (non-atomic) tallies are
+    // race-free. Detached (null) when neither metrics nor tracing want
+    // it — that configuration is the bench_service observability
+    // baseline, so the <2% overhead gate covers the sink-off path.
+    obs::KernelCounterSink sink;
+    obs::KernelCounterSink *const sinkPtr =
+        (metrics_.enabled() || trace) ? &sink : nullptr;
     // Index of the currently open trace span, so the error paths can
     // close whatever stage the job died in (kNoSpan = none open).
     constexpr std::size_t kNoSpan = static_cast<std::size_t>(-1);
@@ -277,7 +297,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations,
-                            opts_.defaultBatchWidth, ctx, token, trace);
+                            opts_.defaultBatchWidth, ctx, token, trace,
+                            sinkPtr);
             const core::ChocoQSolver solver(o);
             if (trace)
                 openSpan = trace->begin("compile");
@@ -299,7 +320,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations,
-                            opts_.defaultBatchWidth, ctx, token, trace);
+                            opts_.defaultBatchWidth, ctx, token, trace,
+                            sinkPtr);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::PenaltyQaoaSolver(o).solve(p);
@@ -311,7 +333,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
             if (job.layers > 0)
                 o.layers = job.layers;
             configureEngine(o.engine, job, opts_.defaultIterations,
-                            opts_.defaultBatchWidth, ctx, token, trace);
+                            opts_.defaultBatchWidth, ctx, token, trace,
+                            sinkPtr);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::CyclicQaoaSolver(o).solve(p);
@@ -322,7 +345,8 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
                 o.layers = job.layers;
             o.seed = deriveSeed(job.seed, 2);
             configureEngine(o.engine, job, opts_.defaultIterations,
-                            opts_.defaultBatchWidth, ctx, token, trace);
+                            opts_.defaultBatchWidth, ctx, token, trace,
+                            sinkPtr);
             if (trace)
                 openSpan = trace->begin("solve");
             outcome = solvers::HeaSolver(o).solve(p);
@@ -369,10 +393,34 @@ SolveService::execute(const SolveJob &job, WorkerContext &ctx,
                 trace->end(openSpan, "error");
         }
     }
+    if (sinkPtr && !sink.empty()) {
+        recordKernels(sink);
+        // Echo the job's kernel mix into its timeline as a zero-width
+        // annotation span, so chocoq_trace renders the per-job roofline
+        // inputs next to the stage bars.
+        if (trace)
+            trace->add("kernels", trace->sinceOriginMs(), 0.0,
+                       sink.summary());
+    }
     r.solveMs = timer.seconds() * 1e3;
     stageSolveMs_.record(r.solveMs);
     r.worker = ctx.id;
     return r;
+}
+
+void
+SolveService::recordKernels(const obs::KernelCounterSink &sink)
+{
+    for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+        const obs::KernelTally &t =
+            sink.tally(static_cast<obs::KernelId>(k));
+        if (t.calls == 0)
+            continue;
+        kernelCounters_[k].calls->add(static_cast<double>(t.calls));
+        kernelCounters_[k].amps->add(static_cast<double>(t.amps));
+    }
+    kernelBytes_.add(sink.totalBytes());
+    kernelFlops_.add(sink.totalFlops());
 }
 
 void

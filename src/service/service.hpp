@@ -18,6 +18,7 @@
 #ifndef CHOCOQ_SERVICE_SERVICE_HPP
 #define CHOCOQ_SERVICE_SERVICE_HPP
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <functional>
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/roofline.hpp"
 #include "obs/trace.hpp"
 #include "service/compile_cache.hpp"
 #include "service/fault.hpp"
@@ -209,6 +211,8 @@ class SolveService
      * queue/total stage histograms), before the done callback fires so
      * a client acting on its last result reads final counts. */
     void recordCompletion(const SolveResult &r);
+    /** Fold one job's kernel mix into the kernels.* counters. */
+    void recordKernels(const obs::KernelCounterSink &sink);
 
     ServiceOptions opts_;
     /** Declared before cache_/registry_: their options carry pointers
@@ -228,6 +232,18 @@ class SolveService
     obs::Histogram &stageCompileMs_;
     obs::Histogram &stageSolveMs_;
     obs::Histogram &stageTotalMs_;
+    /** Per-kernel mix counters (kernels.<name>.calls / .amps) plus the
+     * derived traffic totals (kernels.bytes / kernels.flops), bound at
+     * construction like the stage metrics above: per-job aggregation
+     * never does a name lookup. */
+    struct KernelCounterPair
+    {
+        obs::Counter *calls = nullptr;
+        obs::Counter *amps = nullptr;
+    };
+    std::array<KernelCounterPair, obs::kKernelCount> kernelCounters_;
+    obs::Counter &kernelBytes_;
+    obs::Counter &kernelFlops_;
     CompileCache cache_;
     spec::ProblemRegistry registry_;
     Scheduler scheduler_;

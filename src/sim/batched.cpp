@@ -54,6 +54,8 @@ BatchedStateVector::applyPhaseTable(const std::vector<double> &table,
                                     const double *gammas)
 {
     CHOCOQ_ASSERT(table.size() == dim_, "phase table size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseTable, dim_ * lanes_);
     Cplx *amp = amp_.data();
     const double *tab = table.data();
     const double *g = gammas;
@@ -77,6 +79,8 @@ BatchedStateVector::applyPhaseTableCompressed(
     CHOCOQ_ASSERT(index.size() == dim_,
                   "compressed phase index size mismatch");
     const std::size_t L = lanes_;
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseTableCompressed, dim_ * L);
     // Lane-minor LUT: entry d of lane b at [d * L + b]; phi matches the
     // scalar kernel's -gamma * value expression per lane.
     phase_scratch.resize(distinct.size() * L);
@@ -99,6 +103,9 @@ BatchedStateVector::applyPhaseTableCompressed(
 void
 BatchedStateVector::applyPhaseMask(Basis mask, const double *phis)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseMask,
+                          (dim_ >> popcount(mask)) * lanes_);
     const std::size_t L = lanes_;
     lane_factor_scratch_.resize(L);
     for (std::size_t b = 0; b < L; ++b)
@@ -115,6 +122,8 @@ BatchedStateVector::applyPhaseMask(Basis mask, const double *phis)
 void
 BatchedStateVector::applyDiagonal1q(int q, const Cplx *d0, const Cplx *d1)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::Diagonal1q, dim_ * lanes_);
     const std::size_t stride = std::size_t{1} << q;
     Cplx *amp = amp_.data();
     const std::size_t L = lanes_;
@@ -134,6 +143,8 @@ void
 BatchedStateVector::applyParityPhase(Basis mask, const Cplx *even,
                                      const Cplx *odd)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::ParityPhase, dim_ * lanes_);
     Cplx *amp = amp_.data();
     const std::size_t L = lanes_;
     parallelFor(dim_, [=](std::size_t i) {
@@ -152,6 +163,10 @@ BatchedStateVector::applyPairRotation(Basis support_mask, Basis v_bits,
     CHOCOQ_ASSERT((v_bits & ~support_mask) == 0,
                   "v pattern outside support");
     CHOCOQ_ASSERT(support_mask != 0, "empty commute-term support");
+    if (counters_)
+        counters_->record(
+            obs::KernelId::PairRotation,
+            (dim_ >> (popcount(support_mask) - 1)) * lanes_);
     Cplx *amp = amp_.data();
     const std::size_t L = lanes_;
     // Same enumeration as the scalar kernel; the pair partners of a run
@@ -189,6 +204,10 @@ BatchedStateVector::applyPairRotationGroup(Basis support_mask,
     for (std::size_t g = 0; g < count; ++g)
         CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
                       "v pattern outside group support");
+    if (counters_)
+        counters_->record(
+            obs::KernelId::PairRotationGroup,
+            count * (dim_ >> (popcount(support_mask) - 1)) * lanes_);
     Cplx *amp = amp_.data();
     const std::size_t L = lanes_;
     forEachSubspaceRun(
@@ -230,6 +249,11 @@ BatchedStateVector::applyPhasedPairRotationGroup(
     for (std::size_t g = 0; g < count; ++g)
         CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
                       "v pattern outside group support");
+    if (counters_)
+        counters_->record(
+            obs::KernelId::PhasedPairRotationGroup,
+            (dim_ + count * (dim_ >> (popcount(support_mask) - 1)))
+                * lanes_);
     Cplx *amp = amp_.data();
     const std::size_t L = lanes_;
     const std::size_t patterns = subspaceCount(support_mask);
@@ -287,6 +311,8 @@ BatchedStateVector::applyMaskPhaseProduct(const Basis *masks,
                                           std::size_t count,
                                           const Cplx *global)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::MaskPhaseProduct, dim_ * lanes_);
     // Lane-minor variant of the scalar byte-blocked kernel: slice b's
     // 256-entry factor table stores the B lane factors of each entry
     // contiguously. Per lane the factor product is accumulated in the
@@ -362,6 +388,8 @@ BatchedStateVector::expectationTable(const std::vector<double> &table,
                                      double *out) const
 {
     CHOCOQ_ASSERT(table.size() == dim_, "expectation table size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::ExpectationTable, dim_ * lanes_);
     const Cplx *amp = amp_.data();
     const double *tab = table.data();
     const std::size_t L = lanes_;
@@ -381,6 +409,9 @@ BatchedStateVector::expectationTableCompressed(
 {
     CHOCOQ_ASSERT(index.size() == dim_,
                   "compressed expectation index size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::ExpectationTableCompressed,
+                          dim_ * lanes_);
     const Cplx *amp = amp_.data();
     const double *dv = distinct.data();
     const std::uint16_t *idx = index.data();

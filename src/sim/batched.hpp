@@ -32,6 +32,7 @@
 
 #include "common/bitops.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/roofline.hpp"
 #include "sim/parallel.hpp"
 
 namespace chocoq::sim
@@ -78,6 +79,16 @@ class BatchedStateVector
     {
         return amp_[i * lanes_ + lane];
     }
+
+    /**
+     * Attach (or detach, with nullptr) a kernel counter sink — the same
+     * zero-cost-when-null contract as StateVector::setCounterSink.
+     * Batched kernels record lane-amplitudes (index touches times
+     * lanes()) under the same KernelId as their scalar twin, once per
+     * invocation on the calling thread.
+     */
+    void setCounterSink(obs::KernelCounterSink *sink) { counters_ = sink; }
+    obs::KernelCounterSink *counterSink() const { return counters_; }
 
     /** Reset every lane to the computational basis state |idx>. */
     void reset(Basis idx = 0);
@@ -168,6 +179,9 @@ class BatchedStateVector
     void
     expectationDiagonal(F &&f, double *out) const
     {
+        if (counters_)
+            counters_->record(obs::KernelId::ExpectationDiagonal,
+                              dim_ * lanes_);
         const Cplx *amp = amp_.data();
         const std::size_t L = lanes_;
         reducePerLane(
@@ -251,6 +265,9 @@ class BatchedStateVector
     std::size_t dim_ = 0;
     std::size_t lanes_ = 0;
     CVec amp_;
+
+    /** Optional kernel-mix sink (see setCounterSink); never owned. */
+    obs::KernelCounterSink *counters_ = nullptr;
 
     /** Small per-lane factor scratch (applyPhaseMask). */
     CVec lane_factor_scratch_;

@@ -63,6 +63,8 @@ StateVector::prob(Basis idx) const
 void
 StateVector::apply1q(int q, Cplx m00, Cplx m01, Cplx m10, Cplx m11)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::Apply1q, amp_.size());
     const std::size_t stride = std::size_t{1} << q;
     Cplx *amp = amp_.data();
     // Pair t -> (i0, i1): spread t's bits around position q.
@@ -80,6 +82,8 @@ StateVector::apply1q(int q, Cplx m00, Cplx m01, Cplx m10, Cplx m11)
 void
 StateVector::applyDiagonal1q(int q, Cplx d0, Cplx d1)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::Diagonal1q, amp_.size());
     const std::size_t stride = std::size_t{1} << q;
     Cplx *amp = amp_.data();
     parallelFor(amp_.size() >> 1, [=](std::size_t t) {
@@ -96,6 +100,9 @@ StateVector::applyControlled1q(Basis control_mask, int q, Cplx m00, Cplx m01,
 {
     CHOCOQ_ASSERT((control_mask & (Basis{1} << q)) == 0,
                   "target overlaps controls");
+    if (counters_)
+        counters_->record(obs::KernelId::Controlled1q,
+                          amp_.size() >> popcount(control_mask));
     const Basis stride = Basis{1} << q;
     Cplx *amp = amp_.data();
     // Enumerate states with all controls 1 and the target 0; the target-1
@@ -118,6 +125,9 @@ StateVector::applyControlled1q(Basis control_mask, int q, Cplx m00, Cplx m01,
 void
 StateVector::applyPhaseMask(Basis mask, double phi)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseMask,
+                          amp_.size() >> popcount(mask));
     const Cplx phase{std::cos(phi), std::sin(phi)};
     Cplx *amp = amp_.data();
     forEachInSubspace(freeMask(mask), mask,
@@ -127,6 +137,8 @@ StateVector::applyPhaseMask(Basis mask, double phi)
 void
 StateVector::applyParityPhase(Basis mask, Cplx even, Cplx odd)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::ParityPhase, amp_.size());
     Cplx *amp = amp_.data();
     const Cplx factor[2] = {even, odd};
     parallelFor(amp_.size(), [=, &factor](std::size_t i) {
@@ -148,6 +160,9 @@ StateVector::applyPairRotation(Basis support_mask, Basis v_bits, double c,
     CHOCOQ_ASSERT((v_bits & ~support_mask) == 0,
                   "v pattern outside support");
     CHOCOQ_ASSERT(support_mask != 0, "empty commute-term support");
+    if (counters_)
+        counters_->record(obs::KernelId::PairRotation,
+                          amp_.size() >> (popcount(support_mask) - 1));
     Cplx *amp = amp_.data();
     // Enumerate only states matching the v pattern on the support; the
     // partner (v-bar pattern) is idx XOR support_mask and is updated in
@@ -179,6 +194,10 @@ StateVector::applyPairRotationGroup(Basis support_mask, const Basis *vbits,
     for (std::size_t g = 0; g < count; ++g)
         CHOCOQ_ASSERT((vbits[g] & ~support_mask) == 0,
                       "v pattern outside group support");
+    if (counters_)
+        counters_->record(
+            obs::KernelId::PairRotationGroup,
+            count * (amp_.size() >> (popcount(support_mask) - 1)));
     Cplx *amp = amp_.data();
     // One enumeration of the free-bit runs (support bits fixed to 0 in
     // the base) serves every term of the group: term g's |v> run starts
@@ -216,6 +235,11 @@ StateVector::applyPhasedPairRotationGroup(Basis support_mask,
                       "v pattern outside group support");
     Cplx *amp = amp_.data();
     const std::size_t patterns = subspaceCount(support_mask);
+    if (counters_)
+        counters_->record(
+            obs::KernelId::PhasedPairRotationGroup,
+            amp_.size()
+                + count * (amp_.size() >> (popcount(support_mask) - 1)));
     // Step 1 walks the support patterns p of this span's free-bit base:
     // tiles {base | p} + [0, len) cover every index exactly once across
     // all spans (i decomposes uniquely into i & support_mask and its
@@ -253,6 +277,8 @@ void
 StateVector::applyXY(int a, int b, double beta)
 {
     CHOCOQ_ASSERT(a != b, "XY on identical qubits");
+    if (counters_)
+        counters_->record(obs::KernelId::XY, amp_.size() >> 1);
     const Basis ba = Basis{1} << a;
     const Basis bb = Basis{1} << b;
     const double c = std::cos(2.0 * beta);
@@ -280,6 +306,8 @@ void
 StateVector::applySwap(int a, int b)
 {
     CHOCOQ_ASSERT(a != b, "swap on identical qubits");
+    if (counters_)
+        counters_->record(obs::KernelId::Swap, amp_.size() >> 1);
     const Basis ba = Basis{1} << a;
     const Basis bb = Basis{1} << b;
     Cplx *amp = amp_.data();
@@ -296,6 +324,8 @@ void
 StateVector::applyPhaseTable(const std::vector<double> &table, double gamma)
 {
     CHOCOQ_ASSERT(table.size() == amp_.size(), "phase table size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseTable, amp_.size());
     Cplx *amp = amp_.data();
     const double *tab = table.data();
     parallelFor(amp_.size(), [=](std::size_t i) {
@@ -312,6 +342,8 @@ StateVector::applyPhaseTableCompressed(const std::vector<double> &distinct,
 {
     CHOCOQ_ASSERT(index.size() == amp_.size(),
                   "compressed phase index size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::PhaseTableCompressed, amp_.size());
     // |distinct| sincos evaluations; phi matches applyPhaseTable's
     // -gamma * value expression exactly, so expanding the table and
     // calling applyPhaseTable gives the same bits.
@@ -331,6 +363,8 @@ void
 StateVector::applyMaskPhaseProduct(const Basis *masks, const Cplx *phases,
                                    std::size_t count, Cplx global)
 {
+    if (counters_)
+        counters_->record(obs::KernelId::MaskPhaseProduct, amp_.size());
     // Byte-blocked evaluation: a term whose mask lies inside one 8-bit
     // slice of the index folds into that slice's 256-entry factor table
     // (built in 256 x count_in_block operations, amortized over the 2^n
@@ -406,6 +440,8 @@ StateVector::expectationTable(const std::vector<double> &table) const
 {
     CHOCOQ_ASSERT(table.size() == amp_.size(),
                   "expectation table size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::ExpectationTable, amp_.size());
     const Cplx *amp = amp_.data();
     const double *tab = table.data();
     return parallelReduce(amp_.size(), [=](std::size_t i) {
@@ -420,6 +456,9 @@ StateVector::expectationTableCompressed(
 {
     CHOCOQ_ASSERT(index.size() == amp_.size(),
                   "compressed expectation index size mismatch");
+    if (counters_)
+        counters_->record(obs::KernelId::ExpectationTableCompressed,
+                          amp_.size());
     const Cplx *amp = amp_.data();
     const double *dv = distinct.data();
     const std::uint16_t *idx = index.data();

@@ -28,6 +28,7 @@
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/roofline.hpp"
 #include "sim/parallel.hpp"
 
 namespace chocoq::sim
@@ -67,6 +68,19 @@ class StateVector
      * prepare's redundant zero-fill sweep on the hot loop.
      */
     void resizeScratch(int num_qubits);
+
+    /**
+     * Attach (or detach, with nullptr) a kernel counter sink. The same
+     * zero-cost-when-null contract as the service's Trace*: a null sink
+     * costs one predictable branch per kernel *invocation*, never per
+     * amplitude, and amplitudes are bit-identical either way. Each
+     * kernel records once on the calling thread before its OpenMP
+     * region opens, so the sink needs no synchronization as long as it
+     * is attached to the states of one job at a time (the engine
+     * attaches per job; see core::runQaoa).
+     */
+    void setCounterSink(obs::KernelCounterSink *sink) { counters_ = sink; }
+    obs::KernelCounterSink *counterSink() const { return counters_; }
 
     /** Squared-norm of the state (should stay 1 within round-off). */
     double totalProbability() const;
@@ -110,6 +124,8 @@ class StateVector
     void
     applyDiagonal(F &&f)
     {
+        if (counters_)
+            counters_->record(obs::KernelId::ApplyDiagonal, amp_.size());
         Cplx *amp = amp_.data();
         parallelFor(amp_.size(),
                     [&](std::size_t i) { amp[i] *= f(static_cast<Basis>(i)); });
@@ -246,6 +262,9 @@ class StateVector
     double
     expectationDiagonal(F &&f) const
     {
+        if (counters_)
+            counters_->record(obs::KernelId::ExpectationDiagonal,
+                              amp_.size());
         const Cplx *amp = amp_.data();
         return parallelReduce(amp_.size(), [&](std::size_t i) {
             const double p = std::norm(amp[i]);
@@ -294,6 +313,9 @@ class StateVector
 
     int n_;
     CVec amp_;
+
+    /** Optional kernel-mix sink (see setCounterSink); never owned. */
+    obs::KernelCounterSink *counters_ = nullptr;
 
     /** applyMaskPhaseProduct scratch: flat ceil(n/8) x 256 factor
      * tables plus the residual cross-slice terms. Contents are

@@ -25,33 +25,18 @@ problemMemoryBytes(const model::Problem &p)
 }
 
 void
-ProblemRegistry::touchLocked(Entry &entry)
+ProblemRegistry::noteEvictedLocked(const std::string &hashHex)
 {
-    lru_.splice(lru_.begin(), lru_, entry.lruPos);
-}
-
-void
-ProblemRegistry::evictLocked()
-{
-    if (opts_.maxBytes == 0)
-        return;
-    while (bytes_ > opts_.maxBytes && lru_.size() > 1) {
-        const auto it = map_.find(lru_.back());
-        bytes_ -= it->second.bytes;
-        ++evictions_;
-        // Every eviction invalidates outstanding problem_refs to this
-        // hash; bump the generation and leave a bounded tombstone so
-        // those refs fail as "expired", not as never-seen.
-        ++generation_;
-        if (tombstones_.insert(lru_.back()).second) {
-            tombstoneOrder_.push_back(lru_.back());
-            if (tombstoneOrder_.size() > kMaxTombstones) {
-                tombstones_.erase(tombstoneOrder_.front());
-                tombstoneOrder_.pop_front();
-            }
+    // Every eviction invalidates outstanding problem_refs to this
+    // hash; bump the generation and leave a bounded tombstone so
+    // those refs fail as "expired", not as never-seen.
+    ++generation_;
+    if (tombstones_.insert(hashHex).second) {
+        tombstoneOrder_.push_back(hashHex);
+        if (tombstoneOrder_.size() > kMaxTombstones) {
+            tombstones_.erase(tombstoneOrder_.front());
+            tombstoneOrder_.pop_front();
         }
-        map_.erase(it);
-        lru_.pop_back();
     }
 }
 
@@ -66,13 +51,11 @@ ProblemRegistry::put(const std::string &hashHex,
         *refreshed = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        const auto it = map_.find(hashHex);
-        if (it != map_.end()) {
-            touchLocked(it->second);
+        if (const auto *existing = map_.find(hashHex)) {
             ++reused_;
             if (reused)
                 *reused = true;
-            return it->second.problem;
+            return *existing;
         }
     }
     // Lower outside the lock (a big spec costs real work); losing the
@@ -87,13 +70,11 @@ ProblemRegistry::put(const std::string &hashHex,
     const std::size_t bytes = problemMemoryBytes(*problem);
 
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(hashHex);
-    if (it != map_.end()) {
-        touchLocked(it->second);
+    if (const auto *existing = map_.find(hashHex)) {
         ++reused_;
         if (reused)
             *reused = true;
-        return it->second.problem;
+        return *existing;
     }
     // A tombstoned hash coming back means previously issued
     // problem_refs to it are valid again: surface the revival.
@@ -103,16 +84,17 @@ ProblemRegistry::put(const std::string &hashHex,
         if (refreshed)
             *refreshed = true;
     }
-    lru_.push_front(hashHex);
-    Entry entry;
-    entry.problem = std::move(problem);
-    entry.bytes = bytes;
-    entry.lruPos = lru_.begin();
-    bytes_ += bytes;
+    auto stored = problem;
+    map_.insert(hashHex, std::move(problem), bytes);
     ++inserted_;
-    auto stored = entry.problem;
-    map_.emplace(hashHex, std::move(entry));
-    evictLocked();
+    map_.evictOverBudget(
+        [](const std::string &, const std::shared_ptr<const model::Problem> &) {
+            return true;
+        },
+        [this](const std::string &key,
+               const std::shared_ptr<const model::Problem> &) {
+            noteEvictedLocked(key);
+        });
     return stored;
 }
 
@@ -120,8 +102,8 @@ std::shared_ptr<const model::Problem>
 ProblemRegistry::get(const std::string &hashHex, RefOutcome *outcome)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(hashHex);
-    if (it == map_.end()) {
+    const auto *entry = map_.find(hashHex);
+    if (!entry) {
         ++refMisses_;
         const bool expired = tombstones_.count(hashHex) != 0;
         if (expired)
@@ -130,11 +112,10 @@ ProblemRegistry::get(const std::string &hashHex, RefOutcome *outcome)
             *outcome = expired ? RefOutcome::Expired : RefOutcome::Unknown;
         return nullptr;
     }
-    touchLocked(it->second);
     ++refHits_;
     if (outcome)
         *outcome = RefOutcome::Hit;
-    return it->second.problem;
+    return *entry;
 }
 
 std::uint64_t
@@ -154,11 +135,11 @@ ProblemRegistry::stats() const
     s.refHits = refHits_;
     s.refMisses = refMisses_;
     s.refExpired = refExpired_;
-    s.evictions = evictions_;
+    s.evictions = map_.evictions();
     s.generation = generation_;
     s.refreshes = refreshes_;
     s.entries = map_.size();
-    s.bytes = bytes_;
+    s.bytes = map_.bytes();
     s.maxBytes = opts_.maxBytes;
     return s;
 }
@@ -168,7 +149,6 @@ ProblemRegistry::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     map_.clear();
-    lru_.clear();
     tombstones_.clear();
     tombstoneOrder_.clear();
     inserted_ = 0;
@@ -176,10 +156,8 @@ ProblemRegistry::clear()
     refHits_ = 0;
     refMisses_ = 0;
     refExpired_ = 0;
-    evictions_ = 0;
     generation_ = 0;
     refreshes_ = 0;
-    bytes_ = 0;
 }
 
 } // namespace chocoq::spec

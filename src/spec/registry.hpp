@@ -36,9 +36,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "common/lru.hpp"
 #include "model/problem.hpp"
 
 namespace chocoq::obs
@@ -111,7 +111,7 @@ class ProblemRegistry
     };
 
     explicit ProblemRegistry(ProblemRegistryOptions opts = {})
-        : opts_(opts)
+        : opts_(opts), map_(Lru::Options{opts.maxBytes, /*minEntries=*/1})
     {}
 
     /**
@@ -149,23 +149,22 @@ class ProblemRegistry
     void clear();
 
   private:
-    struct Entry
-    {
-        std::shared_ptr<const model::Problem> problem;
-        std::size_t bytes = 0;
-        std::list<std::string>::iterator lruPos;
-    };
+    using Lru =
+        common::LruMap<std::string, std::shared_ptr<const model::Problem>>;
 
-    void touchLocked(Entry &entry);
-    void evictLocked();
+    /** Tombstone @p hashHex and bump the generation. Lock held; runs as
+     * the eviction sweep's on-evict callback. */
+    void noteEvictedLocked(const std::string &hashHex);
 
     /** Bound on remembered evicted hashes (16-byte keys; ~1 MiB). */
     static constexpr std::size_t kMaxTombstones = 65536;
 
     ProblemRegistryOptions opts_;
     mutable std::mutex mu_;
-    std::unordered_map<std::string, Entry> map_;
-    std::list<std::string> lru_;
+    /** Recency + byte accounting live in the shared LRU core
+     * (minEntries=1: the entry being inserted always survives); this
+     * class layers tombstones and the eviction generation on top. */
+    Lru map_;
     /** Evicted hashes, FIFO-bounded: membership => ref is "expired". */
     std::unordered_set<std::string> tombstones_;
     std::list<std::string> tombstoneOrder_;
@@ -174,10 +173,8 @@ class ProblemRegistry
     std::uint64_t refHits_ = 0;
     std::uint64_t refMisses_ = 0;
     std::uint64_t refExpired_ = 0;
-    std::uint64_t evictions_ = 0;
     std::uint64_t generation_ = 0;
     std::uint64_t refreshes_ = 0;
-    std::size_t bytes_ = 0;
 };
 
 } // namespace chocoq::spec

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Differential accounting tests for the kernel roofline telemetry
+ * (obs/roofline.hpp): every instrumented kernel — scalar and batched —
+ * must record exactly the analytically expected call and amplitude
+ * counts, the sink's byte/flop totals must equal the static cost model
+ * applied to those counts, and attaching a sink must not perturb the
+ * simulation by a single bit. The counts are hand-derived from the
+ * kernels' documented touch sets (full sweeps touch 2^n amplitudes,
+ * masked sweeps 2^(n-popcount), pair sweeps 2^(n-k+1), batched sweeps
+ * the scalar count times the lane width), so a kernel that silently
+ * changes its traffic shape fails here before it skews a roofline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "obs/roofline.hpp"
+#include "sim/batched.hpp"
+#include "sim/parallel.hpp"
+#include "sim/statevector.hpp"
+
+using namespace chocoq;
+using linalg::Cplx;
+
+namespace
+{
+
+constexpr int kQubits = 6;
+constexpr std::size_t kDim = std::size_t{1} << kQubits;
+
+/** Two-bit support masks used by every masked kernel below. */
+constexpr Basis kMask2 = 0b000101;   // popcount 2
+constexpr Basis kSupport = 0b001100; // popcount 2
+constexpr Basis kVBitsA = 0b000100;
+constexpr Basis kVBitsB = 0b001000;
+
+struct Tables
+{
+    std::vector<double> table;
+    std::vector<double> distinct;
+    std::vector<std::uint16_t> index;
+    std::vector<Cplx> phases;
+};
+
+Tables
+makeTables()
+{
+    Tables t;
+    t.table.resize(kDim);
+    t.index.resize(kDim);
+    t.distinct = {-1.5, 0.25, 2.0, 3.75};
+    for (std::size_t i = 0; i < kDim; ++i) {
+        t.index[i] = static_cast<std::uint16_t>(i % t.distinct.size());
+        t.table[i] = t.distinct[t.index[i]];
+    }
+    t.phases.resize(t.distinct.size());
+    for (std::size_t v = 0; v < t.distinct.size(); ++v)
+        t.phases[v] = Cplx{std::cos(0.4 * t.distinct[v]),
+                           -std::sin(0.4 * t.distinct[v])};
+    return t;
+}
+
+/**
+ * One call to every scalar kernel, fixed angles. The expected
+ * amplitude count per kernel (dim = 2^6 = 64):
+ *   full sweeps ............................ 64
+ *   Controlled1q / PhaseMask (2 fixed bits)  16
+ *   PairRotation / XY / Swap (pair sweeps) . 32
+ *   PairRotationGroup (2 terms) ............ 64
+ *   PhasedPairRotationGroup (gather+2 terms) 128
+ */
+void
+runScalarScript(sim::StateVector &sv, const Tables &t)
+{
+    const Cplx d0{std::cos(0.3), std::sin(0.3)};
+    const Cplx d1 = std::conj(d0);
+    const Basis vbits[2] = {kVBitsA, kVBitsB};
+    const Basis masks[2] = {kMask2, kSupport};
+    const Cplx mphases[2] = {d0, d1};
+    std::vector<Cplx> scratch;
+
+    sv.apply1q(2, 0.6, 0.8, 0.8, -0.6);
+    sv.applyDiagonal1q(1, d0, d1);
+    sv.applyControlled1q(kMask2, 4, 0.0, 1.0, 1.0, 0.0);
+    sv.applyPhaseMask(kMask2, 0.4);
+    sv.applyParityPhase(kMask2, d0, d1);
+    sv.applyPairRotation(kSupport, kVBitsA, 0.55, 0.45);
+    sv.applyPairRotationGroup(kSupport, vbits, 2, 0.55, 0.45);
+    sv.applyPhasedPairRotationGroup(kSupport, vbits, 2, 0.55, 0.45,
+                                    t.phases.data(), t.index.data());
+    sv.applyXY(0, 4, 0.6);
+    sv.applySwap(0, 4);
+    sv.applyPhaseTable(t.table, 0.4);
+    sv.applyPhaseTableCompressed(t.distinct, t.index, 0.4, scratch);
+    sv.applyMaskPhaseProduct(masks, mphases, 2, Cplx{1.0, 0.0});
+    sv.applyDiagonal([](Basis i) {
+        return Cplx{std::cos(0.01 * static_cast<double>(i)),
+                    std::sin(0.01 * static_cast<double>(i))};
+    });
+    double e = sv.expectationTable(t.table);
+    e += sv.expectationTableCompressed(t.distinct, t.index);
+    e += sv.expectationDiagonal(
+        [](Basis i) { return static_cast<double>(i & 3); });
+    ASSERT_TRUE(std::isfinite(e));
+}
+
+/** Expected per-kernel amplitude counts for one runScalarScript pass. */
+std::uint64_t
+expectedScalarAmps(obs::KernelId id)
+{
+    using K = obs::KernelId;
+    switch (id) {
+    case K::Controlled1q:
+    case K::PhaseMask:
+        return kDim >> 2; // two fixed bits
+    case K::PairRotation:
+    case K::XY:
+    case K::Swap:
+        return kDim >> 1; // pair sweeps touch half the index space
+    case K::PairRotationGroup:
+        return 2 * (kDim >> 1); // two terms per group sweep
+    case K::PhasedPairRotationGroup:
+        return kDim + 2 * (kDim >> 1); // phase gather + two terms
+    default:
+        return kDim; // every full sweep / reduction
+    }
+}
+
+void
+checkScalarAccounting(const obs::KernelCounterSink &sink)
+{
+    double bytes = 0.0;
+    double flops = 0.0;
+    std::uint64_t amps = 0;
+    for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+        const auto id = static_cast<obs::KernelId>(k);
+        const auto &tally = sink.tally(id);
+        EXPECT_EQ(tally.calls, 1u) << obs::kernelName(id);
+        EXPECT_EQ(tally.amps, expectedScalarAmps(id)) << obs::kernelName(id);
+        const auto &cost = obs::kernelCost(id);
+        bytes += static_cast<double>(tally.amps) * cost.bytesPerAmp;
+        flops += static_cast<double>(tally.amps) * cost.flopsPerAmp;
+        amps += tally.amps;
+    }
+    EXPECT_EQ(sink.totalCalls(), obs::kKernelCount);
+    EXPECT_EQ(sink.totalAmps(), amps);
+    EXPECT_DOUBLE_EQ(sink.totalBytes(), bytes);
+    EXPECT_DOUBLE_EQ(sink.totalFlops(), flops);
+}
+
+} // namespace
+
+TEST(RooflineAccounting, ScalarKernelsMatchAnalyticModel)
+{
+    const Tables t = makeTables();
+    for (int threads : {1, 3}) {
+        sim::setSimThreads(threads);
+        sim::StateVector sv(kQubits);
+        obs::KernelCounterSink sink;
+        sv.setCounterSink(&sink);
+        runScalarScript(sv, t);
+        checkScalarAccounting(sink);
+    }
+    sim::setSimThreads(0);
+}
+
+TEST(RooflineAccounting, BatchedKernelsScaleByLaneCount)
+{
+    const Tables t = makeTables();
+    for (std::size_t lanes : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+        sim::BatchedStateVector batch;
+        batch.resizeScratch(kQubits, lanes);
+        batch.reset(1);
+        obs::KernelCounterSink sink;
+        batch.setCounterSink(&sink);
+
+        const Basis vbits[2] = {kVBitsA, kVBitsB};
+        const Basis masks[2] = {kMask2, kSupport};
+        std::vector<double> gammas(lanes), phis(lanes), cc(lanes), ss(lanes);
+        std::vector<Cplx> d0(lanes), d1(lanes), mphases(2 * lanes),
+            global(lanes), scratch;
+        std::vector<double> out(lanes);
+        for (std::size_t b = 0; b < lanes; ++b) {
+            const double a = 0.3 + 0.01 * static_cast<double>(b);
+            gammas[b] = a;
+            phis[b] = a + 0.1;
+            cc[b] = std::cos(a);
+            ss[b] = std::sin(a);
+            d0[b] = Cplx{std::cos(a), std::sin(a)};
+            d1[b] = std::conj(d0[b]);
+            mphases[0 * lanes + b] = d0[b];
+            mphases[1 * lanes + b] = d1[b];
+            global[b] = Cplx{1.0, 0.0};
+        }
+
+        batch.applyPhaseTable(t.table, gammas.data());
+        batch.applyPhaseTableCompressed(t.distinct, t.index, gammas.data(),
+                                        scratch);
+        batch.applyPhaseMask(kMask2, phis.data());
+        batch.applyDiagonal1q(1, d0.data(), d1.data());
+        batch.applyParityPhase(kMask2, d0.data(), d1.data());
+        batch.applyPairRotation(kSupport, kVBitsA, cc.data(), ss.data());
+        batch.applyPairRotationGroup(kSupport, vbits, 2, cc.data(),
+                                     ss.data());
+        batch.applyPhasedPairRotationGroup(kSupport, vbits, 2, cc.data(),
+                                           ss.data(), d0.data(),
+                                           t.index.data());
+        batch.applyMaskPhaseProduct(masks, mphases.data(), 2, global.data());
+        batch.expectationTable(t.table, out.data());
+        batch.expectationTableCompressed(t.distinct, t.index, out.data());
+        batch.expectationDiagonal(
+            [](Basis i) { return static_cast<double>(i & 3); }, out.data());
+
+        using K = obs::KernelId;
+        const std::uint64_t L = lanes;
+        const struct
+        {
+            K id;
+            std::uint64_t amps;
+        } expected[] = {
+            {K::PhaseTable, kDim * L},
+            {K::PhaseTableCompressed, kDim * L},
+            {K::PhaseMask, (kDim >> 2) * L},
+            {K::Diagonal1q, kDim * L},
+            {K::ParityPhase, kDim * L},
+            {K::PairRotation, (kDim >> 1) * L},
+            {K::PairRotationGroup, 2 * (kDim >> 1) * L},
+            {K::PhasedPairRotationGroup, (kDim + 2 * (kDim >> 1)) * L},
+            {K::MaskPhaseProduct, kDim * L},
+            {K::ExpectationTable, kDim * L},
+            {K::ExpectationTableCompressed, kDim * L},
+            {K::ExpectationDiagonal, kDim * L},
+        };
+        double bytes = 0.0;
+        double flops = 0.0;
+        for (const auto &e : expected) {
+            const auto &tally = sink.tally(e.id);
+            EXPECT_EQ(tally.calls, 1u)
+                << obs::kernelName(e.id) << " lanes=" << lanes;
+            EXPECT_EQ(tally.amps, e.amps)
+                << obs::kernelName(e.id) << " lanes=" << lanes;
+            const auto &cost = obs::kernelCost(e.id);
+            bytes += static_cast<double>(e.amps) * cost.bytesPerAmp;
+            flops += static_cast<double>(e.amps) * cost.flopsPerAmp;
+        }
+        EXPECT_EQ(sink.totalCalls(), std::size(expected));
+        EXPECT_DOUBLE_EQ(sink.totalBytes(), bytes);
+        EXPECT_DOUBLE_EQ(sink.totalFlops(), flops);
+    }
+}
+
+TEST(RooflineAccounting, AttachedSinkIsBitIdenticalToNullSink)
+{
+    const Tables t = makeTables();
+    sim::StateVector plain(kQubits);
+    sim::StateVector traced(kQubits);
+    obs::KernelCounterSink sink;
+    traced.setCounterSink(&sink);
+    runScalarScript(plain, t);
+    runScalarScript(traced, t);
+    ASSERT_EQ(plain.amplitudes().size(), traced.amplitudes().size());
+    EXPECT_EQ(std::memcmp(plain.amplitudes().data(),
+                          traced.amplitudes().data(),
+                          plain.amplitudes().size() * sizeof(Cplx)),
+              0);
+    EXPECT_FALSE(sink.empty());
+}
+
+TEST(RooflineSink, ResetMergeAndSummary)
+{
+    obs::KernelCounterSink a;
+    obs::KernelCounterSink b;
+    EXPECT_TRUE(a.empty());
+    a.record(obs::KernelId::Apply1q, 64);
+    a.record(obs::KernelId::Apply1q, 64);
+    b.record(obs::KernelId::Swap, 32);
+    EXPECT_FALSE(a.empty());
+
+    a.merge(b);
+    EXPECT_EQ(a.tally(obs::KernelId::Apply1q).calls, 2u);
+    EXPECT_EQ(a.tally(obs::KernelId::Apply1q).amps, 128u);
+    EXPECT_EQ(a.tally(obs::KernelId::Swap).calls, 1u);
+    EXPECT_EQ(a.totalCalls(), 3u);
+    EXPECT_EQ(a.totalAmps(), 160u);
+
+    const std::string s = a.summary();
+    EXPECT_NE(s.find("apply1q=2:128"), std::string::npos) << s;
+    EXPECT_NE(s.find("swap=1:32"), std::string::npos) << s;
+
+    const auto j = a.toJson();
+    ASSERT_NE(j.find("apply1q"), nullptr);
+    EXPECT_EQ(j.find("apply1q")->getNumber("amps", 0.0), 128.0);
+    EXPECT_EQ(j.find("apply1q")->getNumber("bytes", 0.0),
+              128.0 * obs::kernelCost(obs::KernelId::Apply1q).bytesPerAmp);
+
+    a.reset();
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.totalBytes(), 0.0);
+}
+
+TEST(RooflineModel, PlacementAndMachineBlock)
+{
+    obs::MachinePeaks peaks;
+    peaks.triadGBps = 10.0;
+    peaks.scalarGflops = 5.0;
+    peaks.simdGflops = 20.0;
+    EXPECT_DOUBLE_EQ(peaks.peakGflops(), 20.0);
+    EXPECT_DOUBLE_EQ(peaks.ridgeAI(), 2.0);
+
+    // Memory-bound point: AI 0.5 < ridge 2, roof = 10 GB/s; moving
+    // 32 B/amp at 6.4 ns/amp achieves 5 GB/s = 50% of the roof.
+    const auto mem = obs::placeOnRoofline(32.0, 16.0, 6.4, peaks);
+    EXPECT_DOUBLE_EQ(mem.arithmeticIntensity, 0.5);
+    EXPECT_FALSE(mem.computeBound);
+    EXPECT_NEAR(mem.pctOfCeiling, 50.0, 1e-9);
+
+    // Compute-bound point: AI 4 > ridge 2; the byte roof at AI 4 is
+    // 20 GF/s / 4 = 5 GB/s of bytes, so 2.5 GB/s achieved is 50%.
+    const auto cmp = obs::placeOnRoofline(8.0, 32.0, 3.2, peaks);
+    EXPECT_DOUBLE_EQ(cmp.arithmeticIntensity, 4.0);
+    EXPECT_TRUE(cmp.computeBound);
+    EXPECT_NEAR(cmp.pctOfCeiling, 50.0, 1e-9);
+
+    obs::MachineInfo info = obs::detectMachine();
+    EXPECT_EQ(info.fingerprint.size(), 16u);
+    const auto j = obs::machineJson(info, peaks);
+    EXPECT_EQ(j.getString("fingerprint", ""), info.fingerprint);
+    EXPECT_DOUBLE_EQ(j.getNumber("triad_gbps", 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(j.getNumber("ridge_ai_flops_per_byte", 0.0), 2.0);
+}

@@ -30,6 +30,7 @@
 
 #include "common/error.hpp"
 #include "core/chocoq_solver.hpp"
+#include "obs/roofline.hpp"
 #include "core/circuits.hpp"
 #include "core/commute.hpp"
 #include "core/qaoa.hpp"
@@ -1790,6 +1791,42 @@ TEST(Observability, CountersReconcileUnderConcurrentLoad)
     EXPECT_EQ(m.histogram("stage.solve_ms").snapshot().count,
               m.counter("jobs.started").value());
     EXPECT_DOUBLE_EQ(m.gauge("jobs.inflight").value(), 0.0);
+}
+
+TEST(Observability, KernelMixFlowsIntoMetricsAndTrace)
+{
+    // Every solve drives the engine's kernels through a per-job counter
+    // sink; after a job the aggregated per-kernel calls/amps counters
+    // and the modeled traffic totals must be visible in the registry,
+    // and a traced job must carry the mix as a "kernels" span note.
+    service::SolveService svc{service::ServiceOptions{}};
+    service::WorkerContext ctx;
+    obs::Trace trace(std::chrono::steady_clock::now());
+    const auto r = svc.execute(quickJob("mix"), ctx, nullptr, &trace);
+    ASSERT_EQ(r.status, "ok");
+
+    auto &m = svc.metrics();
+    EXPECT_GT(m.counter("kernels.bytes").value(), 0u);
+    EXPECT_GT(m.counter("kernels.flops").value(), 0u);
+    // The QAOA engine cannot evaluate an objective without at least
+    // one expectation sweep; the per-kernel counters caught it.
+    std::uint64_t amps = 0;
+    for (std::size_t k = 0; k < obs::kKernelCount; ++k) {
+        const auto id = static_cast<obs::KernelId>(k);
+        amps += m.counter(std::string("kernels.")
+                          + obs::kernelName(id) + ".amps")
+                    .value();
+    }
+    EXPECT_GT(amps, 0u);
+
+    bool saw_kernels = false;
+    for (const auto &span : trace.spans())
+        if (span.name == "kernels") {
+            saw_kernels = true;
+            EXPECT_NE(span.note.find("bytes="), std::string::npos)
+                << span.note;
+        }
+    EXPECT_TRUE(saw_kernels);
 }
 
 TEST(Observability, TraceSpansOrderedAndNestedOnTheWire)

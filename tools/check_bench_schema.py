@@ -14,12 +14,26 @@ Usage:
                           [--load BENCH_load.json]
                           [--kernels BENCH_kernels.json]
 
+BENCH_kernels.json additionally carries the roofline contract: a
+"machine" block (hardware fingerprint + calibrated peaks from
+bench_micro's post-run annotation) and, on every kernel entry that
+reports ns_per_amp, the full roofline key set. Committed perf baselines
+under bench/baselines/ are the same document shape and are validated
+with the same checks.
+
+Usage:
+    check_bench_schema.py [--service BENCH_service.json]
+                          [--load BENCH_load.json]
+                          [--kernels BENCH_kernels.json]
+                          [--baselines-dir bench/baselines]
+
 Files that are not given and do not exist in the working directory are
 skipped with a note; a file that exists but does not match the contract
 is an error. Exit 0 only if everything present validates.
 """
 
 import argparse
+import glob
 import json
 import os
 import sys
@@ -53,10 +67,36 @@ KERNELS_SOA_COUNTERS = {
     "lanes_per_touch",
 }
 
+# The roofline key set every kernel entry with ns_per_amp must carry
+# after bench_micro's post-run annotation.
+KERNELS_ROOFLINE = {
+    "ns_per_amp",
+    "bytes_per_amp",
+    "flops_per_amp",
+    "arithmetic_intensity",
+    "roofline_bound",
+    "pct_of_ceiling",
+}
+
+# The machine block written by bench_micro --calibrate / the post-run
+# annotation (obs::machineJson).
+MACHINE_KEYS = {
+    "fingerprint",
+    "cpu_model",
+    "logical_cores",
+    "caches",
+    "triad_gbps",
+    "peak_scalar_gflops",
+    "peak_simd_gflops",
+    "peak_gflops",
+    "ridge_ai_flops_per_byte",
+}
+
 SERVICE_SOCKET = {
     "workers",
     "connections",
     "accept_ms_avg",
+    "idle_before_first_request_ms_avg",
     "first_byte_ms_avg",
     "wall_seconds",
     "jobs_per_sec",
@@ -96,6 +136,7 @@ LOAD_STAGE = {
 
 LOAD_STAGE_SERVER = {
     "accept_ms_avg",
+    "idle_before_first_request_ms_avg",
     "first_byte_ms_avg",
     "stage_queue_ms_p50",
     "stage_solve_ms_p50",
@@ -135,24 +176,60 @@ def check_service(path, errors):
             fail(errors, path, "batch_widths must be a non-empty array")
 
 
-def check_kernels(path, errors):
+def check_kernels(path, errors, require_soa=True):
     with open(path) as fh:
         doc = json.load(fh)
     if not isinstance(doc, dict) or "benchmarks" not in doc:
         fail(errors, path,
              "expected google-benchmark JSON with a 'benchmarks' array")
         return
+    check_keys(errors, f"{path}:machine", doc.get("machine"), MACHINE_KEYS)
+    rooflined = 0
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict) or "ns_per_amp" not in bench:
+            continue
+        rooflined += 1
+        where = f"{path}:{bench.get('name')}"
+        missing = sorted(KERNELS_ROOFLINE - bench.keys())
+        if missing:
+            fail(errors, where, f"missing roofline keys: {', '.join(missing)}")
+        bound = bench.get("roofline_bound")
+        if bound not in (None, "memory", "compute"):
+            fail(errors, where,
+                 f"roofline_bound must be 'memory' or 'compute', got {bound!r}")
+    if not rooflined:
+        fail(errors, path, "no kernel entries with ns_per_amp present")
     soa = [b for b in doc["benchmarks"]
            if isinstance(b, dict)
            and str(b.get("name", "")).startswith("BM_EvolveBatchSoA")]
     if not soa:
-        fail(errors, path, "no BM_EvolveBatchSoA* entries present")
+        if require_soa:
+            fail(errors, path, "no BM_EvolveBatchSoA* entries present")
         return
     for bench in soa:
         where = f"{path}:{bench.get('name')}"
         missing = sorted(KERNELS_SOA_COUNTERS - bench.keys())
         if missing:
             fail(errors, where, f"missing counters: {', '.join(missing)}")
+
+
+def check_baseline(path, errors):
+    # A committed baseline is an annotated BENCH_kernels.json captured on
+    # one machine; it may be a filtered run, so SoA entries are optional,
+    # but its filename must match the embedded fingerprint so
+    # check_perf_regression.py looks it up correctly.
+    check_kernels(path, errors, require_soa=False)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        fingerprint = doc.get("machine", {}).get("fingerprint")
+        stem = os.path.splitext(os.path.basename(path))[0]
+        if fingerprint and stem != fingerprint:
+            fail(errors, path,
+                 f"filename stem {stem!r} != machine fingerprint "
+                 f"{fingerprint!r}")
+    except (json.JSONDecodeError, OSError):
+        pass  # already reported by check_kernels
 
 
 def check_load(path, errors):
@@ -181,13 +258,19 @@ def main():
     parser.add_argument("--service", default="BENCH_service.json")
     parser.add_argument("--load", default="BENCH_load.json")
     parser.add_argument("--kernels", default="BENCH_kernels.json")
+    parser.add_argument("--baselines-dir", default="bench/baselines")
     args = parser.parse_args()
 
     errors = []
     checked = 0
-    for path, checker in ((args.service, check_service),
-                          (args.load, check_load),
-                          (args.kernels, check_kernels)):
+    targets = [(args.service, check_service),
+               (args.load, check_load),
+               (args.kernels, check_kernels)]
+    if os.path.isdir(args.baselines_dir):
+        for path in sorted(glob.glob(
+                os.path.join(args.baselines_dir, "*.json"))):
+            targets.append((path, check_baseline))
+    for path, checker in targets:
         if not os.path.exists(path):
             print(f"check_bench_schema: {path} not present, skipped")
             continue
